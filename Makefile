@@ -1,0 +1,31 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples fuzz all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report: bench
+	$(PYTHON) -m repro report
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/sweep_anatomy.py
+	$(PYTHON) examples/defective_3coloring.py
+	$(PYTHON) examples/edge_coloring.py
+	$(PYTHON) examples/congest_delta_plus_one.py
+	$(PYTHON) examples/route_comparison.py
+
+all: test bench report
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/.benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

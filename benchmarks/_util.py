@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints its experiment table (visible with ``pytest -s``)
+and also writes it to ``benchmarks/results/<experiment>.txt`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    print(f"\n{text}")

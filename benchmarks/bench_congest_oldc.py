@@ -1,0 +1,82 @@
+"""E4 -- Theorem 1.2: CONGEST OLDC rounds and message size.
+
+Sweeps the color space size C and reports measured rounds (shape: polylog
+in C, paper bound O(log^3 C + log* q)), the maximum message size in bits
+(paper bound O(log q + log C)), and the enforced slack factor (always
+below 3 sqrt(C)).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import grid, render_records, sweep, theorem_12_rounds
+from repro.coloring import OLDCInstance, check_oldc
+from repro.core import congest_oldc, required_slack_factor
+from repro.graphs import (
+    orient_by_id,
+    random_bounded_degree_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger
+
+from _util import emit
+
+
+def make_instance(graph, color_space, seed):
+    need = required_slack_factor(color_space)
+    rng = random.Random(seed)
+    size = max(4, color_space // 2)
+    lists, defects = {}, {}
+    for node in graph.nodes:
+        beta = graph.beta(node)
+        d = int(need * beta / size) + 1
+        colors = tuple(sorted(rng.sample(range(color_space), size)))
+        lists[node] = colors
+        defects[node] = {color: d for color in colors}
+    return OLDCInstance(graph, lists, defects, color_space)
+
+
+def measure(color_space: int, seed: int) -> dict:
+    network = random_bounded_degree_graph(40, 5, seed=seed)
+    graph = orient_by_id(network)
+    instance = make_instance(graph, color_space, seed)
+    ledger = CostLedger()
+    result = congest_oldc(
+        instance, sequential_ids(network), len(network), ledger=ledger
+    )
+    violations = check_oldc(instance, result.colors)
+    return {
+        "slack_factor": round(required_slack_factor(color_space), 1),
+        "three_sqrt_c": round(3 * math.sqrt(color_space), 1),
+        "rounds": ledger.rounds,
+        "log3C_model": round(theorem_12_rounds(color_space, len(network))),
+        "max_msg_bits": ledger.max_message_bits,
+        "logq_logC_bits": math.ceil(math.log2(len(network)))
+        + math.ceil(math.log2(color_space)),
+        "valid": not violations,
+    }
+
+
+def test_e4_congest_oldc(benchmark):
+    records = sweep(
+        measure, grid(color_space=[8, 16, 64, 256, 1024], seed=[5])
+    )
+    assert all(record["valid"] for record in records)
+    emit("E4_congest_oldc", render_records(
+        records,
+        ["color_space", "slack_factor", "three_sqrt_c", "rounds",
+         "log3C_model", "max_msg_bits", "logq_logC_bits", "valid"],
+        title="E4: Theorem 1.2 -- CONGEST OLDC: rounds polylog in C, "
+              "messages O(log q + log C) bits",
+    ))
+    # Message shape: max bits must track log q + log C, not the list size
+    # (which is C/2 colors).
+    for record in records:
+        assert record["max_msg_bits"] <= 6 * record["logq_logC_bits"] + 24
+    # Round shape: 128x more colors costs far less than 128x rounds.
+    small = next(r for r in records if r["color_space"] == 8)
+    large = next(r for r in records if r["color_space"] == 1024)
+    assert large["rounds"] <= 12 * max(1, small["rounds"])
+    benchmark(measure, color_space=64, seed=6)

@@ -1,0 +1,56 @@
+"""E18 -- the theta crossover between Theorems 1.5 and 1.3.
+
+The paper claims Theorem 1.5 beats the sqrt(Delta)-type bound of
+Theorem 1.3 whenever theta = O~(Delta^{1/8}).  Simulation cannot reach
+the degrees where the asymptotics separate, so this experiment evaluates
+both round *models* (constants set to 1, as everywhere in
+analysis/rounds.py) across ten orders of magnitude of Delta and reports
+the largest winning theta and its exponent log_Delta(theta*) -- which
+must settle near 1/8 up to the polylog slop the O~ hides.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    crossover_exponent,
+    crossover_theta,
+    render_records,
+    theorem_13_rounds,
+    theorem_15_rounds,
+)
+
+from _util import emit
+
+
+def measure(log2_delta: int) -> dict:
+    delta = 2 ** log2_delta
+    theta_star = crossover_theta(delta)
+    exponent = crossover_exponent(delta)
+    return {
+        "delta": f"2^{log2_delta}",
+        "theta_star": theta_star,
+        "exponent": None if exponent is None else round(exponent, 3),
+        "model_13": round(theorem_13_rounds(delta, 4 * delta)),
+        "model_15_at_star": round(
+            theorem_15_rounds(delta, max(1, theta_star), 4 * delta)
+        ) if theta_star else None,
+    }
+
+
+def test_e18_crossover(benchmark):
+    records = [measure(log2_delta) for log2_delta in
+               (8, 12, 16, 20, 24, 28, 32)]
+    emit("E18_crossover", render_records(
+        records,
+        ["delta", "theta_star", "exponent", "model_13",
+         "model_15_at_star"],
+        title="E18: largest theta where the Theorem 1.5 model beats the "
+              "Theorem 1.3 model (paper: exponent -> 1/8 up to polylog)",
+    ))
+    # The exponent must be positive and land below ~1/4 for large Delta
+    # (the paper's 1/8 with polylog slop, evaluated at unit constants).
+    large = [record for record in records
+             if int(record["delta"][2:]) >= 16]
+    assert all(record["theta_star"] >= 1 for record in large)
+    assert all(0.0 < record["exponent"] <= 0.25 for record in large)
+    benchmark(crossover_theta, 2 ** 20)

@@ -1,0 +1,87 @@
+"""E6 -- list d-defective 3-coloring around the (2 Delta - 3)/3 threshold.
+
+Section 1.1's generalization of [BHL+19]: Two-Sweep (p = 2, bidirected
+view so defects bound all neighbors) solves list d-defective 3-coloring
+exactly when d > (2 Delta - 3)/3.  The sweep scans d through the
+threshold for several Delta values and records solve/reject outcomes and
+the worst observed defect.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    defective_3coloring_threshold,
+    grid,
+    render_records,
+    sweep,
+)
+from repro.coloring import OLDCInstance, check_oldc, uniform_lists
+from repro.core import two_sweep
+from repro.graphs import (
+    orient_all_out,
+    random_regular_graph,
+    sequential_ids,
+)
+from repro.sim import InfeasibleInstanceError
+
+from _util import emit
+
+
+def measure(delta: int, offset: int, seed: int) -> dict:
+    n = 6 * delta
+    if n * delta % 2:
+        n += 1
+    network = random_regular_graph(n, delta, seed=seed)
+    threshold = defective_3coloring_threshold(delta)
+    defect = int(threshold) + offset
+    graph = orient_all_out(network)
+    lists, defects = uniform_lists(network.nodes, (0, 1, 2), defect)
+    instance = OLDCInstance(graph, lists, defects, 3)
+    try:
+        result = two_sweep(
+            instance, sequential_ids(network), n, p=2
+        )
+    except InfeasibleInstanceError:
+        return {
+            "defect": defect,
+            "threshold": round(threshold, 2),
+            "above": defect > threshold,
+            "outcome": "rejected",
+            "worst_defect": None,
+        }
+    valid = not check_oldc(instance, result.colors)
+    worst = max(
+        sum(
+            1 for u in network.neighbors(v)
+            if result.colors[u] == result.colors[v]
+        )
+        for v in network
+    )
+    return {
+        "defect": defect,
+        "threshold": round(threshold, 2),
+        "above": defect > threshold,
+        "outcome": "solved" if valid else "INVALID",
+        "worst_defect": worst,
+    }
+
+
+def test_e6_defective_3coloring(benchmark):
+    records = sweep(
+        measure,
+        grid(delta=[6, 9, 12], offset=[-2, -1, 0, 1, 2], seed=[9]),
+    )
+    emit("E6_defective_3coloring", render_records(
+        records,
+        ["delta", "defect", "threshold", "above", "outcome",
+         "worst_defect"],
+        title="E6: list d-defective 3-coloring -- the (2 Delta - 3)/3 "
+              "threshold",
+    ))
+    for record in records:
+        if record["above"]:
+            assert record["outcome"] == "solved"
+            assert record["worst_defect"] <= record["defect"]
+        else:
+            assert record["outcome"] == "rejected"
+    benchmark(measure, delta=9, offset=1, seed=10)

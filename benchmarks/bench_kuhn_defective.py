@@ -1,0 +1,64 @@
+"""E9 -- Lemma 3.4 [Kuh09, KS18]: colors O(1/alpha^2), defect alpha*beta,
+rounds O(log* q).
+
+Sweeps alpha and the ID-space size and reports the measured palette,
+worst relative defect, and rounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import grid, render_records, sweep
+from repro.graphs import gnp_graph, orient_by_id, random_ids
+from repro.sim import CostLedger
+from repro.substrates import (
+    defective_palette_bound,
+    kuhn_defective_coloring,
+    log_star,
+)
+
+from _util import emit
+
+
+def measure(alpha: float, q_bits: int, seed: int) -> dict:
+    network = gnp_graph(70, 0.12, seed=seed)
+    graph = orient_by_id(network)
+    ids = random_ids(network, seed=seed, bits=q_bits)
+    q = 2 ** q_bits
+    ledger = CostLedger()
+    colors, palette = kuhn_defective_coloring(
+        graph, ids, q, alpha, ledger=ledger
+    )
+    worst = 0.0
+    for node in graph.nodes:
+        conflicts = sum(
+            1 for u in graph.out_neighbors(node)
+            if colors[u] == colors[node]
+        )
+        worst = max(worst, conflicts / graph.beta(node))
+    return {
+        "palette": palette,
+        "palette_bound": defective_palette_bound(alpha),
+        "worst_rel_defect": round(worst, 3),
+        "rounds": ledger.rounds,
+        "log_star_q": log_star(q),
+        "valid": worst <= alpha,
+    }
+
+
+def test_e9_kuhn_defective(benchmark):
+    records = sweep(
+        measure,
+        grid(alpha=[0.5, 0.25, 0.1], q_bits=[20, 40], seed=[18]),
+    )
+    assert all(record["valid"] for record in records)
+    emit("E9_kuhn_defective", render_records(
+        records,
+        ["alpha", "q_bits", "palette", "palette_bound",
+         "worst_rel_defect", "rounds", "log_star_q", "valid"],
+        title="E9: Lemma 3.4 defective coloring -- palette O(1/alpha^2), "
+              "defect <= alpha * beta_v, O(log* q) rounds",
+    ))
+    for record in records:
+        assert record["palette"] <= record["palette_bound"]
+        assert record["rounds"] <= 4 * record["log_star_q"] + 4
+    benchmark(measure, alpha=0.25, q_bits=32, seed=19)

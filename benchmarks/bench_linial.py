@@ -1,0 +1,94 @@
+"""E10 -- substrate sanity: Linial [Lin87] O(Delta^2) colors, log* rounds.
+
+Sweeps the ID-space size on rings (Linial's lower-bound topology) and on
+random graphs; reports palette vs the (4 Delta + 2)^2 bound and rounds vs
+log* q.  Also covers the oriented O(beta^2) variant.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import grid, render_records, sweep
+from repro.coloring import check_proper_coloring
+from repro.graphs import (
+    gnp_graph,
+    orient_low_outdegree,
+    random_ids,
+    ring_graph,
+)
+from repro.sim import CostLedger
+from repro.substrates import (
+    linial_coloring,
+    linial_oriented_coloring,
+    linial_palette_bound,
+    log_star,
+)
+
+from _util import emit
+
+
+def measure(topology: str, q_bits: int, seed: int) -> dict:
+    if topology == "ring":
+        network = ring_graph(64)
+    else:
+        network = gnp_graph(64, 0.12, seed=seed)
+    ids = random_ids(network, seed=seed, bits=q_bits)
+    q = 2 ** q_bits
+    ledger = CostLedger()
+    colors, palette = linial_coloring(network, ids, q, ledger=ledger)
+    ok = check_proper_coloring(network, colors) == []
+    delta = network.raw_max_degree()
+    return {
+        "delta": delta,
+        "palette": palette,
+        "palette_bound": linial_palette_bound(delta),
+        "rounds": ledger.rounds,
+        "log_star_q": log_star(q),
+        "valid": ok,
+    }
+
+
+def measure_oriented(q_bits: int, seed: int) -> dict:
+    network = gnp_graph(64, 0.3, seed=seed)
+    graph = orient_low_outdegree(network)
+    ids = random_ids(network, seed=seed, bits=q_bits)
+    ledger = CostLedger()
+    colors, palette = linial_oriented_coloring(
+        graph, ids, 2 ** q_bits, ledger=ledger
+    )
+    ok = check_proper_coloring(network, colors) == []
+    return {
+        "delta": network.raw_max_degree(),
+        "beta": graph.max_outdegree(),
+        "palette": palette,
+        "beta_bound": linial_palette_bound(graph.max_outdegree()),
+        "rounds": ledger.rounds,
+        "valid": ok,
+    }
+
+
+def test_e10_linial(benchmark):
+    records = sweep(
+        measure,
+        grid(topology=["ring", "gnp"], q_bits=[16, 32, 48], seed=[20]),
+    )
+    assert all(record["valid"] for record in records)
+    emit("E10a_linial", render_records(
+        records,
+        ["topology", "q_bits", "delta", "palette", "palette_bound",
+         "rounds", "log_star_q", "valid"],
+        title="E10a: Linial -- O(Delta^2) colors in ~log* q rounds",
+    ))
+    for record in records:
+        assert record["palette"] <= record["palette_bound"]
+        assert record["rounds"] <= 3 * record["log_star_q"] + 3
+    oriented = sweep(measure_oriented, grid(q_bits=[32], seed=[21]))
+    assert all(record["valid"] for record in oriented)
+    emit("E10b_linial_oriented", render_records(
+        oriented,
+        ["q_bits", "delta", "beta", "palette", "beta_bound", "rounds",
+         "valid"],
+        title="E10b: oriented Linial -- palette O(beta^2), beta << Delta",
+    ))
+    for record in oriented:
+        assert record["palette"] <= record["beta_bound"]
+    benchmark(measure, topology="gnp", q_bits=32, seed=22)

@@ -1,0 +1,79 @@
+"""E13 -- deterministic vs randomized (Delta+1)-coloring.
+
+The paper's introduction motivates deterministic coloring against the
+randomized state of the art; this experiment runs all four routes in the
+repository side by side across Delta: the Theorem 1.3 pipeline, the
+Theorem 1.5 bounded-theta recursion, the classic Linial + color
+reduction baseline, and the O(log n) randomized trial coloring.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import grid, render_records, sweep
+from repro.coloring import check_proper_coloring
+from repro.core import (
+    delta_plus_one_coloring,
+    linial_reduction_baseline,
+    theta_delta_plus_one_coloring,
+)
+from repro.graphs import (
+    neighborhood_independence,
+    random_bounded_degree_graph,
+    random_ids,
+)
+from repro.sim import CostLedger
+from repro.substrates import randomized_delta_plus_one
+
+from _util import emit
+
+
+def measure(max_degree: int, seed: int) -> dict:
+    n = 10 * max_degree
+    network = random_bounded_degree_graph(n, max_degree, seed=seed)
+    ids = random_ids(network, seed=seed, bits=20)
+    theta = neighborhood_independence(network, exact=len(network) <= 80)
+
+    rounds = {}
+    for route, runner in (
+        ("thm13", lambda led: delta_plus_one_coloring(
+            network, ids=ids, ledger=led)),
+        ("thm15", lambda led: theta_delta_plus_one_coloring(
+            network, theta, ids=ids, ledger=led)),
+        ("baseline", lambda led: linial_reduction_baseline(
+            network, ids=ids, ledger=led)),
+        ("random", lambda led: randomized_delta_plus_one(
+            network, seed=seed, ledger=led)),
+    ):
+        ledger = CostLedger()
+        result = runner(ledger)
+        assert check_proper_coloring(network, result.colors) == []
+        rounds[route] = ledger.rounds
+    return {
+        "n": n,
+        "delta": network.raw_max_degree(),
+        "theta": theta,
+        "thm13": rounds["thm13"],
+        "thm15": rounds["thm15"],
+        "baseline": rounds["baseline"],
+        "random": rounds["random"],
+        "log_n_model": round(math.log2(n)),
+    }
+
+
+def test_e13_randomized_comparison(benchmark):
+    records = sweep(measure, grid(max_degree=[3, 4, 6, 8], seed=[27]))
+    emit("E13_randomized_comparison", render_records(
+        records,
+        ["max_degree", "n", "delta", "theta", "thm13", "thm15",
+         "baseline", "random", "log_n_model"],
+        title="E13: (Delta+1)-coloring rounds -- deterministic routes vs "
+              "the randomized O(log n) trial coloring",
+    ))
+    # The randomized baseline's rounds must stay logarithmic-ish in n and
+    # in particular beat the Delta^2-ish deterministic baseline at the
+    # largest Delta.
+    largest = max(records, key=lambda record: record["delta"])
+    assert largest["random"] <= largest["baseline"]
+    benchmark(measure, max_degree=4, seed=28)

@@ -1,0 +1,114 @@
+"""E8 -- Theorem 1.5: bounded-theta coloring and the theta crossover.
+
+Two tables:
+
+1. (2 Delta - 1)-edge coloring via line graphs across Delta -- rounds
+   against the Theorem 1.5 model and against the Theorem 1.3 route on
+   the same line graph (the paper: the theta route wins when theta is
+   small, here theta <= 2).
+2. The recursion's dispatch statistics under forced full recursion,
+   showing all Section 4 branches engage.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import grid, render_records, sweep, theorem_15_rounds
+from repro.coloring import (
+    check_proper_coloring,
+    random_arbdefective_instance,
+)
+from repro.core import (
+    delta_plus_one_coloring,
+    lemma_46_slack,
+    theta_delta_plus_one_coloring,
+    theta_recursive_arbdefective,
+)
+from repro.graphs import (
+    gnp_graph,
+    line_graph_of_network,
+    neighborhood_independence,
+)
+from repro.sim import CostLedger
+
+from _util import emit
+
+
+def measure_edge_coloring(base_n: int, base_p: float, seed: int) -> dict:
+    from repro.graphs import random_ids
+
+    base = gnp_graph(base_n, base_p, seed=seed)
+    line, _ = line_graph_of_network(base)
+    if len(line) == 0:
+        return {"skip": True}
+    theta = max(1, neighborhood_independence(line, exact=len(line) < 60))
+    ids = random_ids(line, seed=seed, bits=24)
+    ledger = CostLedger()
+    result = theta_delta_plus_one_coloring(
+        line, theta=2, ids=ids, ledger=ledger
+    )
+    ok = check_proper_coloring(line, result.colors) == []
+    thm13_ledger = CostLedger()
+    delta_plus_one_coloring(line, ids=ids, ledger=thm13_ledger)
+    delta = line.raw_max_degree()
+    return {
+        "line_n": len(line),
+        "delta": delta,
+        "theta": theta,
+        "rounds_thm15": ledger.rounds,
+        "rounds_thm13": thm13_ledger.rounds,
+        "paper_model_15": round(theorem_15_rounds(delta, theta, len(line))),
+        "colors": result.color_count(),
+        "palette": delta + 1,
+        "valid": ok,
+    }
+
+
+def measure_forced(seed: int) -> dict:
+    base = gnp_graph(12, 0.3, seed=seed)
+    network, _ = line_graph_of_network(base)
+    theta = max(1, neighborhood_independence(network))
+    big = lemma_46_slack(theta, network.raw_max_degree())
+    instance = random_arbdefective_instance(
+        network, slack=big + 1, seed=seed, color_space_size=64
+    )
+    ledger = CostLedger()
+    result = theta_recursive_arbdefective(
+        instance, theta, ledger=ledger, force_recursion=True,
+        base_degree=0, base_color_space=2,
+    )
+    stats = result.stats
+    return {
+        "rounds": ledger.rounds,
+        "lemma44": stats["lemma44"],
+        "lemmaA1": stats["lemmaA1"],
+        "lemma46": stats["lemma46"],
+        "base": stats["base"],
+    }
+
+
+def test_e8_theta_recursion(benchmark):
+    records = sweep(
+        measure_edge_coloring,
+        grid(base_n=[10, 14, 18, 24], base_p=[0.25], seed=[14]),
+    )
+    records = [record for record in records if "skip" not in record]
+    assert all(record["valid"] for record in records)
+    emit("E8a_edge_coloring_scaling", render_records(
+        records,
+        ["base_n", "line_n", "delta", "theta", "rounds_thm15",
+         "rounds_thm13", "paper_model_15", "colors", "palette", "valid"],
+        title="E8a: Theorem 1.5 route vs Theorem 1.3 route on line "
+              "graphs (theta <= 2)",
+    ))
+    forced = sweep(measure_forced, grid(seed=[15, 16]))
+    emit("E8b_recursion_dispatch", render_records(
+        forced,
+        ["seed", "rounds", "lemma44", "lemmaA1", "lemma46", "base"],
+        title="E8b: forced full recursion -- all Section 4 branches "
+              "engage",
+    ))
+    assert all(
+        record["lemma44"] + record["lemma46"] + record["lemmaA1"] > 0
+        for record in forced
+    )
+    benchmark(measure_edge_coloring, base_n=12, base_p=0.25, seed=17)

@@ -1,0 +1,54 @@
+"""E1 -- Theorem 1.1 (eps = 0): Two-Sweep validity and O(q) rounds.
+
+For a sweep over (n, p), runs Algorithm 1 on random oriented graphs with
+random feasible instances and reports measured rounds against the 2q + 1
+sweep schedule and the paper's O(q) bound, plus the maximum message size
+(p colors).  The pytest-benchmark target times one representative run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import grid, render_records, sweep
+from repro.coloring import check_oldc, random_oldc_instance
+from repro.core import two_sweep
+from repro.graphs import gnp_graph, orient_by_id, sequential_ids
+from repro.sim import CostLedger
+
+from _util import emit
+
+
+def measure(n: int, p: int, seed: int) -> dict:
+    network = gnp_graph(n, min(0.9, 6.0 / n), seed=seed)
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=p, seed=seed)
+    ids = sequential_ids(network)
+    ledger = CostLedger()
+    result = two_sweep(instance, ids, n, p, ledger=ledger)
+    violations = check_oldc(instance, result.colors)
+    return {
+        "beta": graph.max_outdegree(),
+        "list_size": p * p,
+        "rounds": ledger.rounds,
+        "bound_2q_plus_1": 2 * n + 1,
+        "max_msg_bits": ledger.max_message_bits,
+        "valid": not violations,
+    }
+
+
+def test_e1_two_sweep(benchmark):
+    records = sweep(
+        measure,
+        grid(n=[20, 40, 80, 160], p=[2, 3, 4], seed=[1]),
+    )
+    assert all(record["valid"] for record in records)
+    assert all(
+        record["rounds"] <= record["bound_2q_plus_1"] + 1
+        for record in records
+    )
+    emit("E1_two_sweep", render_records(
+        records,
+        ["n", "p", "beta", "list_size", "rounds", "bound_2q_plus_1",
+         "max_msg_bits", "valid"],
+        title="E1: Two-Sweep (Algorithm 1) -- rounds vs the O(q) bound",
+    ))
+    benchmark(measure, n=40, p=3, seed=2)

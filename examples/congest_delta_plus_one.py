@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""(deg+1)-list coloring in CONGEST -- the Theorem 1.3 pipeline.
+
+Runs the full stack (Linial bootstrap -> Lemma A.1 slack reduction ->
+Theorem 1.2 CONGEST OLDC solver -> proper list coloring), with the
+simulator *enforcing* the CONGEST message budget, and compares the round
+count against the classic O(Delta^2 + log* n) baseline.
+
+Run:  python examples/congest_delta_plus_one.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import render_table, substituted_13_rounds
+from repro.coloring import check_proper_coloring
+from repro.core import deg_plus_one_list_coloring, linial_reduction_baseline
+from repro.graphs import random_bounded_degree_graph
+from repro.sim import CongestModel, CostLedger
+
+
+def main() -> None:
+    network = random_bounded_degree_graph(n=30, max_degree=4, seed=5)
+    delta = network.raw_max_degree()
+    print(f"graph: n={len(network)} Delta={delta}")
+
+    # Per-node lists: deg(v) + 1 colors from a space of Delta + 3.
+    rng = random.Random(9)
+    space = delta + 3
+    lists = {
+        node: tuple(
+            sorted(rng.sample(range(space), network.degree(node) + 1))
+        )
+        for node in network
+    }
+
+    # CONGEST budget: O(log n + log C) bits per edge per round.
+    bits_c = max(1, math.ceil(math.log2(space)))
+    bandwidth = CongestModel(n=len(network), factor=8, extra_bits=bits_c)
+
+    ledger = CostLedger()
+    result = deg_plus_one_list_coloring(
+        network, lists, ledger=ledger, bandwidth=bandwidth,
+        color_space_size=space,
+    )
+    assert check_proper_coloring(network, result.colors) == []
+    for node in network:
+        assert result.colors[node] in lists[node]
+
+    baseline_ledger = CostLedger()
+    baseline = linial_reduction_baseline(network, ledger=baseline_ledger)
+
+    print(render_table(
+        ["route", "rounds", "max message bits", "colors"],
+        [
+            ["Theorem 1.3 (substituted framework)", ledger.rounds,
+             ledger.max_message_bits, result.color_count()],
+            ["Linial + color reduction baseline",
+             baseline_ledger.rounds,
+             baseline_ledger.max_message_bits, baseline.color_count()],
+        ],
+        title="\n(deg+1)-list coloring under an enforced CONGEST budget",
+    ))
+    print(
+        f"\nsubstituted framework round model: "
+        f"~{substituted_13_rounds(delta, len(network)):.0f} "
+        f"(paper's black-box framework would shave a ~sqrt(Delta) factor;"
+        f" see DESIGN.md substitution 2)"
+    )
+    print("list coloring verified proper and within lists: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""List d-defective 3-coloring around the paper's threshold.
+
+Section 1.1: the Two-Sweep algorithm yields a list d-defective 3-coloring
+whenever d > (2 Delta - 3) / 3 -- generalizing the d >= (2 Delta - 4) / 3
+bound of [BHL+19] for non-list 3-coloring.  Defects here bound *all*
+same-colored neighbors, so the graph is fed to Two-Sweep through the
+bidirected view (every neighbor is an out-neighbor, beta_v = deg(v)).
+
+The script sweeps d through the threshold on a Delta-regular graph: above
+it Eq. (2) holds with p = 2 and the sweep must succeed; below it the
+precondition fails and the instance is rejected.
+
+Run:  python examples/defective_3coloring.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import defective_3coloring_threshold, render_table
+from repro.coloring import (
+    OLDCInstance,
+    check_oldc,
+    uniform_lists,
+)
+from repro.graphs import (
+    orient_all_out,
+    random_regular_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import two_sweep
+
+
+def attempt(network, defect: int) -> list:
+    graph = orient_all_out(network)
+    lists, defects = uniform_lists(network.nodes, (0, 1, 2), defect)
+    instance = OLDCInstance(graph, lists, defects, 3)
+    ids = sequential_ids(network)
+    threshold = defective_3coloring_threshold(network.raw_max_degree())
+    ledger = CostLedger()
+    try:
+        result = two_sweep(instance, ids, len(network), p=2, ledger=ledger)
+    except InfeasibleInstanceError:
+        return [defect, f"{threshold:.2f}", defect > threshold,
+                "rejected (Eq. 2)", "-", "-"]
+    violations = check_oldc(instance, result.colors)
+    worst = max(
+        sum(
+            1 for u in network.neighbors(v)
+            if result.colors[u] == result.colors[v]
+        )
+        for v in network
+    )
+    status = "solved" if not violations else "INVALID"
+    return [defect, f"{threshold:.2f}", defect > threshold, status,
+            worst, ledger.rounds]
+
+
+def main() -> None:
+    delta = 9
+    network = random_regular_graph(n=30, degree=delta, seed=13)
+    print(f"graph: {delta}-regular, n={len(network)}")
+    threshold = defective_3coloring_threshold(delta)
+    print(f"paper threshold: d > (2*{delta} - 3)/3 = {threshold:.2f}\n")
+    low = max(0, int(math.floor(threshold)) - 2)
+    rows = [attempt(network, d) for d in range(low, int(threshold) + 4)]
+    print(render_table(
+        ["defect d", "threshold", "d > thr", "outcome",
+         "worst observed defect", "rounds"],
+        rows,
+        title="List d-defective 3-coloring via Two-Sweep (p = 2)",
+    ))
+    print(
+        "\nabove the threshold every run is solved with observed defect "
+        "<= d;\nbelow it the Eq. (2) precondition correctly rejects the "
+        "instance."
+    )
+
+
+if __name__ == "__main__":
+    main()

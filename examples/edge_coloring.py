@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""(2 Delta - 1)-edge coloring via Theorem 1.5 on line graphs.
+
+The paper's flagship application of the bounded-neighborhood-independence
+recursion: the line graph of a graph has theta <= 2 (and the line graph
+of a rank-r hypergraph has theta <= r), so Theorem 1.5's
+(Delta + 1)-coloring of the line graph is a (2 Delta - 1)-edge coloring
+of the base graph.
+
+Run:  python examples/edge_coloring.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.coloring import check_proper_coloring
+from repro.core import theta_delta_plus_one_coloring
+from repro.graphs import (
+    edge_coloring_from_line_coloring,
+    gnp_graph,
+    is_proper_edge_coloring,
+    line_graph_of_hypergraph,
+    line_graph_of_network,
+    neighborhood_independence,
+    random_uniform_hypergraph,
+)
+from repro.sim import CostLedger
+
+
+def color_graph_edges() -> list:
+    base = gnp_graph(n=18, p=0.22, seed=3)
+    line, edge_of = line_graph_of_network(base)
+    theta = neighborhood_independence(line)
+    ledger = CostLedger()
+    result = theta_delta_plus_one_coloring(line, theta=2, ledger=ledger)
+    edge_colors = edge_coloring_from_line_coloring(result.colors, edge_of)
+    assert is_proper_edge_coloring(base, edge_colors)
+    return [
+        "graph edges",
+        base.raw_max_degree(),
+        theta,
+        len(line),
+        result.color_count(),
+        2 * base.raw_max_degree() - 1,
+        ledger.rounds,
+    ]
+
+
+def color_hypergraph_edges(rank: int) -> list:
+    hypergraph = random_uniform_hypergraph(
+        n_vertices=24, n_edges=30, rank=rank, seed=rank * 11
+    )
+    line, _ = line_graph_of_hypergraph(hypergraph)
+    theta = neighborhood_independence(line)
+    ledger = CostLedger()
+    result = theta_delta_plus_one_coloring(
+        line, theta=max(1, theta), ledger=ledger
+    )
+    assert check_proper_coloring(line, result.colors) == []
+    return [
+        f"rank-{rank} hyperedges",
+        line.raw_max_degree(),
+        theta,
+        len(line),
+        result.color_count(),
+        line.raw_max_degree() + 1,
+        ledger.rounds,
+    ]
+
+
+def main() -> None:
+    rows = [color_graph_edges()]
+    for rank in (2, 3, 4):
+        rows.append(color_hypergraph_edges(rank))
+    print(render_table(
+        ["workload", "Delta", "theta", "line nodes", "colors used",
+         "palette bound", "rounds"],
+        rows,
+        title="Edge coloring through Theorem 1.5 "
+              "(line graphs have theta <= rank)",
+    ))
+    print("\nall edge colorings verified proper: OK")
+
+
+if __name__ == "__main__":
+    main()

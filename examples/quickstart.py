@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: solve an oriented list defective coloring with Two-Sweep.
+
+Builds a random oriented graph, generates a feasible OLDC instance (lists
+of p^2 colors with weight above p * beta_v, the headline parameterization
+of Theorem 1.1), runs Algorithm 1, validates the output, and prints the
+resource accounting the paper's theorems bound.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table, theorem_11_rounds
+from repro.coloring import check_oldc, random_oldc_instance
+from repro.core import two_sweep
+from repro.graphs import gnp_graph, orient_by_id, sequential_ids
+from repro.sim import CostLedger
+
+
+def main() -> None:
+    # 1. A communication graph with an input edge orientation.
+    network = gnp_graph(n=80, p=0.08, seed=7)
+    graph = orient_by_id(network)
+    print(
+        f"graph: n={len(network)} m={network.edge_count()} "
+        f"Delta={network.raw_max_degree()} beta={graph.max_outdegree()}"
+    )
+
+    # 2. A feasible instance: every node gets p^2 = 9 colors whose defect
+    #    mass clears Eq. (2) for p = 3.
+    p = 3
+    instance = random_oldc_instance(graph, p=p, seed=42)
+    print(
+        f"instance: lists of {instance.max_list_size()} colors from a "
+        f"space of {instance.color_space_size}"
+    )
+
+    # 3. The initial proper coloring (here: the node identifiers).
+    initial_colors = sequential_ids(network)
+    q = len(network)
+
+    # 4. Run Algorithm 1 and validate.
+    ledger = CostLedger()
+    result = two_sweep(instance, initial_colors, q, p, ledger=ledger)
+    violations = check_oldc(instance, result.colors)
+    assert violations == [], violations
+
+    # 5. Report.
+    print(render_table(
+        ["quantity", "measured", "paper bound"],
+        [
+            ["rounds", ledger.rounds, f"O(q) = O({q})"],
+            ["theorem 1.1 bound", "",
+             f"{theorem_11_rounds(q, p, 0.0):.0f}"],
+            ["max message bits", ledger.max_message_bits,
+             "p colors + header"],
+            ["colors used", result.color_count(),
+             instance.color_space_size],
+        ],
+        title="\nTwo-Sweep (Algorithm 1) on a random oriented graph",
+    ))
+    sample = list(result.colors.items())[:5]
+    print(f"\nsample output colors: {sample}")
+    print("oriented list defective coloring verified: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: a reproduction of "Simpler and More General Distributed Coloring
+Based on Simple List Defective Coloring Algorithms" (Fuchs & Kuhn, PODC'24).
+
+The package is organized bottom-up:
+
+* :mod:`repro.sim` -- a synchronous message-passing round simulator with
+  LOCAL and CONGEST bandwidth models and composable cost accounting;
+* :mod:`repro.graphs` -- graph generators, edge orientations, hypergraphs,
+  line graphs and neighborhood independence;
+* :mod:`repro.coloring` -- list (arb)defective coloring instances, slack
+  arithmetic, and independent validators;
+* :mod:`repro.substrates` -- the classic algorithms the paper builds on
+  (Linial [Lin87], the defective coloring of Lemma 3.4 [Kuh09, KS18],
+  greedy baselines, prior-work resource envelopes);
+* :mod:`repro.core` -- the paper's contributions: the Two-Sweep family
+  (Theorems 1.1-1.3) and the bounded-neighborhood-independence recursion
+  (Theorems 1.4-1.5 with Lemmas 4.4-4.6 and A.1);
+* :mod:`repro.analysis` -- experiment harness and table rendering.
+
+Quick start::
+
+    from repro import graphs, coloring, core
+
+    net = graphs.gnp_graph(60, 0.1, seed=1)
+    graph = graphs.orient_by_id(net)
+    ids = graphs.sequential_ids(net)
+    instance = coloring.random_oldc_instance(graph, p=3, seed=2)
+    result = core.two_sweep(instance, ids, q=len(net), p=3)
+    assert not coloring.check_oldc(instance, result.colors)
+"""
+
+from . import analysis, coloring, core, graphs, sim, substrates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "coloring",
+    "core",
+    "graphs",
+    "sim",
+    "substrates",
+    "__version__",
+]

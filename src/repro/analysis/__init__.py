@@ -1,0 +1,47 @@
+"""Experiment harness, theoretical bound calculators, table rendering."""
+
+from .experiments import grid, summarize, sweep
+from .rounds import (
+    defective_3coloring_threshold,
+    lemma_44_factor,
+    lemma_a1_factor,
+    substituted_13_rounds,
+    theorem_11_rounds,
+    theorem_12_rounds,
+    theorem_13_rounds,
+    theorem_14_round_factor,
+    theorem_15_rounds,
+)
+from .crossover import (
+    crossover_exponent,
+    crossover_table,
+    crossover_theta,
+    theorem_15_beats_13,
+)
+from .report import build_report, collect_result_files, write_report
+from .tables import format_value, render_records, render_table
+
+__all__ = [
+    "build_report",
+    "collect_result_files",
+    "crossover_exponent",
+    "crossover_table",
+    "crossover_theta",
+    "defective_3coloring_threshold",
+    "theorem_15_beats_13",
+    "write_report",
+    "format_value",
+    "grid",
+    "lemma_44_factor",
+    "lemma_a1_factor",
+    "render_records",
+    "render_table",
+    "substituted_13_rounds",
+    "summarize",
+    "sweep",
+    "theorem_11_rounds",
+    "theorem_12_rounds",
+    "theorem_13_rounds",
+    "theorem_14_round_factor",
+    "theorem_15_rounds",
+]

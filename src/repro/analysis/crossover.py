@@ -1,0 +1,81 @@
+"""The Theorem 1.5 vs Theorem 1.3 crossover in theta.
+
+The paper: "in terms of (Delta+1)-coloring in CONGEST, this result can
+beat the O(sqrt(Delta) polylog Delta + log* n) state-of-the-art of
+[FK23a] or Theorem 1.3 for certain values of theta.  If
+theta = O~(Delta^{1/8}) we get such a round complexity and if
+theta = O~(Delta^{1/8 - eps}) ... we even perform better."
+
+Simulation cannot reach the scales where the asymptotics separate
+(EXPERIMENTS.md E8), so this module evaluates the two round models and
+locates the crossover *analytically* -- reproducing the Delta^{1/8}
+claim as a computation instead of a plot.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .rounds import theorem_13_rounds, theorem_15_rounds
+
+
+def theorem_15_beats_13(max_degree: int, theta: int,
+                        n: Optional[int] = None) -> bool:
+    """Does the Theorem 1.5 model undercut the Theorem 1.3 model here?"""
+    if n is None:
+        n = 4 * max_degree
+    return theorem_15_rounds(max_degree, theta, n) < theorem_13_rounds(
+        max_degree, n
+    )
+
+
+def crossover_theta(max_degree: int, n: Optional[int] = None) -> int:
+    """The largest theta for which Theorem 1.5's model still wins.
+
+    Returns 0 when it never wins at this degree (small Delta: the
+    polylog^{loglog} factor has not amortized yet).
+    """
+    if n is None:
+        n = 4 * max_degree
+    if not theorem_15_beats_13(max_degree, 1, n):
+        return 0
+    # The Theorem 1.5 model is monotone increasing in theta, so the set
+    # of winning thetas is a prefix: exponential + binary search.
+    low = 1
+    high = 2
+    while high <= max_degree and theorem_15_beats_13(max_degree, high, n):
+        low = high
+        high *= 2
+    high = min(high, max_degree + 1)
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if theorem_15_beats_13(max_degree, mid, n):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def crossover_exponent(max_degree: int, n: Optional[int] = None
+                       ) -> Optional[float]:
+    """``log_Delta(crossover theta)``: the paper predicts ~1/8.
+
+    ``None`` when Theorem 1.5 never wins at this degree.
+    """
+    theta_star = crossover_theta(max_degree, n)
+    if theta_star < 1:
+        return None
+    if theta_star == 1:
+        return 0.0
+    return math.log(theta_star) / math.log(max_degree)
+
+
+def crossover_table(degrees: List[int]) -> List[Tuple[int, int, float]]:
+    """(Delta, crossover theta, exponent) rows for a degree sweep."""
+    rows = []
+    for delta in degrees:
+        theta_star = crossover_theta(delta)
+        exponent = crossover_exponent(delta)
+        rows.append((delta, theta_star, exponent))
+    return rows

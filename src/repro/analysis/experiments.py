@@ -1,0 +1,74 @@
+"""A small parameter-sweep harness shared by benchmarks and examples.
+
+An experiment is a function ``params -> record`` (a dict of measured
+quantities).  :func:`sweep` runs it over a grid of parameter dicts,
+collects the records, and tags each with its parameters, so a benchmark
+body is just: define the measurement, declare the grid, print the table.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+Record = Dict[str, Any]
+Measure = Callable[..., Record]
+
+
+def grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """The cartesian product of named parameter axes, as a list of dicts."""
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def sweep(measure: Measure,
+          params_list: Iterable[Mapping[str, Any]],
+          repeats: int = 1,
+          timing: bool = False) -> List[Record]:
+    """Run ``measure(**params)`` for every parameter dict.
+
+    With ``repeats > 1`` the parameters gain a ``rep`` axis (seeded
+    experiments should mix it into their seed).  With ``timing`` the
+    wall-clock seconds are recorded under ``wall_s``.
+    """
+    records: List[Record] = []
+    for params in params_list:
+        for rep in range(repeats):
+            call = dict(params)
+            if repeats > 1:
+                call["rep"] = rep
+            start = time.perf_counter()
+            record = measure(**call)
+            elapsed = time.perf_counter() - start
+            tagged: Record = dict(call)
+            tagged.update(record)
+            if timing:
+                tagged["wall_s"] = elapsed
+            records.append(tagged)
+    return records
+
+
+def summarize(records: Sequence[Record],
+              group_by: Sequence[str],
+              fields: Sequence[str],
+              reducer: Callable[[Sequence[float]], float] = None
+              ) -> List[Record]:
+    """Group records and average (or custom-reduce) the given fields."""
+    if reducer is None:
+        def reducer(values):
+            return sum(values) / len(values)
+    groups: Dict[tuple, List[Record]] = {}
+    for record in records:
+        key = tuple(record[name] for name in group_by)
+        groups.setdefault(key, []).append(record)
+    summary: List[Record] = []
+    for key, members in groups.items():
+        row: Record = dict(zip(group_by, key))
+        for field in fields:
+            values = [member[field] for member in members
+                      if member.get(field) is not None]
+            row[field] = reducer(values) if values else None
+        summary.append(row)
+    return summary

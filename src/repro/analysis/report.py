@@ -1,0 +1,52 @@
+"""Aggregate benchmark result tables into one report.
+
+The benchmarks write their tables under ``benchmarks/results/``; this
+module stitches them into a single markdown document so a full
+evaluation run ends with one reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional
+
+HEADER = (
+    "# Benchmark report\n\n"
+    "Generated from benchmarks/results/*.txt "
+    "(run `pytest benchmarks/ --benchmark-only` to refresh).\n"
+)
+
+
+def collect_result_files(results_dir: pathlib.Path) -> List[pathlib.Path]:
+    """The result tables, in experiment order (E1, E2, ... E10a, ...)."""
+    def sort_key(path: pathlib.Path):
+        stem = path.stem  # e.g. "E10a_linial"
+        head = stem.split("_", 1)[0]  # "E10a"
+        digits = "".join(ch for ch in head if ch.isdigit())
+        suffix = "".join(ch for ch in head if ch.isalpha() and ch != "E")
+        return (int(digits) if digits else 0, suffix, stem)
+
+    return sorted(results_dir.glob("E*.txt"), key=sort_key)
+
+
+def build_report(results_dir: pathlib.Path) -> str:
+    """Markdown report with every table in a fenced block."""
+    sections = [HEADER]
+    for path in collect_result_files(results_dir):
+        body = path.read_text().rstrip()
+        title, _, rest = body.partition("\n")
+        sections.append(f"## {path.stem}\n\n{title}\n\n```\n{rest}\n```\n")
+    if len(sections) == 1:
+        sections.append(
+            "\n*(no result files found -- run the benchmark suite first)*\n"
+        )
+    return "\n".join(sections)
+
+
+def write_report(results_dir: pathlib.Path,
+                 output: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Write the aggregated report; returns the output path."""
+    if output is None:
+        output = results_dir / "REPORT.md"
+    output.write_text(build_report(results_dir))
+    return output

@@ -1,0 +1,59 @@
+"""ASCII table rendering for benchmark and example output.
+
+Every benchmark in :mod:`benchmarks` prints its results as a table of
+measured quantities next to the paper's theoretical bound, in the spirit
+of an evaluation-section table.  Keeping the renderer here means all of
+them share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Render one table cell (floats trimmed, None/NaN as a dash)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in text_rows))
+        if text_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    ))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(" | ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        ))
+    return "\n".join(lines)
+
+
+def render_records(records: Sequence[Dict[str, Any]],
+                   columns: Sequence[str],
+                   title: str = "") -> str:
+    """Render a list of dict records, selecting and ordering columns."""
+    rows = [[record.get(column) for column in columns] for record in records]
+    return render_table(columns, rows, title=title)

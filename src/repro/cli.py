@@ -1,0 +1,325 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Thin wrappers over the library for the common "show me it working"
+flows -- each command builds a workload, runs an algorithm, validates the
+output, and prints the resource table.  Everything is seeded, so every
+invocation is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import render_table
+from .coloring import check_oldc, check_proper_coloring, random_oldc_instance
+from .core import (
+    delta_plus_one_coloring,
+    linial_reduction_baseline,
+    solve_oldc_auto,
+    theta_delta_plus_one_coloring,
+    two_sweep,
+)
+from .graphs import (
+    edge_coloring_from_line_coloring,
+    gnp_graph,
+    is_proper_edge_coloring,
+    line_graph_of_network,
+    neighborhood_independence,
+    orient_by_id,
+    random_bounded_degree_graph,
+    random_ids,
+    sequential_ids,
+)
+from .sim import CostLedger
+from .substrates import randomized_delta_plus_one
+
+
+def _print_ledger(ledger: CostLedger, extra_rows=()) -> None:
+    rows = [
+        ["rounds", ledger.rounds],
+        ["messages", ledger.messages],
+        ["max message bits", ledger.max_message_bits],
+    ]
+    rows.extend(extra_rows)
+    print(render_table(["quantity", "value"], rows))
+
+
+def cmd_two_sweep(args: argparse.Namespace) -> int:
+    network = gnp_graph(args.n, args.density, seed=args.seed)
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=args.p, seed=args.seed)
+    ids = sequential_ids(network)
+    ledger = CostLedger()
+    if args.auto:
+        result = solve_oldc_auto(instance, ids, args.n, ledger=ledger)
+        print(f"auto plan: {result.stats}")
+    else:
+        result = two_sweep(instance, ids, args.n, args.p, ledger=ledger)
+    violations = check_oldc(instance, result.colors)
+    if violations:
+        print("INVALID:", violations[:3])
+        return 1
+    print(
+        f"two-sweep: n={args.n} Delta={network.raw_max_degree()} "
+        f"p={args.p} -- oriented list defective coloring verified"
+    )
+    _print_ledger(ledger, [["colors used", result.color_count()]])
+    return 0
+
+
+def cmd_delta_plus_one(args: argparse.Namespace) -> int:
+    network = random_bounded_degree_graph(
+        args.n, args.max_degree, seed=args.seed
+    )
+    ids = random_ids(network, seed=args.seed, bits=args.id_bits)
+    ledger = CostLedger()
+    if args.route == "thm13":
+        result = delta_plus_one_coloring(network, ids=ids, ledger=ledger)
+    elif args.route == "thm15":
+        theta = neighborhood_independence(network, exact=len(network) <= 80)
+        print(f"neighborhood independence theta = {theta}")
+        result = theta_delta_plus_one_coloring(
+            network, theta, ids=ids, ledger=ledger
+        )
+    elif args.route == "baseline":
+        result = linial_reduction_baseline(network, ids=ids, ledger=ledger)
+    else:  # random
+        result = randomized_delta_plus_one(
+            network, seed=args.seed, ledger=ledger
+        )
+    violations = check_proper_coloring(network, result.colors)
+    if violations:
+        print("INVALID:", violations[:3])
+        return 1
+    print(
+        f"(Delta+1)-coloring via {args.route}: n={len(network)} "
+        f"Delta={network.raw_max_degree()} -- proper coloring verified"
+    )
+    _print_ledger(ledger, [["colors used", result.color_count()]])
+    return 0
+
+
+def cmd_edge_coloring(args: argparse.Namespace) -> int:
+    base = gnp_graph(args.n, args.density, seed=args.seed)
+    line, edge_of = line_graph_of_network(base)
+    if len(line) == 0:
+        print("sampled graph has no edges; try a higher --density")
+        return 1
+    ledger = CostLedger()
+    result = theta_delta_plus_one_coloring(line, theta=2, ledger=ledger)
+    edge_colors = edge_coloring_from_line_coloring(result.colors, edge_of)
+    if not is_proper_edge_coloring(base, edge_colors):
+        print("INVALID edge coloring")
+        return 1
+    print(
+        f"edge coloring: base n={args.n} Delta={base.raw_max_degree()} "
+        f"-- {result.color_count()} colors "
+        f"(budget 2*Delta-1 = {2 * base.raw_max_degree() - 1})"
+    )
+    _print_ledger(ledger)
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from .coloring import (
+        random_arbdefective_instance,
+        random_defective_instance,
+        save_instance,
+    )
+
+    network = gnp_graph(args.n, args.density, seed=args.seed)
+    if args.kind == "oldc":
+        instance = random_oldc_instance(
+            orient_by_id(network), p=args.p, seed=args.seed
+        )
+    elif args.kind == "arbdefective":
+        instance = random_arbdefective_instance(
+            network, slack=args.slack, seed=args.seed,
+            color_space_size=max(8, network.raw_max_degree() + 2),
+        )
+    else:
+        instance = random_defective_instance(
+            network, slack=args.slack, seed=args.seed,
+            color_space_size=max(8, network.raw_max_degree() + 2),
+        )
+    path = save_instance(instance, args.out)
+    print(
+        f"wrote {args.kind} instance (n={args.n}, "
+        f"C={instance.color_space_size}) to {path}"
+    )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    from .coloring import (
+        ArbdefectiveInstance,
+        OLDCInstance,
+        check_arbdefective,
+        load_instance,
+        save_result,
+    )
+    from .core import solve_arbdefective_base
+
+    instance = load_instance(args.instance)
+    ledger = CostLedger()
+    if isinstance(instance, OLDCInstance):
+        network = instance.graph.network
+        ids = sequential_ids(network)
+        result = solve_oldc_auto(instance, ids, len(network), ledger=ledger)
+        violations = check_oldc(instance, result.colors)
+    elif isinstance(instance, ArbdefectiveInstance):
+        network = instance.network
+        ids = sequential_ids(network)
+        result = solve_arbdefective_base(
+            instance, ids, len(network), ledger=ledger
+        )
+        violations = check_arbdefective(
+            instance, result.colors, result.orientation
+        )
+    else:
+        # P_D: solve via Theorem 1.4 with the base solver, using a
+        # certified theta upper bound (or the user-provided one).
+        from .core import defective_from_arbdefective
+        from .graphs import safe_theta
+
+        network = instance.network
+        theta = args.theta if args.theta else safe_theta(network)
+        ids = sequential_ids(network)
+
+        def arb_solver(sub, sub_initial, sub_q, inner_ledger):
+            from .core import solve_arbdefective_base
+
+            return solve_arbdefective_base(
+                sub, sub_initial, sub_q, ledger=inner_ledger
+            )
+
+        try:
+            result = defective_from_arbdefective(
+                instance, theta, s=1.0, arb_solver=arb_solver,
+                initial_colors=ids, q=len(network), ledger=ledger,
+            )
+        except Exception as error:  # surfaced to the user, not a crash
+            print(f"could not solve P_D instance: {error}")
+            return 2
+        from .coloring import check_list_defective
+
+        violations = check_list_defective(instance, result.colors)
+    if violations:
+        print("INVALID:", violations[:3])
+        return 1
+    if args.out:
+        save_result(result, args.out)
+        print(f"solution written to {args.out}")
+    print(f"solved in {ledger.rounds} rounds; output validated")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .analysis import write_report
+
+    results = pathlib.Path(args.results_dir)
+    if not results.is_dir():
+        print(f"no such directory: {results}")
+        return 1
+    output = write_report(results)
+    print(f"report written to {output}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- reproduction of Fuchs & Kuhn, "
+          f"PODC 2024 (list defective coloring)")
+    print(render_table(
+        ["command", "runs"],
+        [
+            ["two-sweep", "Algorithm 1 / auto-tuned Theorem 1.1"],
+            ["delta-plus-one", "Theorem 1.3 / 1.5 / baselines"],
+            ["edge-coloring", "(2 Delta - 1)-edge coloring (Thm 1.5)"],
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed list defective coloring, reproduced.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ts = sub.add_parser("two-sweep", help="run Algorithm 1")
+    p_ts.add_argument("--n", type=int, default=80)
+    p_ts.add_argument("--density", type=float, default=0.08)
+    p_ts.add_argument("--p", type=int, default=3)
+    p_ts.add_argument("--seed", type=int, default=7)
+    p_ts.add_argument("--auto", action="store_true",
+                      help="choose (p, eps) automatically")
+    p_ts.set_defaults(func=cmd_two_sweep)
+
+    p_dp = sub.add_parser("delta-plus-one",
+                          help="(Delta+1)-coloring via a chosen route")
+    p_dp.add_argument("--route", default="thm13",
+                      choices=["thm13", "thm15", "baseline", "random"])
+    p_dp.add_argument("--n", type=int, default=32)
+    p_dp.add_argument("--max-degree", type=int, default=4)
+    p_dp.add_argument("--id-bits", type=int, default=20)
+    p_dp.add_argument("--seed", type=int, default=5)
+    p_dp.set_defaults(func=cmd_delta_plus_one)
+
+    p_ec = sub.add_parser("edge-coloring",
+                          help="(2 Delta - 1)-edge coloring")
+    p_ec.add_argument("--n", type=int, default=18)
+    p_ec.add_argument("--density", type=float, default=0.22)
+    p_ec.add_argument("--seed", type=int, default=3)
+    p_ec.set_defaults(func=cmd_edge_coloring)
+
+    p_gen = sub.add_parser(
+        "generate", help="write a random instance to a JSON file"
+    )
+    p_gen.add_argument("--kind", default="oldc",
+                       choices=["oldc", "arbdefective", "defective"])
+    p_gen.add_argument("--n", type=int, default=30)
+    p_gen.add_argument("--density", type=float, default=0.15)
+    p_gen.add_argument("--p", type=int, default=2)
+    p_gen.add_argument("--slack", type=float, default=1.5)
+    p_gen.add_argument("--seed", type=int, default=1)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_solve = sub.add_parser(
+        "solve", help="solve an instance file and validate the output"
+    )
+    p_solve.add_argument("--instance", required=True)
+    p_solve.add_argument("--out", default=None)
+    p_solve.add_argument(
+        "--theta", type=int, default=0,
+        help="neighborhood independence bound for P_D instances "
+             "(0 = compute a certified upper bound)",
+    )
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_rep = sub.add_parser(
+        "report", help="aggregate benchmark result tables into REPORT.md"
+    )
+    p_rep.add_argument("--results-dir", default="benchmarks/results")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_info = sub.add_parser("info", help="version and command overview")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

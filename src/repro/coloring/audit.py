@@ -1,0 +1,119 @@
+"""Structured audits of coloring outputs.
+
+Validators answer "is it correct?"; audits answer "how tight is it?" --
+palette usage, defect-budget utilization, orientation balance.  Examples
+and benchmarks print these to make the guarantees tangible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Tuple
+
+from ..sim.network import Network
+from .instance import _ListInstanceBase
+
+Node = Hashable
+Color = int
+
+
+@dataclass
+class ColoringAudit:
+    """Aggregate statistics of a coloring against its instance."""
+
+    nodes: int
+    colors_used: int
+    color_space_size: int
+    #: Per-node same-colored-conflict counts (relevant neighbor notion).
+    max_conflicts: int
+    #: max over nodes of conflicts / allowed defect (0/0 counts as 0).
+    worst_utilization: float
+    #: Nodes whose conflicts equal their defect exactly (tight nodes).
+    tight_nodes: int
+    palette_histogram: Dict[Color, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.nodes} nodes, {self.colors_used}/"
+            f"{self.color_space_size} colors used, max conflicts "
+            f"{self.max_conflicts}, worst defect utilization "
+            f"{self.worst_utilization:.2f}, {self.tight_nodes} tight nodes"
+        )
+
+
+def _histogram(colors: Mapping[Node, Color]) -> Dict[Color, int]:
+    histogram: Dict[Color, int] = {}
+    for color in colors.values():
+        histogram[color] = histogram.get(color, 0) + 1
+    return histogram
+
+
+def audit_undirected(instance: _ListInstanceBase, network: Network,
+                     colors: Mapping[Node, Color]) -> ColoringAudit:
+    """Audit a ``P_D`` (all-neighbor) coloring."""
+    max_conflicts = 0
+    worst = 0.0
+    tight = 0
+    for node in network:
+        color = colors[node]
+        conflicts = sum(
+            1 for neighbor in network.neighbors(node)
+            if colors[neighbor] == color
+        )
+        allowed = instance.defects[node].get(color, 0)
+        max_conflicts = max(max_conflicts, conflicts)
+        if allowed > 0:
+            worst = max(worst, conflicts / allowed)
+        elif conflicts > 0:
+            worst = float("inf")
+        if conflicts == allowed and allowed > 0:
+            tight += 1
+    return ColoringAudit(
+        nodes=len(network),
+        colors_used=len(set(colors.values())),
+        color_space_size=instance.color_space_size,
+        max_conflicts=max_conflicts,
+        worst_utilization=worst,
+        tight_nodes=tight,
+        palette_histogram=_histogram(colors),
+    )
+
+
+def audit_oriented(instance, colors: Mapping[Node, Color]) -> ColoringAudit:
+    """Audit an OLDC coloring (out-neighbor conflicts)."""
+    graph = instance.graph
+    max_conflicts = 0
+    worst = 0.0
+    tight = 0
+    for node in graph.nodes:
+        color = colors[node]
+        conflicts = sum(
+            1 for neighbor in graph.out_neighbors(node)
+            if colors[neighbor] == color
+        )
+        allowed = instance.defects[node].get(color, 0)
+        max_conflicts = max(max_conflicts, conflicts)
+        if allowed > 0:
+            worst = max(worst, conflicts / allowed)
+        elif conflicts > 0:
+            worst = float("inf")
+        if conflicts == allowed and allowed > 0:
+            tight += 1
+    return ColoringAudit(
+        nodes=len(graph.nodes),
+        colors_used=len(set(colors.values())),
+        color_space_size=instance.color_space_size,
+        max_conflicts=max_conflicts,
+        worst_utilization=worst,
+        tight_nodes=tight,
+        palette_histogram=_histogram(colors),
+    )
+
+
+def orientation_balance(orientation: Mapping[Node, Tuple[Node, ...]]
+                        ) -> Tuple[int, float]:
+    """(max out-count, mean out-count) of an arbdefective orientation."""
+    counts = [len(outs) for outs in orientation.values()]
+    if not counts:
+        return (0, 0.0)
+    return (max(counts), sum(counts) / len(counts))

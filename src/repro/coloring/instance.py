@@ -1,0 +1,273 @@
+"""List defective coloring instances.
+
+The paper works with three problem flavors over the same data (a color
+list ``L_v`` and a defect function ``d_v : L_v -> N_0`` per node):
+
+* **List defective coloring** (``P_D``): pick ``x_v in L_v`` such that at
+  most ``d_v(x_v)`` *neighbors* share the color.
+* **List arbdefective coloring** (``P_A``): additionally output an
+  orientation of the monochromatic edges; only *out*-neighbors under that
+  orientation count against the defect.
+* **Oriented list defective coloring** (OLDC): the orientation of *all*
+  edges is part of the *input*; only out-neighbors count.
+
+The three instance classes below share list/defect bookkeeping through
+:class:`_ListInstanceBase` and differ in the graph object they carry and
+the slack notion they expose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+from ..graphs.oriented import BidirectedView, OrientedGraph
+from ..sim.errors import InstanceError
+from ..sim.network import Network
+
+Node = Hashable
+Color = int
+ColorList = Tuple[Color, ...]
+DefectFn = Dict[Color, int]
+
+
+def _normalize_lists(nodes: Iterable[Node],
+                     lists: Mapping[Node, Iterable[Color]],
+                     defects: Mapping[Node, Mapping[Color, int]]
+                     ) -> Tuple[Dict[Node, ColorList], Dict[Node, DefectFn]]:
+    """Validate and freeze per-node lists and defect functions."""
+    node_set = set(nodes)
+    missing = node_set - set(lists)
+    if missing:
+        raise InstanceError(f"nodes without a color list: {sorted(map(repr, missing))}")
+    norm_lists: Dict[Node, ColorList] = {}
+    norm_defects: Dict[Node, DefectFn] = {}
+    for node in node_set:
+        colors = tuple(dict.fromkeys(lists[node]))
+        defect_fn = dict(defects.get(node, {}))
+        for color in colors:
+            if not isinstance(color, int) or color < 0:
+                raise InstanceError(
+                    f"node {node!r}: colors must be non-negative ints, got "
+                    f"{color!r}"
+                )
+            value = defect_fn.get(color, 0)
+            if not isinstance(value, int) or value < 0:
+                raise InstanceError(
+                    f"node {node!r}: defect of color {color} must be a "
+                    f"non-negative int, got {value!r}"
+                )
+            defect_fn[color] = value
+        extra = set(defect_fn) - set(colors)
+        if extra:
+            raise InstanceError(
+                f"node {node!r}: defects given for colors outside the list: "
+                f"{sorted(extra)}"
+            )
+        norm_lists[node] = colors
+        norm_defects[node] = defect_fn
+    return norm_lists, norm_defects
+
+
+class _ListInstanceBase:
+    """Shared list/defect bookkeeping for the three problem flavors."""
+
+    def __init__(self, nodes: Iterable[Node],
+                 lists: Mapping[Node, Iterable[Color]],
+                 defects: Mapping[Node, Mapping[Color, int]],
+                 color_space_size: Optional[int] = None):
+        self.lists, self.defects = _normalize_lists(nodes, lists, defects)
+        observed = max(
+            (max(colors) for colors in self.lists.values() if colors),
+            default=0,
+        )
+        if color_space_size is None:
+            color_space_size = observed + 1
+        elif observed >= color_space_size:
+            raise InstanceError(
+                f"color {observed} outside declared color space of size "
+                f"{color_space_size}"
+            )
+        #: Size ``C`` of the global color space {0, ..., C-1}.
+        self.color_space_size = color_space_size
+
+    # ------------------------------------------------------------------
+    # Per-node quantities
+    # ------------------------------------------------------------------
+    def list_of(self, node: Node) -> ColorList:
+        """The color list ``L_v``."""
+        return self.lists[node]
+
+    def defect(self, node: Node, color: Color) -> int:
+        """The allowed defect ``d_v(x)`` for ``color`` in the list."""
+        return self.defects[node][color]
+
+    def weight(self, node: Node) -> int:
+        """``sum_{x in L_v} (d_v(x) + 1)`` -- the slack numerator."""
+        defect_fn = self.defects[node]
+        return sum(defect_fn[color] + 1 for color in self.lists[node])
+
+    def list_size(self, node: Node) -> int:
+        """``|L_v|``."""
+        return len(self.lists[node])
+
+    def max_list_size(self) -> int:
+        """``Lambda``: the maximum list size over all nodes."""
+        return max((len(colors) for colors in self.lists.values()), default=0)
+
+    def total_list_entries(self) -> int:
+        """Sum of all list sizes (instance size measure)."""
+        return sum(len(colors) for colors in self.lists.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={len(self.lists)}, "
+            f"C={self.color_space_size}, Lambda={self.max_list_size()})"
+        )
+
+
+class OLDCInstance(_ListInstanceBase):
+    """Oriented list defective coloring: orientation is part of the input."""
+
+    def __init__(self, graph,
+                 lists: Mapping[Node, Iterable[Color]],
+                 defects: Mapping[Node, Mapping[Color, int]],
+                 color_space_size: Optional[int] = None):
+        if not isinstance(graph, (OrientedGraph, BidirectedView)):
+            raise InstanceError(
+                "OLDCInstance needs an OrientedGraph (or BidirectedView)"
+            )
+        super().__init__(graph.nodes, lists, defects, color_space_size)
+        self.graph = graph
+
+    @property
+    def network(self) -> Network:
+        return self.graph.network
+
+    def beta(self, node: Node) -> int:
+        """``beta_v``: the node's outdegree, floored at 1."""
+        return self.graph.beta(node)
+
+    def satisfies_eq2(self, p: int, node: Node) -> bool:
+        """Equation (2): ``weight(v) > max{p, |L_v|/p} * beta_v``."""
+        threshold = max(p, self.list_size(node) / p) * self.beta(node)
+        return self.weight(node) > threshold
+
+    def satisfies_eq7(self, p: int, epsilon: float, node: Node) -> bool:
+        """Equation (7): Eq. (2) with an extra ``(1 + epsilon)`` factor."""
+        threshold = (
+            (1.0 + epsilon)
+            * max(p, self.list_size(node) / p)
+            * self.beta(node)
+        )
+        return self.weight(node) > threshold
+
+    def restrict(self, nodes: Iterable[Node]) -> "OLDCInstance":
+        """Induced sub-instance (subgraph keeps the input orientation)."""
+        keep = set(nodes)
+        return OLDCInstance(
+            self.graph.subgraph(keep),
+            {node: self.lists[node] for node in keep},
+            {node: self.defects[node] for node in keep},
+            self.color_space_size,
+        )
+
+
+class _UndirectedInstanceBase(_ListInstanceBase):
+    """Common slack machinery for the two undirected problem flavors."""
+
+    def __init__(self, network: Network,
+                 lists: Mapping[Node, Iterable[Color]],
+                 defects: Mapping[Node, Mapping[Color, int]],
+                 color_space_size: Optional[int] = None):
+        if not isinstance(network, Network):
+            raise InstanceError("expected a Network")
+        super().__init__(network.nodes, lists, defects, color_space_size)
+        self.network = network
+
+    def degree(self, node: Node) -> int:
+        """The node's degree in the instance's graph."""
+        return self.network.degree(node)
+
+    def slack(self, node: Node) -> float:
+        """Largest ``S`` with ``weight(v) > S * deg(v)`` (Definition 1.1).
+
+        Degree-0 nodes have unbounded slack; we report ``inf``.
+        """
+        degree = self.network.degree(node)
+        if degree == 0:
+            return float("inf")
+        return self.weight(node) / degree
+
+    def min_slack(self) -> float:
+        """The instance's slack: the minimum over all nodes."""
+        return min((self.slack(node) for node in self.network), default=float("inf"))
+
+    def has_slack(self, s: float) -> bool:
+        """Definition 1.1: ``weight(v) > s * deg(v)`` for every node."""
+        return all(
+            self.weight(node) > s * self.network.degree(node)
+            for node in self.network
+        )
+
+
+class ListDefectiveInstance(_UndirectedInstanceBase):
+    """``P_D``: defects are charged by all same-colored neighbors."""
+
+    def restrict(self, nodes: Iterable[Node]) -> "ListDefectiveInstance":
+        """The induced sub-instance on ``nodes``."""
+        keep = set(nodes)
+        return ListDefectiveInstance(
+            self.network.subgraph(keep),
+            {node: self.lists[node] for node in keep},
+            {node: self.defects[node] for node in keep},
+            self.color_space_size,
+        )
+
+
+class ArbdefectiveInstance(_UndirectedInstanceBase):
+    """``P_A``: the solver also orients monochromatic edges."""
+
+    def restrict(self, nodes: Iterable[Node]) -> "ArbdefectiveInstance":
+        """The induced sub-instance on ``nodes``."""
+        keep = set(nodes)
+        return ArbdefectiveInstance(
+            self.network.subgraph(keep),
+            {node: self.lists[node] for node in keep},
+            {node: self.defects[node] for node in keep},
+            self.color_space_size,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def uniform_lists(nodes: Iterable[Node], colors: Iterable[Color],
+                  defect: int = 0) -> Tuple[Dict[Node, ColorList],
+                                            Dict[Node, DefectFn]]:
+    """Every node gets the same list and the same per-color defect."""
+    palette = tuple(dict.fromkeys(colors))
+    lists = {node: palette for node in nodes}
+    defects = {node: {color: defect for color in palette} for node in nodes}
+    return lists, defects
+
+
+def degree_plus_one_instance(network: Network,
+                             lists: Mapping[Node, Iterable[Color]],
+                             color_space_size: Optional[int] = None
+                             ) -> ListDefectiveInstance:
+    """A (deg+1)-list coloring instance: all defects zero.
+
+    Raises :class:`InstanceError` if any list is smaller than ``deg + 1``.
+    """
+    for node in network:
+        size = len(tuple(dict.fromkeys(lists[node])))
+        if size < network.degree(node) + 1:
+            raise InstanceError(
+                f"node {node!r}: list of size {size} < deg+1 = "
+                f"{network.degree(node) + 1}"
+            )
+    defects = {
+        node: {color: 0 for color in dict.fromkeys(lists[node])}
+        for node in network
+    }
+    return ListDefectiveInstance(network, lists, defects, color_space_size)

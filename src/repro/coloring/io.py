@@ -1,0 +1,182 @@
+"""JSON serialization of graphs, instances, and colorings.
+
+Lets experiments be saved, shared and replayed: an instance file carries
+the adjacency, the orientation (if any), the lists and defect functions,
+and the declared color space; a solution file carries the colors and the
+orientation of monochromatic edges.  Node identifiers are restricted to
+JSON-representable scalars (int/str); everything round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Hashable, Mapping, Union
+
+from ..graphs.oriented import OrientedGraph
+from ..sim.errors import InstanceError
+from ..sim.network import Network
+from .instance import (
+    ArbdefectiveInstance,
+    ListDefectiveInstance,
+    OLDCInstance,
+)
+from .result import ColoringResult
+
+Node = Hashable
+
+_KINDS = {
+    "oldc": OLDCInstance,
+    "list_defective": ListDefectiveInstance,
+    "arbdefective": ArbdefectiveInstance,
+}
+
+
+def _node_key(node: Node) -> str:
+    """JSON object keys must be strings; prefix keeps int/str distinct."""
+    if isinstance(node, bool) or not isinstance(node, (int, str)):
+        raise InstanceError(
+            f"only int/str node ids serialize; got {node!r}"
+        )
+    return f"i:{node}" if isinstance(node, int) else f"s:{node}"
+
+
+def _node_from_key(key: str) -> Node:
+    tag, _, raw = key.partition(":")
+    return int(raw) if tag == "i" else raw
+
+
+def instance_to_dict(instance: Union[OLDCInstance, ListDefectiveInstance,
+                                     ArbdefectiveInstance]) -> Dict[str, Any]:
+    """A JSON-ready dict capturing the full instance."""
+    if isinstance(instance, OLDCInstance):
+        kind = "oldc"
+        network = instance.graph.network
+        orientation = {
+            _node_key(node): [
+                _node_key(target)
+                for target in instance.graph.out_neighbors(node)
+            ]
+            for node in network
+        }
+    else:
+        kind = (
+            "arbdefective"
+            if isinstance(instance, ArbdefectiveInstance)
+            else "list_defective"
+        )
+        network = instance.network
+        orientation = None
+    return {
+        "kind": kind,
+        "color_space_size": instance.color_space_size,
+        "adjacency": {
+            _node_key(node): [
+                _node_key(neighbor)
+                for neighbor in network.neighbors(node)
+            ]
+            for node in network
+        },
+        "orientation": orientation,
+        "lists": {
+            _node_key(node): list(colors)
+            for node, colors in instance.lists.items()
+        },
+        "defects": {
+            _node_key(node): {
+                str(color): value for color, value in defect_fn.items()
+            }
+            for node, defect_fn in instance.defects.items()
+        },
+    }
+
+
+def instance_from_dict(payload: Mapping[str, Any]
+                       ) -> Union[OLDCInstance, ListDefectiveInstance,
+                                  ArbdefectiveInstance]:
+    """Rebuild an instance (validated by the instance constructors)."""
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise InstanceError(f"unknown instance kind {kind!r}")
+    adjacency = {
+        _node_from_key(key): [_node_from_key(value) for value in values]
+        for key, values in payload["adjacency"].items()
+    }
+    network = Network(adjacency)
+    lists = {
+        _node_from_key(key): tuple(values)
+        for key, values in payload["lists"].items()
+    }
+    defects = {
+        _node_from_key(key): {
+            int(color): value for color, value in defect_fn.items()
+        }
+        for key, defect_fn in payload["defects"].items()
+    }
+    color_space = payload["color_space_size"]
+    if kind == "oldc":
+        orientation = {
+            _node_from_key(key): [
+                _node_from_key(value) for value in values
+            ]
+            for key, values in payload["orientation"].items()
+        }
+        graph = OrientedGraph(network, orientation)
+        return OLDCInstance(graph, lists, defects, color_space)
+    return _KINDS[kind](network, lists, defects, color_space)
+
+
+def result_to_dict(result: ColoringResult) -> Dict[str, Any]:
+    """Serialize a coloring result (colors + orientation, no ledger)."""
+    return {
+        "colors": {
+            _node_key(node): color for node, color in result.colors.items()
+        },
+        "orientation": None if result.orientation is None else {
+            _node_key(node): [_node_key(target) for target in targets]
+            for node, targets in result.orientation.items()
+        },
+    }
+
+
+def result_from_dict(payload: Mapping[str, Any]) -> ColoringResult:
+    """Rebuild a :class:`ColoringResult` from its JSON dict."""
+    orientation = payload.get("orientation")
+    return ColoringResult(
+        colors={
+            _node_from_key(key): color
+            for key, color in payload["colors"].items()
+        },
+        orientation=None if orientation is None else {
+            _node_from_key(key): tuple(
+                _node_from_key(value) for value in values
+            )
+            for key, values in orientation.items()
+        },
+    )
+
+
+def save_instance(instance, path) -> pathlib.Path:
+    """Write the instance as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(instance_to_dict(instance), indent=1))
+    return path
+
+
+def load_instance(path):
+    """Read an instance written by :func:`save_instance`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return instance_from_dict(payload)
+
+
+def save_result(result: ColoringResult, path) -> pathlib.Path:
+    """Write a coloring result as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=1))
+    return path
+
+
+def load_result(path) -> ColoringResult:
+    """Read a result written by :func:`save_result`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    return result_from_dict(payload)

@@ -1,0 +1,60 @@
+"""Results of coloring protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..sim.metrics import CostLedger
+
+Node = Hashable
+Color = int
+
+
+@dataclass
+class ColoringResult:
+    """A computed coloring plus (optionally) an edge orientation.
+
+    Attributes
+    ----------
+    colors:
+        The color chosen by each node.
+    orientation:
+        For arbdefective outputs: each node's *monochromatic out-neighbors*
+        under the orientation the algorithm committed to.  ``None`` for
+        plain (oriented) list defective colorings, where the orientation is
+        either irrelevant or part of the input.
+    ledger:
+        The cost ledger the computation charged rounds/messages to.
+    """
+
+    colors: Dict[Node, Color]
+    orientation: Optional[Dict[Node, Tuple[Node, ...]]] = None
+    ledger: CostLedger = field(default_factory=CostLedger)
+    #: Free-form algorithm statistics (e.g. recursion branch counts).
+    stats: Optional[Dict[str, int]] = None
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.rounds
+
+    def palette(self) -> Tuple[Color, ...]:
+        """The distinct colors actually used, sorted."""
+        return tuple(sorted(set(self.colors.values())))
+
+    def color_count(self) -> int:
+        return len(set(self.colors.values()))
+
+    def __repr__(self) -> str:
+        oriented = "oriented" if self.orientation is not None else "plain"
+        return (
+            f"ColoringResult(nodes={len(self.colors)}, "
+            f"colors={self.color_count()}, {oriented}, "
+            f"rounds={self.rounds})"
+        )
+
+    def monochromatic_out_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Out-neighbors with the node's color (empty without orientation)."""
+        if self.orientation is None:
+            return ()
+        return self.orientation.get(node, ())

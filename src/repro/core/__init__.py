@@ -1,0 +1,88 @@
+"""The paper's contribution: Two-Sweep algorithms and their compositions."""
+
+from .auto import OLDCPlan, plan_oldc, solve_oldc_auto
+from .base_solvers import (
+    peel_free_color_nodes,
+    solve_arbdefective_base,
+    solve_edgeless,
+)
+from .color_space_reduction import (
+    check_reduction_precondition,
+    color_space_reduced_oldc,
+    reduction_depth,
+)
+from .congest_oldc import (
+    congest_epsilon,
+    congest_kappa,
+    congest_oldc,
+    required_slack_factor,
+)
+from .defective_from_arb import defective_from_arbdefective, theorem_14_slack
+from .edge_coloring import edge_coloring, hyperedge_coloring
+from .fast_two_sweep import check_fast_two_sweep_preconditions, fast_two_sweep
+from .list_coloring import (
+    deg_plus_one_list_coloring,
+    delta_plus_one_coloring,
+    linial_reduction_baseline,
+    solve_arbdefective_via_congest,
+)
+from .partial import PartialColoring
+from .recursion import (
+    RecursiveArbSolver,
+    lemma_46_slack,
+    theta_delta_plus_one_coloring,
+    theta_recursive_arbdefective,
+)
+from .slack_reduction import slack_reduction, slack_reduction_full
+from .subspace_choice import (
+    build_residual_instance,
+    build_subspace_instance,
+    subspace_reduced_arbdefective,
+)
+from .two_sweep import check_two_sweep_preconditions, two_sweep
+from .undirected import (
+    as_bidirected_oldc,
+    list_defective_auto,
+    list_defective_two_sweep,
+)
+
+__all__ = [
+    "OLDCPlan",
+    "PartialColoring",
+    "as_bidirected_oldc",
+    "list_defective_auto",
+    "list_defective_two_sweep",
+    "plan_oldc",
+    "solve_oldc_auto",
+    "RecursiveArbSolver",
+    "build_residual_instance",
+    "build_subspace_instance",
+    "check_fast_two_sweep_preconditions",
+    "check_reduction_precondition",
+    "check_two_sweep_preconditions",
+    "color_space_reduced_oldc",
+    "congest_epsilon",
+    "congest_kappa",
+    "congest_oldc",
+    "defective_from_arbdefective",
+    "deg_plus_one_list_coloring",
+    "delta_plus_one_coloring",
+    "edge_coloring",
+    "hyperedge_coloring",
+    "fast_two_sweep",
+    "lemma_46_slack",
+    "linial_reduction_baseline",
+    "peel_free_color_nodes",
+    "reduction_depth",
+    "required_slack_factor",
+    "slack_reduction",
+    "slack_reduction_full",
+    "solve_arbdefective_base",
+    "solve_arbdefective_via_congest",
+    "solve_edgeless",
+    "subspace_reduced_arbdefective",
+    "theorem_14_slack",
+    "theta_delta_plus_one_coloring",
+    "theta_recursive_arbdefective",
+    "two_sweep",
+]

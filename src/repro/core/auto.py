@@ -1,0 +1,123 @@
+"""Automatic parameter selection for the Two-Sweep family.
+
+Theorem 1.1 leaves two knobs open: the sub-list size ``p`` and the slack
+factor ``epsilon``.  Their interaction is concrete in this codebase --
+``epsilon = 0`` costs ``2q + 1`` rounds, while ``epsilon > 0`` costs the
+Lemma 3.4 schedule (whose length *and* final palette are computable
+up front from :func:`repro.substrates.cover_free.defective_schedule`)
+plus two sweeps over that palette.  ``plan_oldc`` enumerates a candidate
+grid, prices each feasible plan exactly, and ``solve_oldc_auto`` runs the
+cheapest one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from ..coloring.defects import feasible_p_values
+from ..coloring.instance import OLDCInstance
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..substrates.cover_free import defective_schedule
+from .fast_two_sweep import fast_two_sweep
+
+#: Epsilon grid probed by the planner (0 = plain Two-Sweep).
+EPSILON_GRID = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class OLDCPlan:
+    """A priced execution plan for one (p, epsilon) choice."""
+
+    p: int
+    epsilon: float
+    estimated_rounds: int
+    #: The proper-coloring size the sweeps will iterate over.
+    sweep_palette: int
+
+    def describe(self) -> str:
+        kind = "two-sweep" if self.epsilon == 0.0 else "fast-two-sweep"
+        return (
+            f"{kind}(p={self.p}, eps={self.epsilon}) ~ "
+            f"{self.estimated_rounds} rounds over {self.sweep_palette} "
+            f"colors"
+        )
+
+
+def _estimate(q: int, p: int, epsilon: float) -> OLDCPlan:
+    if epsilon == 0.0:
+        return OLDCPlan(p, 0.0, 2 * q + 1, q)
+    schedule = defective_schedule(q, epsilon / p)
+    palette = schedule[-1].palette_size if schedule else q
+    # Algorithm 2 line 1 falls back to the plain sweep when q is small
+    # (mirror fast_two_sweep's branch exactly so the estimate is honest).
+    if q <= (p / epsilon) ** 2 + _log_star(q):
+        return OLDCPlan(p, epsilon, 2 * q + 1, q)
+    rounds = (len(schedule) + 1) + (2 * palette + 1)
+    return OLDCPlan(p, epsilon, rounds, palette)
+
+
+def _log_star(x: float) -> int:
+    count = 0
+    while x > 1.0:
+        x = math.log2(x)
+        count += 1
+    return count
+
+
+def plan_oldc(instance: OLDCInstance, q: int,
+              epsilon_grid=EPSILON_GRID,
+              max_p_candidates: int = 4) -> List[OLDCPlan]:
+    """All feasible plans, cheapest first (empty if nothing is feasible).
+
+    For every epsilon in the grid, the feasible integer ``p`` values are
+    computed from Eq. (7); only the smallest few are priced (larger ``p``
+    never helps rounds and only grows messages).
+    """
+    plans: List[OLDCPlan] = []
+    for epsilon in epsilon_grid:
+        for p in feasible_p_values(instance, epsilon)[:max_p_candidates]:
+            plans.append(_estimate(q, p, epsilon))
+    plans.sort(key=lambda plan: (plan.estimated_rounds, plan.p))
+    return plans
+
+
+def solve_oldc_auto(instance: OLDCInstance,
+                    initial_colors: Mapping, q: int,
+                    ledger: Optional[CostLedger] = None,
+                    bandwidth: Optional[BandwidthModel] = None
+                    ) -> ColoringResult:
+    """Solve an OLDC instance with automatically chosen (p, epsilon).
+
+    Raises :class:`InfeasibleInstanceError` when no (p, epsilon) in the
+    planner's grid satisfies Eq. (7) -- the instance is outside the
+    Two-Sweep family's reach.  The chosen plan is recorded in the
+    result's ``stats``.
+    """
+    ledger = ensure_ledger(ledger)
+    plans = plan_oldc(instance, q)
+    if not plans:
+        worst = min(
+            instance.lists,
+            key=lambda node: (
+                instance.weight(node) / instance.beta(node)
+            ),
+        )
+        raise InfeasibleInstanceError(
+            worst, "no feasible (p, epsilon) for the Two-Sweep family"
+        )
+    best = plans[0]
+    result = fast_two_sweep(
+        instance, initial_colors, q, best.p, best.epsilon,
+        ledger=ledger, bandwidth=bandwidth,
+    )
+    result.stats = {
+        "p": best.p,
+        "epsilon": best.epsilon,
+        "estimated_rounds": best.estimated_rounds,
+    }
+    return result

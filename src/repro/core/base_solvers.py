@@ -1,0 +1,188 @@
+"""Base-case solvers for the Section 4 recursion.
+
+The recursion of Theorem 1.5 bottoms out in small list arbdefective
+instances (tiny color space, tiny degree, or exhausted depth budget).
+Two universal facts make a simple and always-correct base possible:
+
+* any ``P_A`` instance in which a node has a *free color*
+  (``d_v(x) >= deg(v)``, counting uncolored neighbors) lets that node
+  commit with zero coordination -- it can afford every neighbor as a
+  monochromatic out-neighbor;
+* any ``P_A`` instance with slack above 1 is solvable by the greedy sweep
+  of :func:`repro.substrates.greedy.greedy_arbdefective_sweep` in O(q)
+  rounds, and Linial shrinks ``q`` to O(Delta_sub^2) first.
+
+``solve_arbdefective_base`` composes the two: peel free-color nodes
+(one announcement round per peel wave), then Linial + greedy sweep on the
+rest.  Peeling preserves slack: a colored neighbor reduces a node's
+weight by at most one and its uncolored degree by exactly one.
+
+Orientation convention: every monochromatic edge points from the
+later-colored endpoint to the earlier-colored one (peel waves in order,
+then sweep nodes; ties inside a peel wave break by node id).  A peeled
+node's original defect covers *all* its monochromatic neighbors
+(``d_v(x) >= #colored-mono + #uncolored >= #mono``), and a sweep node's
+residual defect already accounts for the peeled neighbors it points to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..coloring.instance import ArbdefectiveInstance
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..substrates.greedy import greedy_arbdefective_sweep
+from ..substrates.linial import linial_coloring
+
+Node = Hashable
+Color = int
+
+
+def solve_edgeless(instance: ArbdefectiveInstance,
+                   ledger: CostLedger) -> ColoringResult:
+    """Solve an instance whose graph has no edges: pick locally, announce.
+
+    Every node takes the color with the largest defect (any non-negative
+    defect works -- there is nobody to conflict with); one round is
+    charged for the announcement to neighbors in the *original* graph,
+    which the caller's bookkeeping consumes.
+    """
+    colors: Dict[Node, Color] = {}
+    for node in instance.network:
+        if not instance.lists[node]:
+            raise InfeasibleInstanceError(node, "empty color list")
+        colors[node] = max(
+            instance.lists[node],
+            key=lambda color: (instance.defects[node][color], -color),
+        )
+    if colors:
+        ledger.charge_round(messages=0)
+    orientation = {node: () for node in instance.network}
+    return ColoringResult(colors=colors, orientation=orientation,
+                          ledger=ledger)
+
+
+def peel_free_color_nodes(instance: ArbdefectiveInstance,
+                          ledger: CostLedger
+                          ) -> Tuple[Dict[Node, Color],
+                                     Dict[Node, Tuple[Node, ...]],
+                                     ArbdefectiveInstance]:
+    """Iteratively color every node that has a free color.
+
+    Returns ``(colors, orientation, residual_instance)``.  Each peel wave
+    costs one communication round (the announcement); the residual
+    instance has the peeled nodes removed, colored same-color neighbors
+    subtracted from defects, and exhausted colors dropped.
+    """
+    colors: Dict[Node, Color] = {}
+    orientation: Dict[Node, Tuple[Node, ...]] = {}
+    network = instance.network
+    lists = {node: list(instance.lists[node]) for node in network}
+    defects = {node: dict(instance.defects[node]) for node in network}
+    uncolored_degree = {node: network.degree(node) for node in network}
+    remaining = set(network.nodes)
+
+    while True:
+        wave: List[Tuple[Node, Color]] = []
+        for node in remaining:
+            for color in lists[node]:
+                if defects[node][color] >= uncolored_degree[node]:
+                    wave.append((node, color))
+                    break
+        if not wave:
+            break
+        ledger.charge_round(
+            messages=sum(network.degree(node) for node, _ in wave)
+        )
+        wave_colors = dict(wave)
+        for node, color in wave:
+            colors[node] = color
+            remaining.discard(node)
+        for node, color in wave:
+            earlier = [
+                neighbor
+                for neighbor in network.neighbors(node)
+                if colors.get(neighbor) == color and neighbor not in wave_colors
+            ]
+            same_wave = [
+                neighbor
+                for neighbor in network.neighbors(node)
+                if wave_colors.get(neighbor) == color
+                and repr(neighbor) < repr(node)
+            ]
+            orientation[node] = tuple(earlier + same_wave)
+        for node, color in wave:
+            for neighbor in network.neighbors(node):
+                if neighbor in remaining:
+                    uncolored_degree[neighbor] -= 1
+                    if color in defects[neighbor]:
+                        defects[neighbor][color] -= 1
+                        if defects[neighbor][color] < 0:
+                            lists[neighbor].remove(color)
+                            del defects[neighbor][color]
+
+    residual = ArbdefectiveInstance(
+        network.subgraph(remaining),
+        {node: tuple(lists[node]) for node in remaining},
+        {node: defects[node] for node in remaining},
+        instance.color_space_size,
+    )
+    return colors, orientation, residual
+
+
+def solve_arbdefective_base(instance: ArbdefectiveInstance,
+                            initial_colors: Mapping[Node, Color],
+                            q: int,
+                            ledger: Optional[CostLedger] = None,
+                            bandwidth: Optional[BandwidthModel] = None,
+                            peel: bool = True) -> ColoringResult:
+    """Solve any slack-above-1 ``P_A`` instance: peel + Linial + greedy sweep.
+
+    ``initial_colors`` must be a proper ``q``-coloring of the instance's
+    graph.  Raises :class:`InfeasibleInstanceError` when some node's
+    weight does not exceed its degree (slack at most 1).
+    """
+    ledger = ensure_ledger(ledger)
+    for node in instance.network:
+        if instance.weight(node) <= instance.network.degree(node):
+            raise InfeasibleInstanceError(
+                node,
+                f"base solver needs slack > 1: weight "
+                f"{instance.weight(node)} <= deg "
+                f"{instance.network.degree(node)}",
+            )
+    with ledger.phase("base-solver"):
+        if peel:
+            colors, orientation, residual = peel_free_color_nodes(
+                instance, ledger
+            )
+        else:
+            colors, orientation = {}, {}
+            residual = instance
+        if len(residual.network) > 0:
+            sub_network = residual.network
+            sub_initial = {node: initial_colors[node] for node in sub_network}
+            relabeled, q_small = linial_coloring(
+                sub_network, sub_initial, q,
+                ledger=ledger, bandwidth=bandwidth,
+            )
+            inner = greedy_arbdefective_sweep(
+                residual, relabeled, q_small,
+                ledger=ledger, bandwidth=bandwidth, check=False,
+            )
+            colors.update(inner.colors)
+            swept = set(residual.network.nodes)
+            for node in swept:
+                # Sweep-internal out-edges, plus the peeled same-color
+                # neighbors the node's residual defect already paid for.
+                cross = tuple(
+                    neighbor
+                    for neighbor in instance.network.neighbors(node)
+                    if neighbor not in swept
+                    and colors[neighbor] == colors[node]
+                )
+                orientation[node] = inner.orientation[node] + cross
+    return ColoringResult(colors=colors, orientation=orientation, ledger=ledger)

@@ -1,0 +1,179 @@
+"""Lemma 3.5: color space reduction for oriented list defective coloring.
+
+Given a solver ``A`` for OLDC instances with
+``weight(v) >= beta_v * kappa(Lambda)`` and a splitting parameter
+``lambda``, the color space ``{0..C-1}`` is partitioned into ``lambda``
+contiguous blocks.  One OLDC instance over the *block* space (lists of at
+most ``lambda`` entries, so ``A`` runs with ``Lambda = lambda``) assigns
+each node a block such that at most ``d_{v,i}`` out-neighbors share it;
+cross-block edges can then never conflict, and a single recursive call on
+the same-block subgraph -- with colors renumbered inside their blocks --
+finishes the job with color space ``ceil(C / lambda)``.  Depth:
+``ceil(log_lambda C)``; required slack: ``kappa(lambda)`` per level.
+
+The block defect allocation follows Eq. (19) (Lemma 4.5) transplanted to
+the oriented setting, with one deviation: the paper rounds the allocation
+*up*, which breaks the "allocations sum to the spent slack" direction of
+the proof by the fractional parts; we round *down*, which makes both
+directions exact:
+
+    ``d_{v,i} = floor(kappa * beta_v * W_{v,i} / W_v)``
+
+gives ``sum_i (d_{v,i} + 1) > kappa * beta_v`` (each term exceeds its
+real value by less than one but gains the +1) and
+``W_{v,i} >= d_{v,i} * W_v / (kappa * beta_v)``, which is exactly the
+residual slack the recursion needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..coloring.instance import OLDCInstance
+from ..sim.errors import AlgorithmFailure, InfeasibleInstanceError, InstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+
+Node = Hashable
+Color = int
+
+#: An OLDC solver: (instance, initial_colors, q, ledger) -> colors.
+OLDCSolver = Callable[
+    [OLDCInstance, Mapping[Node, Color], int, CostLedger],
+    Dict[Node, Color],
+]
+
+
+def reduction_depth(color_space_size: int, lam: int) -> int:
+    """``ceil(log_lambda C)``: the number of reduction levels."""
+    if lam < 2:
+        raise InstanceError("splitting parameter lambda must be at least 2")
+    depth = 0
+    size = max(1, color_space_size)
+    while size > lam:
+        size = math.ceil(size / lam)
+        depth += 1
+    return depth + 1 if color_space_size > 1 else 1
+
+
+def check_reduction_precondition(instance: OLDCInstance, kappa: float,
+                                 lam: int) -> None:
+    """Require ``weight(v) > beta_v * kappa ** depth`` at every node."""
+    depth = reduction_depth(instance.color_space_size, lam)
+    need = kappa ** depth
+    for node in instance.graph.nodes:
+        if (instance.graph.outdegree(node) == 0
+                and instance.list_size(node) > 0):
+            continue
+        if instance.weight(node) <= instance.beta(node) * need:
+            raise InfeasibleInstanceError(
+                node,
+                f"color space reduction needs weight > beta * kappa^depth = "
+                f"{instance.beta(node)} * {kappa:.3f}^{depth}; got "
+                f"{instance.weight(node)}",
+            )
+
+
+def color_space_reduced_oldc(instance: OLDCInstance,
+                             initial_colors: Mapping[Node, Color],
+                             q: int,
+                             base_solver: OLDCSolver,
+                             kappa: float,
+                             lam: int,
+                             ledger: Optional[CostLedger] = None,
+                             check: bool = True) -> Dict[Node, Color]:
+    """Solve an OLDC instance by recursive color space splitting.
+
+    ``base_solver`` must solve any OLDC instance with maximum list size at
+    most ``lam`` and ``weight(v) > kappa * beta_v``; it is invoked once
+    per level (for the block choice) plus once at the leaf.
+    """
+    ledger = ensure_ledger(ledger)
+    if check:
+        check_reduction_precondition(instance, kappa, lam)
+    with ledger.phase("color-space-reduction"):
+        return _solve(instance, initial_colors, q, base_solver, kappa, lam,
+                      ledger)
+
+
+def _solve(instance: OLDCInstance,
+           initial_colors: Mapping[Node, Color],
+           q: int,
+           base_solver: OLDCSolver,
+           kappa: float,
+           lam: int,
+           ledger: CostLedger) -> Dict[Node, Color]:
+    color_space = instance.color_space_size
+    if color_space <= lam:
+        return base_solver(instance, initial_colors, q, ledger)
+
+    block_size = math.ceil(color_space / lam)
+
+    # ------------------------------------------------------------------
+    # Build the block-choice OLDC instance (color space = lambda blocks).
+    # ------------------------------------------------------------------
+    graph = instance.graph
+    block_lists: Dict[Node, Tuple[int, ...]] = {}
+    block_defects: Dict[Node, Dict[int, int]] = {}
+    block_weight: Dict[Node, Dict[int, int]] = {}
+    for node in graph.nodes:
+        weights: Dict[int, int] = {}
+        for color in instance.lists[node]:
+            block = color // block_size
+            weights[block] = weights.get(block, 0) + (
+                instance.defects[node][color] + 1
+            )
+        total = instance.weight(node)
+        beta = instance.beta(node)
+        blocks = tuple(sorted(weights))
+        block_lists[node] = blocks
+        block_defects[node] = {
+            block: int(kappa * beta * weights[block] / total)  # floor
+            for block in blocks
+        }
+        block_weight[node] = weights
+    choice_instance = OLDCInstance(graph, block_lists, block_defects, lam)
+    chosen_block = base_solver(choice_instance, initial_colors, q, ledger)
+
+    # ------------------------------------------------------------------
+    # Same-block subgraph, renumbered into {0 .. block_size-1}, recurse.
+    # ------------------------------------------------------------------
+    cross_edges = [
+        (u, v)
+        for u in graph.nodes
+        for v in graph.out_neighbors(u)
+        if chosen_block[u] != chosen_block[v]
+    ]
+    sub_graph = graph.without_edges(cross_edges)
+    sub_lists = {
+        node: tuple(
+            color - chosen_block[node] * block_size
+            for color in instance.lists[node]
+            if color // block_size == chosen_block[node]
+        )
+        for node in graph.nodes
+    }
+    sub_defects = {
+        node: {
+            color - chosen_block[node] * block_size:
+                instance.defects[node][color]
+            for color in instance.lists[node]
+            if color // block_size == chosen_block[node]
+        }
+        for node in graph.nodes
+    }
+    sub_instance = OLDCInstance(sub_graph, sub_lists, sub_defects, block_size)
+    colors = _solve(sub_instance, initial_colors, q, base_solver, kappa, lam,
+                    ledger)
+
+    final = {
+        node: colors[node] + chosen_block[node] * block_size
+        for node in graph.nodes
+    }
+    for node in graph.nodes:
+        if final[node] not in instance.lists[node]:
+            raise AlgorithmFailure(
+                f"node {node!r}: reduction produced color {final[node]} "
+                f"outside the original list"
+            )
+    return final

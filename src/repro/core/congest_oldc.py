@@ -1,0 +1,98 @@
+"""Theorem 1.2: oriented list defective coloring in CONGEST.
+
+Composes Lemma 3.5 (color space reduction with splitting parameter
+``lambda = 4``) with Algorithm 2 as the per-level solver, parameterized
+with ``p = ceil(sqrt(lambda)) = 2`` and ``epsilon = 1/(3 * ceil(log4 C))``.
+Every message is either a defective color (O(log q) bits) or a sub-list
+of at most 2 colors (O(log C) bits), so the protocol is CONGEST-ready,
+and the slack requirement telescopes to
+
+    ``sum_x (d_v(x) + 1) > (2 * (1 + eps)) ** ceil(log4 C) * beta_v``,
+
+which is below the theorem's clean ``3 * sqrt(C) * beta_v`` bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional
+
+from ..coloring.instance import OLDCInstance
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.metrics import CostLedger, ensure_ledger
+from .color_space_reduction import (
+    check_reduction_precondition,
+    color_space_reduced_oldc,
+    reduction_depth,
+)
+from .fast_two_sweep import fast_two_sweep
+
+Node = Hashable
+Color = int
+
+#: The splitting parameter of Theorem 1.2's proof.
+DEFAULT_LAMBDA = 4
+
+
+def congest_epsilon(color_space_size: int) -> float:
+    """``epsilon = 1 / (3 * ceil(log4 C))`` from the proof of Theorem 1.2."""
+    levels = max(1, math.ceil(math.log(max(2, color_space_size), 4)))
+    return 1.0 / (3.0 * levels)
+
+
+def congest_kappa(color_space_size: int, lam: int = DEFAULT_LAMBDA) -> float:
+    """Per-level slack factor ``kappa(lambda) = (1 + eps) * ceil(sqrt(lam))``."""
+    return (1.0 + congest_epsilon(color_space_size)) * math.ceil(
+        math.sqrt(lam)
+    )
+
+
+def required_slack_factor(color_space_size: int,
+                          lam: int = DEFAULT_LAMBDA) -> float:
+    """The exact factor ``kappa ** depth`` (always below ``3 * sqrt(C)``)."""
+    kappa = congest_kappa(color_space_size, lam)
+    return kappa ** reduction_depth(color_space_size, lam)
+
+
+def congest_oldc(instance: OLDCInstance,
+                 initial_colors: Mapping[Node, Color],
+                 q: int,
+                 ledger: Optional[CostLedger] = None,
+                 bandwidth: Optional[BandwidthModel] = None,
+                 lam: int = DEFAULT_LAMBDA,
+                 check: bool = True) -> ColoringResult:
+    """Solve an OLDC instance with ``weight > 3 * sqrt(C) * beta_v`` slack.
+
+    Rounds: O(log^3 C + log* q); messages: O(log q + log C) bits.  The
+    precondition actually enforced is the exact telescoped factor
+    :func:`required_slack_factor`, which is slightly weaker than
+    ``3 * sqrt(C)``.
+    """
+    ledger = ensure_ledger(ledger)
+    color_space = instance.color_space_size
+    epsilon = congest_epsilon(color_space)
+    kappa = congest_kappa(color_space, lam)
+    p = max(1, math.ceil(math.sqrt(lam)))
+    if check:
+        check_reduction_precondition(instance, kappa, lam)
+
+    def base_solver(sub_instance: OLDCInstance,
+                    sub_initial: Mapping[Node, Color],
+                    sub_q: int,
+                    sub_ledger: CostLedger) -> Dict[Node, Color]:
+        restricted = {
+            node: sub_initial[node] for node in sub_instance.graph.nodes
+        }
+        result = fast_two_sweep(
+            sub_instance, restricted, sub_q, p, epsilon,
+            ledger=sub_ledger, bandwidth=bandwidth, check=False,
+        )
+        return result.colors
+
+    with ledger.phase("congest-oldc"):
+        colors = color_space_reduced_oldc(
+            instance, initial_colors, q, base_solver, kappa, lam,
+            ledger=ledger, check=False,
+        )
+    return ColoringResult(colors=colors, orientation=None, ledger=ledger)

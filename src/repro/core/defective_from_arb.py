@@ -1,0 +1,157 @@
+"""Theorem 1.4 (Section 4.1): list defective via list arbdefective coloring.
+
+On a graph of neighborhood independence ``theta``, a ``P_D`` instance with
+slack ``21 * theta * (ceil(log Delta) + 1) * S`` is solved by
+``ceil(log Delta) + 1`` consecutive ``P_A(S, C)`` instances:
+
+1. rescale defects: ``d'_v(x) = ceil((d_v(x) + 1) / (7 * theta)) - 1``;
+2. iterate ``i = ceil(log Delta) .. 0`` with per-iteration defect
+   ``d_i = 2^i - 1``; a color joins ``L_{v,i}`` in the first iteration
+   where ``d'_v(x) - a_v(x, i) >= d_i`` (``a_v`` counts already-colored
+   same-color neighbors);
+3. all uncolored nodes with
+   ``|L_{v,i}| * (d_i + 1) > S * (deg(v) - deg~(v, i))`` form ``H_i`` and
+   are colored by the ``P_A(S, C)`` solver with uniform defects ``d_i``.
+
+Lemma 4.2 shows every node is colored in some iteration; Lemma 4.3 bounds
+the total same-color neighbors by ``max(1, 7 * theta * d'_v(x)) - 1 <=
+d_v(x)`` using the neighborhood independence (Claim 4.1).
+
+Implementation note: the proof assumes ``d_v(x) <= Delta``; nodes holding
+a color with ``d_v(x) >= deg(v)`` are peeled up front (they can never
+exceed that defect), which enforces the assumption for everyone else.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+
+from ..coloring.instance import ArbdefectiveInstance, ListDefectiveInstance
+from ..coloring.result import ColoringResult
+from ..coloring.validate import check_list_defective
+from ..sim.errors import AlgorithmFailure, InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from .partial import PartialColoring
+from .slack_reduction import ArbSolver
+
+Node = Hashable
+Color = int
+
+
+def theorem_14_slack(theta: int, max_degree: int, s: float) -> float:
+    """The slack Eq. (9) requires: ``21 * theta * (ceil(log Delta)+1) * S``."""
+    levels = math.ceil(math.log2(max(2, max_degree))) + 1
+    return 21.0 * theta * levels * s
+
+
+def defective_from_arbdefective(instance: ListDefectiveInstance,
+                                theta: int,
+                                s: float,
+                                arb_solver: ArbSolver,
+                                initial_colors: Mapping[Node, Color],
+                                q: int,
+                                ledger: Optional[CostLedger] = None,
+                                check: bool = True,
+                                validate: bool = True) -> ColoringResult:
+    """Solve a ``P_D`` instance with Eq. (9) slack via ``P_A(S, C)`` calls.
+
+    ``arb_solver`` is handed :class:`ArbdefectiveInstance` objects whose
+    slack exceeds ``s`` and must return colors plus an orientation.
+    ``initial_colors``/``q`` are forwarded to the solver (all paper
+    subroutines bootstrap from a proper coloring).
+    """
+    ledger = ensure_ledger(ledger)
+    network = instance.network
+    theta = max(1, theta)
+    max_degree = network.max_degree()
+    if check:
+        need = theorem_14_slack(theta, max_degree, s)
+        for node in network:
+            if instance.weight(node) <= need * network.degree(node):
+                raise InfeasibleInstanceError(
+                    node,
+                    f"Eq. (9) fails: weight {instance.weight(node)} <= "
+                    f"{need:.1f} * deg {network.degree(node)}",
+                )
+
+    # Reuse the arbdefective bookkeeping; the orientation it tracks is
+    # internal (P_D output carries no orientation).
+    tracker = PartialColoring(ArbdefectiveInstance(
+        network, instance.lists, instance.defects, instance.color_space_size
+    ))
+
+    with ledger.phase("defective-from-arb"):
+        # Peel nodes that own a free color (enforces d_v(x) < deg <= Delta).
+        free = {}
+        for node in network:
+            for color in instance.lists[node]:
+                if instance.defects[node][color] >= network.degree(node):
+                    free[node] = color
+                    break
+        if free:
+            ledger.charge_round(
+                messages=sum(network.degree(node) for node in free)
+            )
+            tracker.commit(free)
+
+        rescaled: Dict[Node, Dict[Color, int]] = {
+            node: {
+                color: math.ceil(
+                    (instance.defects[node][color] + 1) / (7.0 * theta)
+                ) - 1
+                for color in instance.lists[node]
+            }
+            for node in network
+        }
+        consumed: Dict[Node, Set[Color]] = {node: set() for node in network}
+
+        top = math.ceil(math.log2(max(2, max_degree)))
+        for i in range(top, -1, -1):
+            d_i = 2 ** i - 1
+            iteration_lists: Dict[Node, Tuple[Color, ...]] = {}
+            for node in tracker.uncolored():
+                fresh = tuple(
+                    color
+                    for color in instance.lists[node]
+                    if color not in consumed[node]
+                    and rescaled[node][color] - tracker.conflicts(node, color)
+                    >= d_i
+                )
+                iteration_lists[node] = fresh
+                consumed[node].update(fresh)
+            members = [
+                node
+                for node, fresh in iteration_lists.items()
+                if len(fresh) * (d_i + 1) > s * (
+                    network.degree(node)
+                    - tracker.colored_neighbor_count(node)
+                )
+            ]
+            if not members:
+                continue
+            sub = ArbdefectiveInstance(
+                network.subgraph(members),
+                {node: iteration_lists[node] for node in members},
+                {
+                    node: {color: d_i for color in iteration_lists[node]}
+                    for node in members
+                },
+                instance.color_space_size,
+            )
+            sub_initial = {node: initial_colors[node] for node in members}
+            result = arb_solver(sub, sub_initial, q, ledger)
+            tracker.commit(result.colors, result.orientation)
+
+        tracker.require_complete("Theorem 1.4 (Lemma 4.2)")
+
+    if validate:
+        violations = check_list_defective(instance, tracker.colors)
+        if violations:
+            raise AlgorithmFailure(
+                f"Theorem 1.4 output invalid (Lemma 4.3 violated): "
+                f"{violations[:3]}"
+            )
+    return ColoringResult(
+        colors=tracker.colors, orientation=None, ledger=ledger
+    )

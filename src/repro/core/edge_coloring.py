@@ -1,0 +1,87 @@
+"""(2 Delta - 1)-edge coloring -- the headline corollary of Theorem 1.5.
+
+Simulating the line graph on the original network: each edge becomes a
+virtual node hosted by one endpoint; two virtual nodes are adjacent iff
+the edges share an endpoint, so the line graph of a rank-r hypergraph
+has neighborhood independence at most r, and Theorem 1.5's
+(Delta+1)-coloring of the line graph is a proper edge coloring of the
+base structure with at most 2 Delta - 1 colors (rank 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from ..coloring.result import ColoringResult
+from ..graphs.hypergraphs import Hypergraph
+from ..graphs.line_graphs import (
+    edge_coloring_from_line_coloring,
+    is_proper_edge_coloring,
+    line_graph_of_hypergraph,
+    line_graph_of_network,
+)
+from ..sim.congest import BandwidthModel
+from ..sim.errors import AlgorithmFailure
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from .recursion import theta_delta_plus_one_coloring
+
+Node = Hashable
+
+
+def edge_coloring(network: Network,
+                  ledger: Optional[CostLedger] = None,
+                  bandwidth: Optional[BandwidthModel] = None,
+                  **solver_kwargs
+                  ) -> Tuple[Dict[Tuple[Node, Node], int], ColoringResult]:
+    """A proper edge coloring with at most ``2 Delta - 1`` colors.
+
+    Returns ``(edge_colors, line_graph_result)``; the second element
+    carries the round/message accounting of the underlying Theorem 1.5
+    run on the line graph.  Validates the output before returning.
+    """
+    ledger = ensure_ledger(ledger)
+    line, edge_of = line_graph_of_network(network)
+    if len(line) == 0:
+        return {}, ColoringResult(colors={}, orientation={}, ledger=ledger)
+    result = theta_delta_plus_one_coloring(
+        line, theta=2, ledger=ledger, bandwidth=bandwidth, **solver_kwargs
+    )
+    edge_colors = edge_coloring_from_line_coloring(result.colors, edge_of)
+    if not is_proper_edge_coloring(network, edge_colors):
+        raise AlgorithmFailure("edge coloring failed validation")
+    budget = max(1, 2 * network.raw_max_degree() - 1)
+    if result.color_count() > budget:
+        raise AlgorithmFailure(
+            f"edge coloring used {result.color_count()} colors, "
+            f"budget 2*Delta-1 = {budget}"
+        )
+    return edge_colors, result
+
+
+def hyperedge_coloring(hypergraph: Hypergraph,
+                       ledger: Optional[CostLedger] = None,
+                       bandwidth: Optional[BandwidthModel] = None,
+                       **solver_kwargs
+                       ) -> Tuple[Dict[FrozenSet[int], int], ColoringResult]:
+    """Color the hyperedges of a rank-r hypergraph so that intersecting
+    hyperedges get distinct colors, using at most ``Delta(L(H)) + 1``
+    colors via Theorem 1.5 (``theta <= r`` on the line graph)."""
+    ledger = ensure_ledger(ledger)
+    line, edge_of = line_graph_of_hypergraph(hypergraph)
+    if len(line) == 0:
+        return {}, ColoringResult(colors={}, orientation={}, ledger=ledger)
+    result = theta_delta_plus_one_coloring(
+        line, theta=max(2, hypergraph.rank), ledger=ledger,
+        bandwidth=bandwidth, **solver_kwargs,
+    )
+    colors = {
+        edge_of[index]: color for index, color in result.colors.items()
+    }
+    for index in line:
+        for other in line.neighbors(index):
+            if result.colors[index] == result.colors[other]:
+                raise AlgorithmFailure(
+                    "hyperedge coloring failed validation"
+                )
+    return colors, result

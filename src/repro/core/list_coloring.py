@@ -1,0 +1,169 @@
+"""Theorem 1.3: (deg+1)-list coloring in the CONGEST model.
+
+The paper plugs Theorem 1.2 into the black-box framework of [FK23a,
+Theorem 4].  That framework is a separate paper; per DESIGN.md
+(substitution 2) we replace it with the present paper's own Lemma A.1:
+
+1. Linial's O(Delta^2)-coloring bootstraps a small proper coloring;
+2. the (deg+1)-list instance -- all defects zero, slack above 1 -- is fed
+   to :func:`repro.core.slack_reduction.slack_reduction_full` with
+   ``mu`` equal to Theorem 1.2's exact slack factor (just below
+   ``3 * sqrt(C)``), so every class sub-instance satisfies Theorem 1.2's
+   precondition under the orient-by-initial-coloring orientation;
+3. each sub-instance is solved by :func:`repro.core.congest_oldc.congest_oldc`.
+
+The interface and validity guarantees match Theorem 1.3; the round
+complexity carries an extra ~sqrt(Delta) factor versus the cited black
+box (O(C log Delta) solver calls instead of O(sqrt(C) log Delta)), which
+EXPERIMENTS.md reports explicitly.  A zero-defect arbdefective solution
+is a proper list coloring, so the output is checked for properness.
+
+Also provided: the classic O(Delta^2 + log* n) baseline (Linial plus
+one-color-per-round reduction) the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+from ..coloring.instance import (
+    ArbdefectiveInstance,
+    OLDCInstance,
+    degree_plus_one_instance,
+)
+from ..coloring.result import ColoringResult
+from ..coloring.validate import (
+    assert_proper_coloring,
+    check_list_membership,
+)
+from ..graphs.identifiers import sequential_ids
+from ..graphs.oriented import orient_by_coloring
+from ..sim.congest import BandwidthModel
+from ..sim.errors import AlgorithmFailure
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..substrates.greedy import greedy_color_reduction
+from ..substrates.linial import linial_coloring
+from .congest_oldc import congest_oldc, required_slack_factor
+from .slack_reduction import slack_reduction_full
+
+Node = Hashable
+Color = int
+
+
+def solve_arbdefective_via_congest(instance: ArbdefectiveInstance,
+                                   initial_colors: Mapping[Node, Color],
+                                   q: int,
+                                   ledger: CostLedger,
+                                   bandwidth: Optional[BandwidthModel] = None
+                                   ) -> ColoringResult:
+    """Solve a high-slack ``P_A`` instance with the Theorem 1.2 solver.
+
+    The orientation is *chosen* here (towards the smaller initial color,
+    so ``beta_v <= deg(v)``), handed to the OLDC solver as input, and
+    returned as the arbdefective output orientation.
+    """
+    graph = orient_by_coloring(instance.network, initial_colors)
+    oldc = OLDCInstance(
+        graph, instance.lists, instance.defects, instance.color_space_size
+    )
+    result = congest_oldc(
+        oldc, initial_colors, q, ledger=ledger, bandwidth=bandwidth,
+    )
+    orientation = {
+        node: tuple(
+            neighbor
+            for neighbor in graph.out_neighbors(node)
+            if result.colors[neighbor] == result.colors[node]
+        )
+        for node in graph.nodes
+    }
+    return ColoringResult(
+        colors=result.colors, orientation=orientation, ledger=ledger
+    )
+
+
+def deg_plus_one_list_coloring(network: Network,
+                               lists: Mapping[Node, Iterable[Color]],
+                               ids: Optional[Mapping[Node, int]] = None,
+                               ledger: Optional[CostLedger] = None,
+                               bandwidth: Optional[BandwidthModel] = None,
+                               color_space_size: Optional[int] = None
+                               ) -> ColoringResult:
+    """Theorem 1.3: solve a (deg+1)-list coloring instance in CONGEST.
+
+    ``lists[v]`` must contain at least ``deg(v) + 1`` colors from a color
+    space of size ``color_space_size`` (defaults to the largest color plus
+    one; the theorem assumes it is O(Delta)).
+    """
+    ledger = ensure_ledger(ledger)
+    defective = degree_plus_one_instance(network, lists, color_space_size)
+    instance = ArbdefectiveInstance(
+        network, defective.lists, defective.defects,
+        defective.color_space_size,
+    )
+    if ids is None:
+        ids = sequential_ids(network)
+    q_ids = max(ids.values()) + 1 if ids else 1
+    with ledger.phase("theorem-1.3"):
+        colors0, q0 = linial_coloring(
+            network, ids, q_ids, ledger=ledger, bandwidth=bandwidth
+        )
+        mu = required_slack_factor(instance.color_space_size)
+
+        def inner(sub, sub_initial, sub_q, inner_ledger):
+            return solve_arbdefective_via_congest(
+                sub, sub_initial, sub_q, inner_ledger, bandwidth=bandwidth
+            )
+
+        result = slack_reduction_full(
+            instance, colors0, q0, mu=mu, inner_solver=inner,
+            ledger=ledger, bandwidth=bandwidth, check=False,
+        )
+    assert_proper_coloring(network, result.colors)
+    violations = check_list_membership(instance.lists, result.colors)
+    if violations:
+        raise AlgorithmFailure(f"list violations: {violations[:3]}")
+    return ColoringResult(
+        colors=result.colors, orientation=None, ledger=ledger
+    )
+
+
+def delta_plus_one_coloring(network: Network,
+                            ids: Optional[Mapping[Node, int]] = None,
+                            ledger: Optional[CostLedger] = None,
+                            bandwidth: Optional[BandwidthModel] = None
+                            ) -> ColoringResult:
+    """``(Delta + 1)``-coloring via Theorem 1.3 (identical full lists)."""
+    palette = tuple(range(network.raw_max_degree() + 1))
+    lists = {node: palette for node in network}
+    return deg_plus_one_list_coloring(
+        network, lists, ids=ids, ledger=ledger, bandwidth=bandwidth,
+        color_space_size=len(palette),
+    )
+
+
+def linial_reduction_baseline(network: Network,
+                              ids: Optional[Mapping[Node, int]] = None,
+                              ledger: Optional[CostLedger] = None,
+                              bandwidth: Optional[BandwidthModel] = None
+                              ) -> ColoringResult:
+    """The classic O(Delta^2 + log* n) ``(Delta+1)``-coloring baseline."""
+    ledger = ensure_ledger(ledger)
+    if ids is None:
+        ids = sequential_ids(network)
+    q_ids = max(ids.values()) + 1 if ids else 1
+    with ledger.phase("baseline-linial-reduction"):
+        colors0, q0 = linial_coloring(
+            network, ids, q_ids, ledger=ledger, bandwidth=bandwidth
+        )
+        target = network.raw_max_degree() + 1
+        if q0 > target:
+            colors = greedy_color_reduction(
+                network, colors0, q0, target,
+                ledger=ledger, bandwidth=bandwidth,
+            )
+        else:
+            colors = colors0
+    assert_proper_coloring(network, colors)
+    return ColoringResult(colors=colors, orientation=None, ledger=ledger)

@@ -1,0 +1,148 @@
+"""Partial-coloring bookkeeping shared by the Section 4 reductions.
+
+Every reduction in Sections 4.1-4.2 processes groups of nodes
+sequentially and, before coloring a group, subtracts the already-colored
+same-color neighbors from each node's defects ("``a_v(x)``" in the
+paper), drops exhausted colors, and orients monochromatic edges from the
+later-colored endpoint towards the earlier-colored one.  This class
+centralizes that bookkeeping so Lemma 4.4, Lemma A.1 and Theorem 1.4 all
+share one audited implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
+
+from ..coloring.instance import ArbdefectiveInstance
+from ..sim.errors import AlgorithmFailure
+from ..sim.network import Network
+
+Node = Hashable
+Color = int
+
+
+class PartialColoring:
+    """Tracks committed colors, per-node conflict counts and orientation."""
+
+    def __init__(self, instance: ArbdefectiveInstance):
+        self.instance = instance
+        self.network: Network = instance.network
+        self.colors: Dict[Node, Color] = {}
+        self.orientation: Dict[Node, Tuple[Node, ...]] = {}
+        #: a_v(x): committed same-color-x neighbors of v, for x in L_v.
+        self._conflicts: Dict[Node, Dict[Color, int]] = {
+            node: {color: 0 for color in instance.lists[node]}
+            for node in instance.network
+        }
+        self._colored_neighbors: Dict[Node, int] = {
+            node: 0 for node in instance.network
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_colored(self, node: Node) -> bool:
+        return node in self.colors
+
+    def uncolored(self) -> Tuple[Node, ...]:
+        return tuple(
+            node for node in self.network if node not in self.colors
+        )
+
+    def conflicts(self, node: Node, color: Color) -> int:
+        """``a_v(x)``: committed neighbors of ``node`` with color ``x``."""
+        return self._conflicts[node][color]
+
+    def colored_neighbor_count(self, node: Node) -> int:
+        """``deg~(v)``: how many of ``v``'s neighbors have committed."""
+        return self._colored_neighbors[node]
+
+    def residual_defect(self, node: Node, color: Color) -> int:
+        """``d_v(x) - a_v(x)`` (may be negative)."""
+        return self.instance.defects[node][color] - self._conflicts[node][color]
+
+    def residual_weight(self, node: Node) -> int:
+        """``sum over surviving colors of (residual defect + 1)``."""
+        return sum(
+            self.residual_defect(node, color) + 1
+            for color in self.instance.lists[node]
+            if self.residual_defect(node, color) >= 0
+        )
+
+    def residual_instance(self, nodes: Iterable[Node],
+                          lists: Optional[Mapping[Node, Tuple[Color, ...]]]
+                          = None) -> ArbdefectiveInstance:
+        """The induced sub-instance on ``nodes`` with updated defects.
+
+        ``lists`` optionally restricts each node's list further (Theorem
+        1.4 uses per-iteration lists); colors with negative residual
+        defect are dropped either way.
+        """
+        keep = [node for node in nodes if node not in self.colors]
+        sub_lists: Dict[Node, Tuple[Color, ...]] = {}
+        sub_defects: Dict[Node, Dict[Color, int]] = {}
+        for node in keep:
+            base = (
+                lists[node] if lists is not None else self.instance.lists[node]
+            )
+            surviving = tuple(
+                color for color in base
+                if self.residual_defect(node, color) >= 0
+            )
+            sub_lists[node] = surviving
+            sub_defects[node] = {
+                color: self.residual_defect(node, color)
+                for color in surviving
+            }
+        return ArbdefectiveInstance(
+            self.network.subgraph(keep),
+            sub_lists,
+            sub_defects,
+            self.instance.color_space_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def commit(self, colors: Mapping[Node, Color],
+               inner_orientation: Optional[
+                   Mapping[Node, Tuple[Node, ...]]] = None) -> None:
+        """Commit a batch of colors computed on a residual sub-instance.
+
+        The batch's internal orientation (if any) is kept; every
+        monochromatic edge from a batch node to a *previously* committed
+        node is oriented out of the batch node -- its residual defect
+        already paid for those neighbors.
+        """
+        for node in colors:
+            if node in self.colors:
+                raise AlgorithmFailure(f"node {node!r} colored twice")
+        for node, color in colors.items():
+            inner = (
+                tuple(inner_orientation.get(node, ()))
+                if inner_orientation is not None
+                else ()
+            )
+            cross = tuple(
+                neighbor
+                for neighbor in self.network.neighbors(node)
+                if neighbor in self.colors
+                and self.colors[neighbor] == color
+            )
+            self.orientation[node] = inner + cross
+        self.colors.update(colors)
+        for node, color in colors.items():
+            for neighbor in self.network.neighbors(node):
+                if neighbor in self.colors:
+                    continue
+                self._colored_neighbors[neighbor] += 1
+                if color in self._conflicts[neighbor]:
+                    self._conflicts[neighbor][color] += 1
+
+    def require_complete(self, context: str) -> None:
+        left = self.uncolored()
+        if left:
+            raise AlgorithmFailure(
+                f"{context}: {len(left)} nodes left uncolored, e.g. "
+                f"{list(left)[:3]!r}"
+            )

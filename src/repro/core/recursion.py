@@ -1,0 +1,273 @@
+"""Lemma 4.6 and Theorem 1.5: recursive coloring for bounded theta.
+
+The dispatcher routes a list arbdefective instance by its slack, exactly
+following the proof of Theorem 1.5:
+
+* slack > ``84 * theta * ceil(log Delta)``  -- Lemma 4.6: pick a color
+  subspace out of ``p = ceil(sqrt(C))`` via Theorem 1.4 (whose inner
+  ``P_A(1, p)`` instances recurse), then recurse on the residual
+  ``P_A(2, ceil(C / p))`` instance.  The color space square-roots.
+* slack > 2 -- Lemma 4.4 with ``mu = 84 * theta * ceil(log Delta)``
+  boosts every class to the slack the Lemma 4.6 path needs.
+* slack > 1 -- Lemma A.1 with ``mu = 2`` boosts to slack 2.
+* otherwise -- infeasible.
+
+The recursion bottoms out (small color space, small degree, or depth
+budget) in :func:`repro.core.base_solvers.solve_arbdefective_base`,
+which is universally correct for slack above 1; every sub-instance the
+reductions generate keeps slack above 1, so the base case is always
+applicable and the implementation is correct at any truncation depth --
+the recursion structure only determines the round complexity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional
+
+from ..coloring.instance import (
+    ArbdefectiveInstance,
+    ListDefectiveInstance,
+)
+from ..coloring.result import ColoringResult
+from ..coloring.validate import assert_arbdefective, assert_proper_coloring
+from ..graphs.identifiers import sequential_ids
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..substrates.linial import linial_coloring
+from .base_solvers import solve_arbdefective_base, solve_edgeless
+from .defective_from_arb import defective_from_arbdefective
+from .slack_reduction import slack_reduction, slack_reduction_full
+from .subspace_choice import subspace_reduced_arbdefective
+
+Node = Hashable
+Color = int
+
+
+def lemma_46_slack(theta: int, max_degree: int) -> float:
+    """``84 * theta * ceil(log2 Delta)``: the slack Lemma 4.6 consumes."""
+    return 84.0 * max(1, theta) * max(1, math.ceil(
+        math.log2(max(2, max_degree))
+    ))
+
+
+class RecursiveArbSolver:
+    """Theorem 1.5's recursion with a universal base case.
+
+    Parameters
+    ----------
+    theta:
+        The neighborhood independence bound of the input graph (and hence
+        of every subgraph the recursion touches).
+    initial_colors, q:
+        A proper ``q``-coloring of the *whole* graph (normally Linial's
+        O(Delta^2)-coloring); restrictions stay proper on subgraphs.
+    base_color_space, base_degree, max_depth:
+        Base-case thresholds.  ``force_recursion`` disables the
+        color-space / degree shortcuts (depth budget still applies) so
+        tests can exercise the full recursion on small inputs.
+    """
+
+    def __init__(self, theta: int,
+                 initial_colors: Mapping[Node, Color],
+                 q: int,
+                 ledger: Optional[CostLedger] = None,
+                 bandwidth: Optional[BandwidthModel] = None,
+                 base_color_space: int = 6,
+                 base_degree: int = 4,
+                 max_depth: int = 40,
+                 force_recursion: bool = False):
+        self.theta = max(1, theta)
+        self.initial_colors = dict(initial_colors)
+        self.q = q
+        self.ledger = ensure_ledger(ledger)
+        self.bandwidth = bandwidth
+        self.base_color_space = base_color_space
+        self.base_degree = base_degree
+        self.max_depth = max_depth
+        self.force_recursion = force_recursion
+        #: Dispatch statistics for tests and benchmarks.
+        self.stats: Dict[str, int] = {
+            "base": 0, "lemma44": 0, "lemmaA1": 0, "lemma46": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def solve(self, instance: ArbdefectiveInstance,
+              depth: int = 0) -> ColoringResult:
+        network = instance.network
+        if len(network) == 0:
+            return ColoringResult(colors={}, orientation={},
+                                  ledger=self.ledger)
+        if network.edge_count() == 0:
+            return solve_edgeless(instance, self.ledger)
+        max_degree = network.raw_max_degree()
+        color_space = instance.color_space_size
+        if depth >= self.max_depth or (
+            not self.force_recursion
+            and (color_space <= self.base_color_space
+                 or max_degree <= self.base_degree)
+        ):
+            return self._base(instance)
+        big = lemma_46_slack(self.theta, max_degree)
+        if instance.has_slack(big):
+            return self._lemma46(instance, big, depth)
+        if instance.has_slack(2.0):
+            return self._lemma44(instance, big, depth)
+        if instance.has_slack(1.0):
+            return self._lemmaA1(instance, depth)
+        worst = min(
+            (node for node in network if network.degree(node) > 0),
+            key=lambda node: instance.weight(node) / network.degree(node),
+            default=None,
+        )
+        raise InfeasibleInstanceError(
+            worst, "Theorem 1.5 needs slack above 1"
+        )
+
+    # ------------------------------------------------------------------
+    # Branches
+    # ------------------------------------------------------------------
+    def _base(self, instance: ArbdefectiveInstance) -> ColoringResult:
+        self.stats["base"] += 1
+        restricted = {
+            node: self.initial_colors[node] for node in instance.network
+        }
+        return solve_arbdefective_base(
+            instance, restricted, self.q,
+            ledger=self.ledger, bandwidth=self.bandwidth,
+        )
+
+    def _lemma44(self, instance: ArbdefectiveInstance, big: float,
+                 depth: int) -> ColoringResult:
+        self.stats["lemma44"] += 1
+
+        def inner(sub, sub_initial, sub_q, ledger):
+            return self.solve(sub, depth + 1)
+
+        restricted = {
+            node: self.initial_colors[node] for node in instance.network
+        }
+        return slack_reduction(
+            instance, restricted, self.q, mu=big, inner_solver=inner,
+            ledger=self.ledger, bandwidth=self.bandwidth, check=False,
+        )
+
+    def _lemmaA1(self, instance: ArbdefectiveInstance,
+                 depth: int) -> ColoringResult:
+        self.stats["lemmaA1"] += 1
+
+        def inner(sub, sub_initial, sub_q, ledger):
+            return self.solve(sub, depth + 1)
+
+        restricted = {
+            node: self.initial_colors[node] for node in instance.network
+        }
+        return slack_reduction_full(
+            instance, restricted, self.q, mu=2.0, inner_solver=inner,
+            ledger=self.ledger, bandwidth=self.bandwidth, check=False,
+        )
+
+    def _lemma46(self, instance: ArbdefectiveInstance, big: float,
+                 depth: int) -> ColoringResult:
+        self.stats["lemma46"] += 1
+        color_space = instance.color_space_size
+        p = max(2, math.ceil(math.sqrt(color_space)))
+        sigma = big / 2.0
+
+        def defective_solver(pd_instance: ListDefectiveInstance,
+                             ledger: CostLedger) -> ColoringResult:
+            def arb_solver(sub, sub_initial, sub_q, inner_ledger):
+                return self.solve(sub, depth + 1)
+
+            restricted = {
+                node: self.initial_colors[node]
+                for node in pd_instance.network
+            }
+            return defective_from_arbdefective(
+                pd_instance, self.theta, s=1.0, arb_solver=arb_solver,
+                initial_colors=restricted, q=self.q,
+                ledger=ledger, check=False, validate=False,
+            )
+
+        def residual_solver(sub: ArbdefectiveInstance,
+                            ledger: CostLedger) -> ColoringResult:
+            return self.solve(sub, depth + 1)
+
+        return subspace_reduced_arbdefective(
+            instance, p=p, sigma=sigma,
+            defective_solver=defective_solver,
+            residual_solver=residual_solver,
+            ledger=self.ledger, check=False,
+        )
+
+
+# ----------------------------------------------------------------------
+# Public entry points (Theorem 1.5)
+# ----------------------------------------------------------------------
+def theta_recursive_arbdefective(instance: ArbdefectiveInstance,
+                                 theta: Optional[int] = None,
+                                 ids: Optional[Mapping[Node, int]] = None,
+                                 ledger: Optional[CostLedger] = None,
+                                 bandwidth: Optional[BandwidthModel] = None,
+                                 validate: bool = True,
+                                 **solver_kwargs) -> ColoringResult:
+    """Theorem 1.5: solve ``P_A(1, C)`` on a bounded-theta graph.
+
+    Computes Linial's O(Delta^2)-coloring from the identifiers first
+    (the paper's O(log* n) bootstrap), then runs the recursion.  With
+    ``theta=None`` a certified upper bound on the neighborhood
+    independence is computed (:func:`repro.graphs.safe_theta`) -- the
+    guarantees need an upper bound, never an estimate from below.
+    """
+    ledger = ensure_ledger(ledger)
+    network = instance.network
+    if theta is None:
+        from ..graphs.independence import safe_theta
+
+        theta = max(1, safe_theta(network))
+    if ids is None:
+        ids = sequential_ids(network)
+    q_ids = max(ids.values()) + 1 if ids else 1
+    colors0, q0 = linial_coloring(
+        network, ids, q_ids, ledger=ledger, bandwidth=bandwidth
+    )
+    solver = RecursiveArbSolver(
+        theta, colors0, q0, ledger=ledger, bandwidth=bandwidth,
+        **solver_kwargs,
+    )
+    result = solver.solve(instance)
+    result.stats = dict(solver.stats)
+    if validate:
+        assert_arbdefective(instance, result.colors, result.orientation)
+    return result
+
+
+def theta_delta_plus_one_coloring(network: Network,
+                                  theta: Optional[int] = None,
+                                  ids: Optional[Mapping[Node, int]] = None,
+                                  ledger: Optional[CostLedger] = None,
+                                  bandwidth: Optional[BandwidthModel] = None,
+                                  **solver_kwargs) -> ColoringResult:
+    """A proper ``(Delta + 1)``-coloring via Theorem 1.5.
+
+    Every node gets the full palette ``{0..Delta}`` with zero defects --
+    a ``P_A(1, Delta + 1)`` instance whose arbdefective solution is
+    necessarily a proper coloring.
+    """
+    ledger = ensure_ledger(ledger)
+    palette = tuple(range(network.raw_max_degree() + 1))
+    lists = {node: palette for node in network}
+    defects = {
+        node: {color: 0 for color in palette} for node in network
+    }
+    instance = ArbdefectiveInstance(network, lists, defects, len(palette))
+    result = theta_recursive_arbdefective(
+        instance, theta, ids=ids, ledger=ledger, bandwidth=bandwidth,
+        validate=False, **solver_kwargs,
+    )
+    assert_proper_coloring(network, result.colors)
+    return result

@@ -1,0 +1,229 @@
+"""Slack reduction: Lemma 4.4 and Lemma A.1.
+
+Both lemmas trade communication rounds for slack: an instance with little
+slack is partitioned -- via the defective coloring of Lemma 3.4 -- into
+O(mu^2) groups of relative degree ``1/mu``, and the groups are colored
+sequentially by a solver for high-slack instances.
+
+* **Lemma 4.4** (slack > 2): with ``epsilon = 1/mu`` every class subgraph
+  has degree at most ``deg(v)/mu`` while the residual weight stays above
+  ``deg(v)``, so each class is a ``P_A(mu, C)`` instance:
+  ``T_A(2, C) <= O(mu^2) * T_A(mu, C) + O(log* q)``.
+* **Lemma A.1** (slack > 1): with ``epsilon = 1/(2*mu)`` only the nodes
+  with at most half their neighbors colored are handled per pass
+  (everyone else's uncolored degree has halved), and the pass recurses on
+  the leftover graph: ``T_A(1, C) <= O(mu^2 log Delta) * T_A(mu, C) +
+  O(log* q)``.
+
+Deviation from the paper: Lemma A.1's proof compares every node's colored
+neighbors against the *global* ``Delta/2``; that only bounds the residual
+slack for full-degree nodes.  We use the per-node threshold
+``deg(v)/2``, for which the same arithmetic goes through verbatim
+(``weight' >= deg(v) + 1 - deg~(v) > deg(v)/2 >= mu * deg_{G_j}(v)``),
+and which still halves the uncolored degree of every skipped node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Mapping, Optional
+
+from ..coloring.instance import ArbdefectiveInstance
+from ..coloring.result import ColoringResult
+from ..graphs.oriented import BidirectedView
+from ..sim.congest import BandwidthModel
+from ..sim.errors import AlgorithmFailure, InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..substrates.kuhn_defective import kuhn_defective_coloring
+from .base_solvers import solve_edgeless
+from .partial import PartialColoring
+
+Node = Hashable
+Color = int
+
+#: A P_A solver: (instance, initial_colors, q, ledger) -> ColoringResult
+#: (colors + orientation).  It is handed instances of slack above ``mu``.
+ArbSolver = Callable[
+    [ArbdefectiveInstance, Mapping[Node, Color], int, CostLedger],
+    ColoringResult,
+]
+
+
+def _check_slack(instance: ArbdefectiveInstance, slack: float,
+                 what: str) -> None:
+    for node in instance.network:
+        degree = instance.network.degree(node)
+        if instance.weight(node) <= slack * degree:
+            raise InfeasibleInstanceError(
+                node,
+                f"{what} needs slack > {slack}: weight "
+                f"{instance.weight(node)} <= {slack} * deg {degree}",
+            )
+
+
+def _classes(psi: Mapping[Node, Color]) -> Dict[Color, list]:
+    groups: Dict[Color, list] = {}
+    for node, value in psi.items():
+        groups.setdefault(value, []).append(node)
+    return {key: groups[key] for key in sorted(groups)}
+
+
+def _check_partition(network, psi: Mapping[Node, Color],
+                     epsilon: float) -> None:
+    """A supplied partition must meet the Lemma 3.4 guarantee."""
+    for node in network:
+        conflicts = sum(
+            1 for neighbor in network.neighbors(node)
+            if psi[neighbor] == psi[node]
+        )
+        if conflicts > epsilon * network.degree(node):
+            raise InfeasibleInstanceError(
+                node,
+                f"supplied partition has {conflicts} same-class neighbors"
+                f" > eps * deg = {epsilon * network.degree(node):.2f}",
+            )
+
+
+def slack_reduction(instance: ArbdefectiveInstance,
+                    initial_colors: Mapping[Node, Color],
+                    q: int,
+                    mu: float,
+                    inner_solver: ArbSolver,
+                    ledger: Optional[CostLedger] = None,
+                    bandwidth: Optional[BandwidthModel] = None,
+                    check: bool = True,
+                    partition: Optional[Mapping[Node, Color]] = None
+                    ) -> ColoringResult:
+    """Lemma 4.4: solve a slack-2 ``P_A`` instance via slack-``mu`` calls.
+
+    ``partition`` optionally supplies a precomputed defective coloring
+    with at most ``deg(v) / mu`` same-class neighbors per node (validated;
+    e.g. from :func:`repro.substrates.greedy.lovasz_defective_partition`);
+    by default the Lemma 3.4 coloring is computed here.
+    """
+    ledger = ensure_ledger(ledger)
+    if check:
+        _check_slack(instance, 2.0, "Lemma 4.4")
+    network = instance.network
+    with ledger.phase("slack-reduction-4.4"):
+        if partition is not None:
+            _check_partition(network, partition, 1.0 / mu)
+            psi = dict(partition)
+        else:
+            psi, _ = kuhn_defective_coloring(
+                BidirectedView(network), initial_colors, q, alpha=1.0 / mu,
+                ledger=ledger, bandwidth=bandwidth,
+            )
+        partial = PartialColoring(instance)
+        for _, members in _classes(psi).items():
+            sub = partial.residual_instance(members)
+            if sub.network.edge_count() == 0:
+                # Conflict-free class: pick locally, one announcement.
+                trivial = solve_edgeless(sub, ledger)
+                partial.commit(trivial.colors, trivial.orientation)
+                continue
+            for node in sub.network:
+                if sub.weight(node) <= mu * sub.network.degree(node):
+                    raise AlgorithmFailure(
+                        f"node {node!r}: class sub-instance lost its "
+                        f"slack-{mu} guarantee (Lemma 4.4 arithmetic)"
+                    )
+            restricted = {node: initial_colors[node] for node in sub.network}
+            result = inner_solver(sub, restricted, q, ledger)
+            partial.commit(result.colors, result.orientation)
+        partial.require_complete("Lemma 4.4")
+    return ColoringResult(
+        colors=partial.colors,
+        orientation=partial.orientation,
+        ledger=ledger,
+    )
+
+
+def slack_reduction_full(instance: ArbdefectiveInstance,
+                         initial_colors: Mapping[Node, Color],
+                         q: int,
+                         mu: float,
+                         inner_solver: ArbSolver,
+                         ledger: Optional[CostLedger] = None,
+                         bandwidth: Optional[BandwidthModel] = None,
+                         check: bool = True,
+                         partitioner=None) -> ColoringResult:
+    """Lemma A.1: solve any slack-1 ``P_A`` instance via slack-``mu`` calls.
+
+    Runs O(log Delta) passes; in each pass the defective partition is
+    recomputed on the still-uncolored subgraph and only the nodes with at
+    most half of their (current) neighbors colored participate, which
+    halves the uncolored degree of everyone else.
+
+    ``partitioner`` optionally maps a subnetwork to a defective coloring
+    with at most ``deg(v) / (2 mu)`` same-class neighbors (validated);
+    by default the Lemma 3.4 coloring is computed each pass.
+    """
+    ledger = ensure_ledger(ledger)
+    if check:
+        _check_slack(instance, 1.0, "Lemma A.1")
+    partial = PartialColoring(instance)
+    max_passes = max(1, math.ceil(
+        math.log2(max(2, instance.network.raw_max_degree()))
+    )) + 2
+    with ledger.phase("slack-reduction-A.1"):
+        for _ in range(max_passes):
+            uncolored = partial.uncolored()
+            if not uncolored:
+                break
+            current = partial.residual_instance(uncolored)
+            network = current.network
+            restricted = {node: initial_colors[node] for node in network}
+            if partitioner is not None:
+                psi = partitioner(network)
+                _check_partition(network, psi, 1.0 / (2.0 * mu))
+                ledger.charge_round()
+            else:
+                psi, _ = kuhn_defective_coloring(
+                    BidirectedView(network), restricted, q,
+                    alpha=1.0 / (2.0 * mu),
+                    ledger=ledger, bandwidth=bandwidth,
+                )
+            degree_at_pass_start = {
+                node: network.degree(node) for node in network
+            }
+            colored_since = {node: 0 for node in network}
+            for _, members in _classes(psi).items():
+                eligible = [
+                    node for node in members
+                    if not partial.is_colored(node)
+                    and colored_since[node]
+                    <= degree_at_pass_start[node] / 2.0
+                ]
+                if not eligible:
+                    continue
+                sub = partial.residual_instance(eligible)
+                if sub.network.edge_count() == 0:
+                    trivial = solve_edgeless(sub, ledger)
+                    partial.commit(trivial.colors, trivial.orientation)
+                    for node in trivial.colors:
+                        for neighbor in network.neighbors(node):
+                            if neighbor in colored_since:
+                                colored_since[neighbor] += 1
+                    continue
+                for node in sub.network:
+                    if sub.weight(node) <= mu * sub.network.degree(node):
+                        raise AlgorithmFailure(
+                            f"node {node!r}: H_j sub-instance lost its "
+                            f"slack-{mu} guarantee (Lemma A.1 arithmetic)"
+                        )
+                sub_initial = {
+                    node: initial_colors[node] for node in sub.network
+                }
+                result = inner_solver(sub, sub_initial, q, ledger)
+                partial.commit(result.colors, result.orientation)
+                for node, color in result.colors.items():
+                    for neighbor in network.neighbors(node):
+                        if neighbor in colored_since:
+                            colored_since[neighbor] += 1
+        partial.require_complete("Lemma A.1")
+    return ColoringResult(
+        colors=partial.colors,
+        orientation=partial.orientation,
+        ledger=ledger,
+    )

@@ -1,0 +1,154 @@
+"""Lemma 4.5: color space reduction for list arbdefective instances.
+
+``P_A(S, C)`` reduces to one list *defective* instance over ``p`` color
+subspaces (each node picks the subspace it will draw its final color
+from) followed by one ``P_A(S / sigma, ceil(C / p))`` instance on the
+same-subspace subgraph with colors renumbered inside their subspace:
+
+    ``T_A(S, C) <= T_D(sigma, p) + T_A(S / sigma, ceil(C / p))``.
+
+The subspace-choice defects follow Eq. (19) with the same floor-instead-
+of-ceiling fix as :mod:`repro.core.color_space_reduction` (the ceiling
+version of the paper does not satisfy its own residual-slack line):
+
+    ``d_{v,i} = floor(sigma * deg(v) * W_{v,i} / W_v)``
+
+gives ``sum_i (d_{v,i} + 1) > sigma * deg(v)`` (a ``P_D(sigma, p)``
+instance) and ``W_{v,i} >= d_{v,i} * W_v / (sigma * deg(v)) >
+(S / sigma) * d_{v,i}``, the residual slack the recursion needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..coloring.instance import ArbdefectiveInstance, ListDefectiveInstance
+from ..coloring.result import ColoringResult
+from ..sim.errors import AlgorithmFailure, InfeasibleInstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+
+Node = Hashable
+Color = int
+
+#: A P_D solver: (instance, ledger) -> ColoringResult (no orientation).
+DefectiveSolver = Callable[[ListDefectiveInstance, CostLedger], ColoringResult]
+#: A P_A solver for the residual: (instance, ledger) -> ColoringResult.
+ResidualSolver = Callable[[ArbdefectiveInstance, CostLedger], ColoringResult]
+
+
+def build_subspace_instance(instance: ArbdefectiveInstance,
+                            p: int,
+                            sigma: float
+                            ) -> Tuple[ListDefectiveInstance, int]:
+    """The ``P_D(sigma, p)`` subspace-choice instance and the block size."""
+    if p < 1:
+        raise InfeasibleInstanceError(None, "need at least one subspace")
+    block_size = math.ceil(instance.color_space_size / p)
+    lists: Dict[Node, Tuple[int, ...]] = {}
+    defects: Dict[Node, Dict[int, int]] = {}
+    for node in instance.network:
+        weights: Dict[int, int] = {}
+        for color in instance.lists[node]:
+            block = color // block_size
+            weights[block] = weights.get(block, 0) + (
+                instance.defects[node][color] + 1
+            )
+        total = instance.weight(node)
+        degree = instance.network.degree(node)
+        blocks = tuple(sorted(weights))
+        lists[node] = blocks
+        defects[node] = {
+            block: int(sigma * degree * weights[block] / total)  # floor
+            for block in blocks
+        }
+    return (
+        ListDefectiveInstance(instance.network, lists, defects, p),
+        block_size,
+    )
+
+
+def build_residual_instance(instance: ArbdefectiveInstance,
+                            chosen_block: Mapping[Node, int],
+                            block_size: int) -> ArbdefectiveInstance:
+    """The same-subspace residual with colors renumbered into the block."""
+    network = instance.network
+    keep_edges = [
+        (u, v)
+        for u, v in network.edges()
+        if chosen_block[u] == chosen_block[v]
+    ]
+    adjacency: Dict[Node, list] = {node: [] for node in network}
+    for u, v in keep_edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    from ..sim.network import Network
+
+    sub_network = Network(adjacency)
+    lists = {
+        node: tuple(
+            color - chosen_block[node] * block_size
+            for color in instance.lists[node]
+            if color // block_size == chosen_block[node]
+        )
+        for node in network
+    }
+    defects = {
+        node: {
+            color - chosen_block[node] * block_size:
+                instance.defects[node][color]
+            for color in instance.lists[node]
+            if color // block_size == chosen_block[node]
+        }
+        for node in network
+    }
+    return ArbdefectiveInstance(sub_network, lists, defects, block_size)
+
+
+def subspace_reduced_arbdefective(instance: ArbdefectiveInstance,
+                                  p: int,
+                                  sigma: float,
+                                  defective_solver: DefectiveSolver,
+                                  residual_solver: ResidualSolver,
+                                  ledger: Optional[CostLedger] = None,
+                                  check: bool = True) -> ColoringResult:
+    """Lemma 4.5: solve ``P_A(S, C)`` via subspace choice plus recursion.
+
+    ``defective_solver`` handles the ``P_D(sigma, p)`` choice instance;
+    ``residual_solver`` handles the combined same-subspace
+    ``P_A(S/sigma, ceil(C/p))`` instance.  ``S`` (checked when ``check``)
+    must exceed ``sigma``.
+    """
+    ledger = ensure_ledger(ledger)
+    if check:
+        for node in instance.network:
+            if instance.weight(node) <= sigma * instance.network.degree(node):
+                raise InfeasibleInstanceError(
+                    node,
+                    f"Lemma 4.5 needs slack > sigma = {sigma}: weight "
+                    f"{instance.weight(node)} <= "
+                    f"{sigma} * deg {instance.network.degree(node)}",
+                )
+    with ledger.phase("subspace-choice"):
+        choice_instance, block_size = build_subspace_instance(
+            instance, p, sigma
+        )
+        choice = defective_solver(choice_instance, ledger)
+        residual = build_residual_instance(
+            instance, choice.colors, block_size
+        )
+        result = residual_solver(residual, ledger)
+    colors = {
+        node: result.colors[node] + choice.colors[node] * block_size
+        for node in instance.network
+    }
+    orientation = result.orientation or {}
+    for node in instance.network:
+        if colors[node] not in instance.lists[node]:
+            raise AlgorithmFailure(
+                f"node {node!r}: subspace reduction produced color "
+                f"{colors[node]} outside the original list"
+            )
+    return ColoringResult(
+        colors=colors, orientation=orientation, ledger=ledger
+    )

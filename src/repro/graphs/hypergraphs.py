@@ -1,0 +1,131 @@
+"""Bounded-rank hypergraphs.
+
+The paper's flagship family of bounded neighborhood independence graphs is
+the family of *line graphs of bounded-rank hypergraphs*: in the line graph
+of a rank-``r`` hypergraph, the neighborhood independence is at most ``r``.
+This module provides the hypergraph side; :mod:`repro.graphs.line_graphs`
+turns them into networks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..sim.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """A hypergraph given by its vertex count and hyperedge list.
+
+    Vertices are ``0 .. n_vertices - 1``; every hyperedge is a frozenset of
+    at least two vertices.  ``rank`` is the maximum hyperedge size.
+    """
+
+    n_vertices: int
+    edges: Tuple[FrozenSet[int], ...]
+
+    def __post_init__(self) -> None:
+        for edge in self.edges:
+            if len(edge) < 2:
+                raise NetworkError("hyperedges need at least two vertices")
+            if any(v < 0 or v >= self.n_vertices for v in edge):
+                raise NetworkError("hyperedge references unknown vertex")
+        if len(set(self.edges)) != len(self.edges):
+            raise NetworkError("duplicate hyperedges are not allowed")
+
+    @property
+    def rank(self) -> int:
+        """Maximum hyperedge size (0 for an edgeless hypergraph)."""
+        return max((len(edge) for edge in self.edges), default=0)
+
+    def vertex_degree(self, vertex: int) -> int:
+        """Number of hyperedges containing ``vertex``."""
+        return sum(1 for edge in self.edges if vertex in edge)
+
+    def max_vertex_degree(self) -> int:
+        return max(
+            (self.vertex_degree(v) for v in range(self.n_vertices)), default=0
+        )
+
+
+def graph_as_hypergraph(edges: Sequence[Tuple[int, int]],
+                        n_vertices: int) -> Hypergraph:
+    """Interpret an ordinary graph as a rank-2 hypergraph."""
+    return Hypergraph(
+        n_vertices, tuple(frozenset(edge) for edge in edges)
+    )
+
+
+def random_hypergraph(n_vertices: int, n_edges: int, rank: int,
+                      seed: int) -> Hypergraph:
+    """A random hypergraph with hyperedges of size 2..rank.
+
+    Each hyperedge picks a uniform size in ``[2, rank]`` and a uniform
+    vertex subset of that size; duplicates are rejected and resampled.
+    """
+    if rank < 2:
+        raise NetworkError("rank must be at least 2")
+    if n_vertices < rank:
+        raise NetworkError("need at least `rank` vertices")
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 100 * n_edges + 100:
+        attempts += 1
+        size = rng.randint(2, rank)
+        edge = frozenset(rng.sample(range(n_vertices), size))
+        edges.add(edge)
+    if len(edges) < n_edges:
+        raise NetworkError("could not sample enough distinct hyperedges")
+    return Hypergraph(n_vertices, tuple(sorted(edges, key=sorted)))
+
+
+def random_uniform_hypergraph(n_vertices: int, n_edges: int, rank: int,
+                              seed: int) -> Hypergraph:
+    """A random ``rank``-uniform hypergraph (every hyperedge has size rank)."""
+    if rank < 2:
+        raise NetworkError("rank must be at least 2")
+    if n_vertices < rank:
+        raise NetworkError("need at least `rank` vertices")
+    rng = random.Random(seed)
+    edges = set()
+    attempts = 0
+    while len(edges) < n_edges and attempts < 100 * n_edges + 100:
+        attempts += 1
+        edges.add(frozenset(rng.sample(range(n_vertices), rank)))
+    if len(edges) < n_edges:
+        raise NetworkError("could not sample enough distinct hyperedges")
+    return Hypergraph(n_vertices, tuple(sorted(edges, key=sorted)))
+
+
+def complete_uniform_hypergraph(n_vertices: int, rank: int) -> Hypergraph:
+    """All ``rank``-subsets of the vertex set as hyperedges."""
+    edges = tuple(
+        frozenset(combo)
+        for combo in itertools.combinations(range(n_vertices), rank)
+    )
+    return Hypergraph(n_vertices, edges)
+
+
+def partitioned_hypergraph(groups: int, group_size: int,
+                           rank: int, seed: int) -> Hypergraph:
+    """Hyperedges drawn inside vertex groups -- gives blocky line graphs."""
+    rng = random.Random(seed)
+    n_vertices = groups * group_size
+    edges: List[FrozenSet[int]] = []
+    seen = set()
+    per_group = max(1, group_size)
+    for g in range(groups):
+        base = g * group_size
+        members = list(range(base, base + group_size))
+        for _ in range(per_group):
+            size = rng.randint(2, min(rank, group_size))
+            edge = frozenset(rng.sample(members, size))
+            if edge not in seen:
+                seen.add(edge)
+                edges.append(edge)
+    return Hypergraph(n_vertices, tuple(edges))

@@ -1,0 +1,47 @@
+"""Unique identifier assignment.
+
+The model equips every node with a unique O(log n)-bit identifier; several
+algorithms (Linial's coloring in particular) bootstrap from the IDs viewed
+as an initial coloring with ``q = id-space size`` colors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable
+
+from ..sim.network import Network
+
+Node = Hashable
+
+
+def sequential_ids(network: Network) -> Dict[Node, int]:
+    """IDs ``0 .. n-1`` in deterministic node order."""
+    return {node: index for index, node in enumerate(network.nodes)}
+
+
+def random_ids(network: Network, seed: int, bits: int = 0) -> Dict[Node, int]:
+    """Unique random IDs from a space of size ``max(n, 2**bits)``.
+
+    With ``bits = 0`` the space defaults to ``n**2`` (still O(log n) bits),
+    mimicking sparse real-world identifier spaces.
+    """
+    n = len(network)
+    space = max(n, 2 ** bits) if bits else max(n * n, n)
+    rng = random.Random(seed)
+    values = rng.sample(range(space), n)
+    return {node: value for node, value in zip(network.nodes, values)}
+
+
+def ids_as_coloring(ids: Dict[Node, int]) -> Dict[Node, int]:
+    """View identifiers as a proper coloring with colors ``1..q``.
+
+    Identifiers are unique, so shifting them into ``1..q`` gives a trivially
+    proper coloring -- the standard bootstrap for Linial's algorithm.
+    """
+    return {node: value + 1 for node, value in ids.items()}
+
+
+def id_space_size(ids: Dict[Node, int]) -> int:
+    """The size ``q`` of the coloring induced by these identifiers."""
+    return max(ids.values()) + 1 if ids else 1

@@ -1,0 +1,153 @@
+"""Neighborhood independence computation.
+
+The neighborhood independence ``theta(G)`` is the maximum size of an
+independent set inside a single one-hop neighborhood ``G[N(v)]``
+(Section 2 of the paper).  Exact computation is exponential in the
+neighborhood size, so we provide the exact routine for the small
+neighborhoods used in tests plus a fast greedy *lower* bound and a
+clique-cover *upper* bound for larger experiment graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+from ..sim.network import Network
+
+Node = Hashable
+
+
+def _independence_number_exact(network: Network,
+                               vertices: Sequence[Node]) -> int:
+    """Exact maximum independent set size of the induced subgraph.
+
+    Branch and bound on (vertex in / vertex out); fine for the <= ~25
+    vertex neighborhoods used in tests.
+    """
+    vertices = list(vertices)
+    neighbor_sets = {
+        v: network.neighbor_set(v) & set(vertices) for v in vertices
+    }
+
+    best = 0
+
+    def branch(candidates: List[Node], size: int) -> None:
+        nonlocal best
+        if size + len(candidates) <= best:
+            return
+        if not candidates:
+            if size > best:
+                best = size
+            return
+        # Pick the highest-degree candidate to branch on for fast pruning.
+        pivot = max(candidates, key=lambda v: len(neighbor_sets[v]))
+        rest = [v for v in candidates if v != pivot]
+        # Branch 1: include pivot.
+        branch([v for v in rest if v not in neighbor_sets[pivot]], size + 1)
+        # Branch 2: exclude pivot.
+        branch(rest, size)
+
+    branch(vertices, 0)
+    return best
+
+
+def _greedy_independent_set(network: Network,
+                            vertices: Sequence[Node]) -> int:
+    """Greedy (minimum-degree-first) independent set size: a lower bound."""
+    vertex_set = set(vertices)
+    neighbor_sets = {
+        v: network.neighbor_set(v) & vertex_set for v in vertices
+    }
+    remaining = set(vertices)
+    count = 0
+    while remaining:
+        v = min(
+            remaining,
+            key=lambda u: (len(neighbor_sets[u] & remaining), repr(u)),
+        )
+        count += 1
+        remaining.discard(v)
+        remaining -= neighbor_sets[v]
+    return count
+
+
+def neighborhood_independence(network: Network, exact: bool = True) -> int:
+    """``theta(G)``; exact by default, greedy lower bound otherwise.
+
+    Graphs without edges have ``theta = 0`` by convention (no neighborhood
+    contains any vertex); the paper's algorithms treat ``theta >= 1``.
+    """
+    best = 0
+    for node in network:
+        neighbors = network.neighbors(node)
+        if not neighbors:
+            continue
+        if exact:
+            value = _independence_number_exact(network, neighbors)
+        else:
+            value = _greedy_independent_set(network, neighbors)
+        if value > best:
+            best = value
+    return best
+
+
+def neighborhood_independence_at(network: Network, node: Node,
+                                 exact: bool = True) -> int:
+    """Independence number of the single neighborhood ``G[N(node)]``."""
+    neighbors = network.neighbors(node)
+    if not neighbors:
+        return 0
+    if exact:
+        return _independence_number_exact(network, neighbors)
+    return _greedy_independent_set(network, neighbors)
+
+
+def verify_independence_bound(network: Network, theta: int) -> bool:
+    """Check (exactly) that every neighborhood has independence <= theta."""
+    return neighborhood_independence(network, exact=True) <= theta
+
+
+def _greedy_clique_cover(network: Network, vertices: Sequence[Node]) -> int:
+    """Greedy clique cover size of the induced subgraph.
+
+    Any independent set hits each clique at most once, so the cover size
+    is an *upper* bound on the independence number.
+    """
+    vertex_set = set(vertices)
+    neighbor_sets = {
+        v: network.neighbor_set(v) & vertex_set for v in vertices
+    }
+    cliques: List[List[Node]] = []
+    for v in sorted(vertices, key=lambda u: (-len(neighbor_sets[u]), repr(u))):
+        for clique in cliques:
+            if all(member in neighbor_sets[v] for member in clique):
+                clique.append(v)
+                break
+        else:
+            cliques.append([v])
+    return len(cliques)
+
+
+def neighborhood_independence_upper(network: Network) -> int:
+    """A cheap certified *upper* bound on ``theta(G)``.
+
+    Uses a greedy clique cover of every neighborhood -- safe to feed to
+    the Theorem 1.4/1.5 algorithms (their guarantees need a true upper
+    bound; a lower-bound estimate would silently void Claim 4.1).
+    """
+    best = 0
+    for node in network:
+        neighbors = network.neighbors(node)
+        if not neighbors:
+            continue
+        best = max(best, _greedy_clique_cover(network, neighbors))
+    return best
+
+
+def safe_theta(network: Network, exact_threshold: int = 20) -> int:
+    """The exact theta when neighborhoods are small, else the certified
+    upper bound -- always valid as the ``theta`` parameter of the
+    bounded-neighborhood-independence algorithms."""
+    if network.raw_max_degree() <= exact_threshold:
+        return neighborhood_independence(network, exact=True)
+    return neighborhood_independence_upper(network)

@@ -1,0 +1,95 @@
+"""Line graphs of graphs and hypergraphs.
+
+The line graph ``L(H)`` of a hypergraph ``H`` has one node per hyperedge;
+two nodes are adjacent iff the hyperedges intersect.  For a rank-``r``
+hypergraph, the neighborhood independence of ``L(H)`` is at most ``r``
+(pairwise disjoint hyperedges through a common hyperedge must each use a
+distinct one of its at most ``r`` vertices), which is how the paper's
+Theorem 1.5 yields fast ``(2*Delta - 1)``-edge coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Tuple
+
+from ..sim.network import Network
+from .hypergraphs import Hypergraph
+
+Node = Hashable
+
+
+def line_graph_of_network(network: Network
+                          ) -> Tuple[Network, Dict[int, Tuple[Node, Node]]]:
+    """The line graph of an ordinary graph.
+
+    Returns the line graph (nodes ``0..m-1``) and the mapping from line
+    graph node back to the original undirected edge it represents, so a
+    vertex coloring of the line graph can be read back as an edge coloring.
+    """
+    edges = sorted(network.edges(), key=lambda edge: tuple(map(repr, edge)))
+    edge_of: Dict[int, Tuple[Node, Node]] = {
+        index: edge for index, edge in enumerate(edges)
+    }
+    incident: Dict[Node, List[int]] = {node: [] for node in network}
+    for index, (u, v) in edge_of.items():
+        incident[u].append(index)
+        incident[v].append(index)
+    adjacency: Dict[int, List[int]] = {index: [] for index in edge_of}
+    for indices in incident.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+    return Network(adjacency), edge_of
+
+
+def line_graph_of_hypergraph(hypergraph: Hypergraph
+                             ) -> Tuple[Network, Dict[int, FrozenSet[int]]]:
+    """The line graph of a hypergraph (intersection graph of hyperedges).
+
+    Returns the network (nodes ``0..m-1``) and the mapping from node index
+    to the hyperedge it represents.  The neighborhood independence of the
+    result is at most ``hypergraph.rank``.
+    """
+    edge_of: Dict[int, FrozenSet[int]] = dict(enumerate(hypergraph.edges))
+    containing: Dict[int, List[int]] = {
+        v: [] for v in range(hypergraph.n_vertices)
+    }
+    for index, edge in edge_of.items():
+        for vertex in edge:
+            containing[vertex].append(index)
+    adjacency: Dict[int, set] = {index: set() for index in edge_of}
+    for indices in containing.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return (
+        Network({index: sorted(nbrs) for index, nbrs in adjacency.items()}),
+        edge_of,
+    )
+
+
+def edge_coloring_from_line_coloring(
+        colors: Dict[int, int],
+        edge_of: Dict[int, Tuple[Node, Node]]
+) -> Dict[Tuple[Node, Node], int]:
+    """Translate a line graph vertex coloring back to an edge coloring."""
+    return {edge_of[index]: color for index, color in colors.items()}
+
+
+def is_proper_edge_coloring(network: Network,
+                            edge_colors: Dict[Tuple[Node, Node], int]) -> bool:
+    """Check that no two edges sharing an endpoint have the same color."""
+    seen: Dict[Tuple[Node, int], Tuple[Node, Node]] = {}
+    for edge, color in edge_colors.items():
+        u, v = edge
+        for endpoint in (u, v):
+            key = (endpoint, color)
+            if key in seen and frozenset(seen[key]) != frozenset(edge):
+                return False
+            seen[key] = edge
+    # Every edge of the network must be colored.
+    expected = {frozenset(edge) for edge in network.edges()}
+    got = {frozenset(edge) for edge in edge_colors}
+    return expected == got

@@ -1,0 +1,303 @@
+"""Edge-oriented graphs and orientation constructors.
+
+Oriented list defective coloring takes an *edge orientation* as part of
+the input: every undirected edge carries a direction and a node's defect
+budget is charged only by its *out*-neighbors.  Following the paper's
+convention, ``beta(v)`` denotes the maximum of 1 and the outdegree of
+``v``, and ``beta(G)`` is the maximum over all nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Tuple
+
+from ..sim.errors import NetworkError
+from ..sim.network import Network
+
+Node = Hashable
+
+
+class OrientedGraph:
+    """An undirected network plus a direction for each edge."""
+
+    def __init__(self, network: Network,
+                 out_neighbors: Mapping[Node, Iterable[Node]]):
+        """``out_neighbors[v]`` must partition each edge consistently.
+
+        For every undirected edge ``{u, v}`` exactly one of ``v in
+        out_neighbors[u]`` / ``u in out_neighbors[v]`` must hold.
+        """
+        self.network = network
+        outs: Dict[Node, Tuple[Node, ...]] = {}
+        for node in network:
+            declared = tuple(dict.fromkeys(out_neighbors.get(node, ())))
+            for target in declared:
+                if not network.has_edge(node, target):
+                    raise NetworkError(
+                        f"orientation uses non-edge {node!r}->{target!r}"
+                    )
+            outs[node] = declared
+        out_sets = {node: frozenset(nbrs) for node, nbrs in outs.items()}
+        for u, v in network.edges():
+            u_to_v = v in out_sets[u]
+            v_to_u = u in out_sets[v]
+            if u_to_v == v_to_u:
+                state = "both directions" if u_to_v else "no direction"
+                raise NetworkError(f"edge {u!r}-{v!r} has {state}")
+        self._out = outs
+        self._out_sets = out_sets
+        self._in: Dict[Node, Tuple[Node, ...]] = {node: () for node in network}
+        incoming: Dict[Node, list] = {node: [] for node in network}
+        for node, nbrs in outs.items():
+            for target in nbrs:
+                incoming[target].append(node)
+        self._in = {node: tuple(nbrs) for node, nbrs in incoming.items()}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self.network.nodes
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.network
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self.network.neighbors(node)
+
+    def out_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self._out[node]
+
+    def in_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self._in[node]
+
+    def points_to(self, u: Node, v: Node) -> bool:
+        """True iff the edge ``{u, v}`` is oriented ``u -> v``."""
+        return v in self._out_sets[u]
+
+    def outdegree(self, node: Node) -> int:
+        return len(self._out[node])
+
+    def beta(self, node: Node) -> int:
+        """``beta_v``: the outdegree of ``v``, floored at 1 (paper Sec. 2)."""
+        return max(1, len(self._out[node]))
+
+    def max_beta(self) -> int:
+        """``beta(G) = max_v beta_v``."""
+        return max((self.beta(node) for node in self.network), default=1)
+
+    def max_outdegree(self) -> int:
+        """The raw maximum outdegree (no floor)."""
+        return max((len(self._out[node]) for node in self.network), default=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"OrientedGraph(n={len(self.network)}, "
+            f"m={self.network.edge_count()}, beta={self.max_beta()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "OrientedGraph":
+        """Induced oriented subgraph on ``nodes``."""
+        keep = set(nodes)
+        sub_network = self.network.subgraph(keep)
+        sub_out = {
+            node: [u for u in self._out[node] if u in keep] for node in keep
+        }
+        return OrientedGraph(sub_network, sub_out)
+
+    def without_edges(self, dropped: Iterable[Tuple[Node, Node]]
+                      ) -> "OrientedGraph":
+        """Copy with the given undirected edges removed (orientation kept)."""
+        drop = {frozenset(edge) for edge in dropped}
+        adjacency = {
+            node: [
+                u for u in self.network.neighbors(node)
+                if frozenset((node, u)) not in drop
+            ]
+            for node in self.network
+        }
+        new_network = Network(adjacency)
+        new_out = {
+            node: [
+                u for u in self._out[node]
+                if frozenset((node, u)) not in drop
+            ]
+            for node in self.network
+        }
+        return OrientedGraph(new_network, new_out)
+
+
+# ----------------------------------------------------------------------
+# Orientation constructors
+# ----------------------------------------------------------------------
+def orient_by_key(network: Network,
+                  key: Callable[[Node], object]) -> OrientedGraph:
+    """Orient every edge from the larger to the smaller ``key`` value.
+
+    With an injective key this yields an acyclic orientation -- the
+    "towards the earlier node" orientation the paper's greedy arguments
+    use.  Ties are broken by ``repr`` so the result is always a valid
+    orientation.
+    """
+    def full_key(node: Node) -> Tuple[object, str]:
+        return (key(node), repr(node))
+
+    out = {
+        node: [
+            neighbor for neighbor in network.neighbors(node)
+            if full_key(neighbor) < full_key(node)
+        ]
+        for node in network
+    }
+    return OrientedGraph(network, out)
+
+
+def orient_by_id(network: Network) -> OrientedGraph:
+    """Acyclic orientation from higher to lower node identifier."""
+    return orient_by_key(network, lambda node: node)
+
+
+def orient_by_coloring(network: Network,
+                       coloring: Mapping[Node, int]) -> OrientedGraph:
+    """Orient each edge towards the endpoint with the smaller color.
+
+    Requires the coloring to be proper (adjacent nodes differ), which makes
+    the orientation acyclic; a monochromatic edge raises
+    :class:`~repro.sim.errors.NetworkError`.
+    """
+    for u, v in network.edges():
+        if coloring[u] == coloring[v]:
+            raise NetworkError(
+                f"orient_by_coloring needs a proper coloring; edge "
+                f"{u!r}-{v!r} is monochromatic"
+            )
+    return orient_by_key(network, lambda node: coloring[node])
+
+
+def orient_random(network: Network, rng) -> OrientedGraph:
+    """Orient each edge uniformly at random (``rng``: ``random.Random``)."""
+    out: Dict[Node, list] = {node: [] for node in network}
+    for u, v in network.edges():
+        if rng.random() < 0.5:
+            out[u].append(v)
+        else:
+            out[v].append(u)
+    return OrientedGraph(network, out)
+
+
+def orient_low_outdegree(network: Network) -> OrientedGraph:
+    """A degeneracy orientation: outdegree at most the graph's degeneracy.
+
+    Repeatedly removes a minimum-degree node and orients its remaining
+    edges away from it.  For a ``d``-degenerate graph every node ends with
+    outdegree at most ``d``.
+    """
+    import heapq
+
+    remaining_degree = {node: network.degree(node) for node in network}
+    heap = [(degree, repr(node), node) for node, degree in remaining_degree.items()]
+    heapq.heapify(heap)
+    removed = set()
+    order = []
+    while heap:
+        _, __, node = heapq.heappop(heap)
+        if node in removed:
+            continue
+        removed.add(node)
+        order.append(node)
+        for neighbor in network.neighbors(node):
+            if neighbor not in removed:
+                remaining_degree[neighbor] -= 1
+                heapq.heappush(
+                    heap,
+                    (remaining_degree[neighbor], repr(neighbor), neighbor),
+                )
+    position = {node: index for index, node in enumerate(order)}
+    out = {
+        node: [
+            neighbor for neighbor in network.neighbors(node)
+            if position[neighbor] > position[node]
+        ]
+        for node in network
+    }
+    return OrientedGraph(network, out)
+
+
+def orient_all_out(network: Network) -> "BidirectedView":
+    """Treat *every* neighbor as an out-neighbor (``beta_v = deg(v)``).
+
+    This is not a valid orientation of the edges, but several reductions
+    (e.g. getting an *undirected* defective coloring out of Lemma 3.4)
+    need the "defect counts all neighbors" view.  The returned object
+    supports the same read interface as :class:`OrientedGraph`.
+    """
+    return BidirectedView(network)
+
+
+class BidirectedView:
+    """Read-only oriented-graph interface where every edge points both ways."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self.network.nodes
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.network
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self.network.neighbors(node)
+
+    def out_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self.network.neighbors(node)
+
+    def in_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        return self.network.neighbors(node)
+
+    def points_to(self, u: Node, v: Node) -> bool:
+        return self.network.has_edge(u, v)
+
+    def outdegree(self, node: Node) -> int:
+        return self.network.degree(node)
+
+    def beta(self, node: Node) -> int:
+        return max(1, self.network.degree(node))
+
+    def max_beta(self) -> int:
+        return max((self.beta(node) for node in self.network), default=1)
+
+    def max_outdegree(self) -> int:
+        return max((self.outdegree(node) for node in self.network), default=0)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "BidirectedView":
+        return BidirectedView(self.network.subgraph(nodes))
+
+    def without_edges(self, dropped: Iterable[Tuple[Node, Node]]
+                      ) -> "BidirectedView":
+        """Copy with the given undirected edges removed.
+
+        A bidirected "edge" appears once per direction in callers that
+        enumerate ``(u, out_neighbor)`` pairs; dropping by the undirected
+        key handles both.
+        """
+        drop = {frozenset(edge) for edge in dropped}
+        adjacency = {
+            node: [
+                neighbor for neighbor in self.network.neighbors(node)
+                if frozenset((node, neighbor)) not in drop
+            ]
+            for node in self.network
+        }
+        return BidirectedView(Network(adjacency))

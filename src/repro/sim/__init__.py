@@ -1,0 +1,48 @@
+"""Synchronous message-passing round simulator (LOCAL and CONGEST)."""
+
+from .congest import BandwidthModel, CongestModel, LocalModel
+from .errors import (
+    AlgorithmFailure,
+    BandwidthExceeded,
+    InfeasibleInstanceError,
+    InstanceError,
+    NetworkError,
+    RoundLimitExceeded,
+    SchedulerError,
+    SimulationError,
+)
+from .message import Message, color_bits, int_bits, payload_bits
+from .metrics import CostLedger, PhaseStats, ensure_ledger
+from .network import Network
+from .node import NodeProgram, RoundContext
+from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler, run_protocol
+from .tracing import RoundObserver, RoundRecord
+
+__all__ = [
+    "AlgorithmFailure",
+    "BandwidthExceeded",
+    "BandwidthModel",
+    "CongestModel",
+    "CostLedger",
+    "DEFAULT_MAX_ROUNDS",
+    "InfeasibleInstanceError",
+    "InstanceError",
+    "LocalModel",
+    "Message",
+    "Network",
+    "NetworkError",
+    "NodeProgram",
+    "PhaseStats",
+    "RoundContext",
+    "RoundLimitExceeded",
+    "RoundObserver",
+    "RoundRecord",
+    "Scheduler",
+    "SchedulerError",
+    "SimulationError",
+    "color_bits",
+    "ensure_ledger",
+    "int_bits",
+    "payload_bits",
+    "run_protocol",
+]

@@ -1,0 +1,69 @@
+"""Bandwidth models: LOCAL (unbounded) and CONGEST (O(log n) bits).
+
+The scheduler consults a :class:`BandwidthModel` for every message.  The
+CONGEST budget follows the standard convention of ``c * log2(n)`` bits per
+edge per round; protocols that additionally ship colors from a space of
+size ``C`` may widen the budget to ``c * (log2 n + log2 C)`` -- exactly the
+message size Theorem 1.2 claims -- by passing ``extra_bits``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .errors import BandwidthExceeded
+from .message import Message
+
+
+class BandwidthModel:
+    """Interface: validate each message against the model's budget."""
+
+    name = "abstract"
+
+    def check(self, message: Message) -> None:
+        """Raise :class:`BandwidthExceeded` if the message is too large."""
+        raise NotImplementedError
+
+    def budget_bits(self) -> Optional[int]:
+        """The per-edge per-round budget, or ``None`` if unbounded."""
+        raise NotImplementedError
+
+
+class LocalModel(BandwidthModel):
+    """The LOCAL model: messages of arbitrary size."""
+
+    name = "LOCAL"
+
+    def check(self, message: Message) -> None:
+        return None
+
+    def budget_bits(self) -> Optional[int]:
+        return None
+
+
+class CongestModel(BandwidthModel):
+    """The CONGEST model with budget ``factor * (log2 n + extra_bits)``."""
+
+    name = "CONGEST"
+
+    def __init__(self, n: int, factor: int = 32, extra_bits: int = 0):
+        if n < 1:
+            raise ValueError("n must be positive")
+        if factor < 1:
+            raise ValueError("factor must be positive")
+        self.n = n
+        self.factor = factor
+        self.extra_bits = extra_bits
+        log_n = max(1, int(math.ceil(math.log2(max(2, n)))))
+        self._budget = factor * (log_n + extra_bits)
+
+    def check(self, message: Message) -> None:
+        bits = message.size_bits
+        if bits > self._budget:
+            raise BandwidthExceeded(
+                bits, self._budget, message.sender, message.receiver
+            )
+
+    def budget_bits(self) -> Optional[int]:
+        return self._budget

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the distributed round simulator.
+
+All simulator and algorithm errors derive from :class:`SimulationError` so
+callers can catch one base class.  Algorithm-level failures are split into
+precondition violations (the caller handed an instance that does not satisfy
+the theorem's hypothesis) and runtime failures (an invariant the paper proves
+did not hold, which indicates a bug and should never happen on feasible
+instances).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class NetworkError(SimulationError):
+    """Raised for malformed topologies or invalid node references."""
+
+
+class SchedulerError(SimulationError):
+    """Raised when the round scheduler is used incorrectly."""
+
+
+class RoundLimitExceeded(SchedulerError):
+    """Raised when a protocol does not terminate within its round budget."""
+
+    def __init__(self, limit: int, still_active: int):
+        self.limit = limit
+        self.still_active = still_active
+        super().__init__(
+            f"protocol did not terminate within {limit} rounds "
+            f"({still_active} nodes still active)"
+        )
+
+
+class BandwidthExceeded(SimulationError):
+    """Raised in CONGEST mode when a message exceeds the per-edge budget."""
+
+    def __init__(self, bits: int, budget: int, sender, receiver):
+        self.bits = bits
+        self.budget = budget
+        self.sender = sender
+        self.receiver = receiver
+        super().__init__(
+            f"CONGEST violation: message of {bits} bits from {sender!r} to "
+            f"{receiver!r} exceeds the {budget}-bit per-edge round budget"
+        )
+
+
+class InstanceError(SimulationError):
+    """Raised for structurally malformed coloring instances."""
+
+
+class InfeasibleInstanceError(SimulationError):
+    """Raised when an instance violates an algorithm's slack precondition.
+
+    The offending node and the failed inequality are recorded so tests can
+    assert on the precise precondition that failed.
+    """
+
+    def __init__(self, node, message: str):
+        self.node = node
+        super().__init__(f"node {node!r}: {message}")
+
+
+class AlgorithmFailure(SimulationError):
+    """Raised when a proven invariant fails at run time.
+
+    On instances satisfying the paper's preconditions this is unreachable;
+    seeing it means the implementation (not the input) is wrong.
+    """

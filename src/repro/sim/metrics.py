@@ -1,0 +1,125 @@
+"""Cost accounting shared across composed protocols.
+
+The theorems in the paper bound three resources: the number of synchronous
+*rounds*, the number of *messages*, and the maximum *message size* in bits
+(the CONGEST budget).  A :class:`CostLedger` accumulates all three and can
+be passed through a chain of sub-protocol invocations (e.g. Theorem 1.5
+calls Lemma 4.4, which calls Lemma 3.4, which runs Linial steps) so the
+composed totals are measured exactly once.
+
+Phases give a named breakdown: ``ledger.phase("linial")`` opens a scope and
+rounds charged inside it are attributed to that phase as well as the total.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseStats:
+    """Per-phase resource totals."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    max_message_bits: int = 0
+    invocations: int = 0
+
+
+class CostLedger:
+    """Accumulates rounds / messages / bits across composed protocols."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.messages = 0
+        self.bits = 0
+        self.max_message_bits = 0
+        self.phases: Dict[str, PhaseStats] = {}
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge_round(self, messages: int = 0, bits: int = 0,
+                     max_message_bits: int = 0) -> None:
+        """Record one synchronous round with the given message totals."""
+        self.rounds += 1
+        self.messages += messages
+        self.bits += bits
+        if max_message_bits > self.max_message_bits:
+            self.max_message_bits = max_message_bits
+        for name in self._phase_stack:
+            stats = self.phases[name]
+            stats.rounds += 1
+            stats.messages += messages
+            stats.bits += bits
+            if max_message_bits > stats.max_message_bits:
+                stats.max_message_bits = max_message_bits
+
+    def charge_rounds(self, count: int) -> None:
+        """Charge ``count`` silent rounds (no messages)."""
+        for _ in range(count):
+            self.charge_round()
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Attribute rounds charged inside the ``with`` block to ``name``."""
+        stats = self.phases.setdefault(name, PhaseStats())
+        stats.invocations += 1
+        self._phase_stack.append(name)
+        try:
+            yield stats
+        finally:
+            self._phase_stack.pop()
+
+    def phase_rounds(self, name: str) -> int:
+        """Rounds attributed to phase ``name`` (0 if never entered)."""
+        stats = self.phases.get(name)
+        return stats.rounds if stats is not None else 0
+
+    # ------------------------------------------------------------------
+    # Merging and reporting
+    # ------------------------------------------------------------------
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's totals into this one (phases included)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.bits += other.bits
+        if other.max_message_bits > self.max_message_bits:
+            self.max_message_bits = other.max_message_bits
+        for name, stats in other.phases.items():
+            mine = self.phases.setdefault(name, PhaseStats())
+            mine.rounds += stats.rounds
+            mine.messages += stats.messages
+            mine.bits += stats.bits
+            mine.invocations += stats.invocations
+            if stats.max_message_bits > mine.max_message_bits:
+                mine.max_message_bits = stats.max_message_bits
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary used by examples and benches."""
+        lines = [
+            f"rounds={self.rounds} messages={self.messages} "
+            f"bits={self.bits} max_message_bits={self.max_message_bits}"
+        ]
+        for name, stats in sorted(self.phases.items()):
+            lines.append(
+                f"  phase {name}: rounds={stats.rounds} "
+                f"invocations={stats.invocations} "
+                f"max_message_bits={stats.max_message_bits}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CostLedger(rounds={self.rounds}, messages={self.messages})"
+
+
+def ensure_ledger(ledger: Optional[CostLedger]) -> CostLedger:
+    """Return ``ledger`` or a fresh one when ``None`` was passed."""
+    return ledger if ledger is not None else CostLedger()

@@ -1,0 +1,158 @@
+"""Static network topologies for the round simulator.
+
+A :class:`Network` is an undirected communication graph: nodes exchange
+messages along its edges in synchronous rounds.  Directed *inputs* (the
+edge orientations used by oriented list defective coloring) live in
+:mod:`repro.graphs.oriented`; communication is always bidirectional, as in
+the paper's model ("even if G is a directed graph, we assume that
+communication can happen in both directions").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+from .errors import NetworkError
+
+Node = Hashable
+
+
+class Network:
+    """An immutable undirected graph with O(1) neighbor lookups."""
+
+    def __init__(self, adjacency: Mapping[Node, Iterable[Node]]):
+        """Build a network from an adjacency mapping.
+
+        The mapping must be symmetric (if ``v in adjacency[u]`` then
+        ``u in adjacency[v]``) and free of self-loops; violations raise
+        :class:`NetworkError`.
+        """
+        adj: Dict[Node, Tuple[Node, ...]] = {}
+        for node, neighbors in adjacency.items():
+            unique = tuple(dict.fromkeys(neighbors))
+            adj[node] = unique
+        for node, neighbors in adj.items():
+            for neighbor in neighbors:
+                if neighbor == node:
+                    raise NetworkError(f"self-loop at node {node!r}")
+                if neighbor not in adj:
+                    raise NetworkError(
+                        f"edge {node!r}-{neighbor!r} references unknown node"
+                    )
+                if node not in adj[neighbor]:
+                    raise NetworkError(
+                        f"asymmetric adjacency: {node!r} lists {neighbor!r} "
+                        f"but not vice versa"
+                    )
+        self._adj = adj
+        self._neighbor_sets = {
+            node: frozenset(neighbors) for node, neighbors in adj.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, nodes: Iterable[Node],
+                   edges: Iterable[Tuple[Node, Node]]) -> "Network":
+        """Build a network from a node list and an undirected edge list."""
+        adjacency: Dict[Node, list] = {node: [] for node in nodes}
+        for u, v in edges:
+            if u not in adjacency or v not in adjacency:
+                raise NetworkError(f"edge ({u!r}, {v!r}) references unknown node")
+            if v not in adjacency[u]:
+                adjacency[u].append(v)
+            if u not in adjacency[v]:
+                adjacency[v].append(u)
+        return cls(adjacency)
+
+    @classmethod
+    def from_networkx(cls, graph) -> "Network":
+        """Build a network from a ``networkx.Graph``."""
+        return cls.from_edges(graph.nodes(), graph.edges())
+
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` (nodes and edges only)."""
+        import networkx
+
+        graph = networkx.Graph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Network":
+        """The induced subnetwork on ``nodes``."""
+        keep = set(nodes)
+        unknown = keep - set(self._adj)
+        if unknown:
+            raise NetworkError(f"unknown nodes in subgraph request: {unknown}")
+        return Network({
+            node: [u for u in self._adj[node] if u in keep] for node in keep
+        })
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """The node's neighbors, in insertion order."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def neighbor_set(self, node: Node) -> frozenset:
+        """The node's neighbors as a frozenset (O(1) membership)."""
+        try:
+            return self._neighbor_sets[node]
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        return v in self._neighbor_sets.get(u, frozenset())
+
+    def degree(self, node: Node) -> int:
+        """The node's degree."""
+        return len(self.neighbors(node))
+
+    def max_degree(self) -> int:
+        """Maximum degree, but at least 2 (the paper's Delta(G) convention)."""
+        raw = max((len(nbrs) for nbrs in self._adj.values()), default=0)
+        return max(2, raw)
+
+    def raw_max_degree(self) -> int:
+        """Maximum degree without the paper's floor of 2."""
+        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Each undirected edge exactly once (u listed before v by id order)."""
+        seen = set()
+        for node, neighbors in self._adj.items():
+            for neighbor in neighbors:
+                key = frozenset((node, neighbor))
+                if key not in seen:
+                    seen.add(key)
+                    yield (node, neighbor)
+
+    def edge_count(self) -> int:
+        """The number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(n={len(self._adj)}, m={self.edge_count()}, "
+            f"Delta={self.raw_max_degree()})"
+        )

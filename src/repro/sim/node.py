@@ -1,0 +1,82 @@
+"""Node programs: the local code executed by every vertex each round.
+
+A :class:`NodeProgram` sees only what the model allows it to see: its own
+identifier and input, its neighbor list, and the messages delivered this
+round.  The scheduler (:mod:`repro.sim.scheduler`) drives all programs in
+lock step; a program signals completion with :meth:`RoundContext.halt`.
+
+Protocols in this repository follow a common shape -- "iterate over the q
+initial color classes, class c acts in round c" -- so the context exposes
+the current round number to keep those programs simple.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .message import Message
+
+Node = Hashable
+
+
+class RoundContext:
+    """Per-node, per-round view handed to :meth:`NodeProgram.on_round`."""
+
+    def __init__(self, node: Node, neighbors: Tuple[Node, ...],
+                 round_number: int, inbox: Tuple[Message, ...]):
+        self.node = node
+        self.neighbors = neighbors
+        self.round_number = round_number
+        self.inbox = inbox
+        self.outbox: List[Message] = []
+        self.halted = False
+
+    def send(self, receiver: Node, tag: str, payload: Any = None,
+             bits: Optional[int] = None) -> None:
+        """Queue a message for delivery at the start of the next round."""
+        self.outbox.append(Message(self.node, receiver, tag, payload, bits))
+
+    def broadcast(self, tag: str, payload: Any = None,
+                  bits: Optional[int] = None) -> None:
+        """Send the same message to every neighbor."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, tag, payload, bits)
+
+    def received(self, tag: str) -> Dict[Node, Any]:
+        """Payloads of this round's messages with ``tag``, keyed by sender."""
+        return {
+            message.sender: message.payload
+            for message in self.inbox
+            if message.tag == tag
+        }
+
+    def halt(self) -> None:
+        """Mark this node as finished.
+
+        A halted node stops being scheduled but still *receives* nothing --
+        protocols must be written so no one sends to a halted node expecting
+        a reply.  Messages queued in the same round are still delivered.
+        """
+        self.halted = True
+
+
+class NodeProgram(ABC):
+    """Abstract local program; one instance runs per node.
+
+    Subclasses keep all their state on ``self`` -- the scheduler never
+    inspects it -- and must only read the information exposed through the
+    :class:`RoundContext` to preserve the locality discipline.
+    """
+
+    @abstractmethod
+    def on_round(self, ctx: RoundContext) -> None:
+        """Execute one synchronous round.
+
+        Called with the messages delivered this round in ``ctx.inbox``;
+        messages queued via ``ctx.send`` are delivered next round.
+        """
+
+    def output(self) -> Any:
+        """The node's final output after halting (protocol specific)."""
+        return None

@@ -1,0 +1,153 @@
+"""The synchronous round scheduler.
+
+Runs one :class:`~repro.sim.node.NodeProgram` per node in lock step:
+
+1. every active node is called with the messages delivered this round,
+2. the messages it queues are validated against the bandwidth model and
+   buffered,
+3. buffered messages are delivered at the start of the next round.
+
+This matches the paper's model: in every round a node can send a
+(potentially different) message to each neighbor, receive the neighbors'
+messages, and perform arbitrary internal computation.
+
+The scheduler terminates when every node has halted and no messages are in
+flight, and charges the measured rounds/messages/bits to a
+:class:`~repro.sim.metrics.CostLedger` so that composed protocols share one
+meter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from .congest import BandwidthModel, LocalModel
+from .errors import NetworkError, RoundLimitExceeded, SchedulerError
+from .message import Message
+from .metrics import CostLedger, ensure_ledger
+from .network import Network
+from .node import NodeProgram, RoundContext
+
+Node = Hashable
+
+#: Safety net so buggy protocols fail loudly instead of spinning forever.
+DEFAULT_MAX_ROUNDS = 1_000_000
+
+
+class Scheduler:
+    """Drives a set of node programs over a network until all halt."""
+
+    def __init__(self, network: Network,
+                 programs: Mapping[Node, NodeProgram],
+                 bandwidth: Optional[BandwidthModel] = None,
+                 ledger: Optional[CostLedger] = None,
+                 observer=None,
+                 stop_when=None):
+        missing = set(network.nodes) - set(programs)
+        if missing:
+            raise SchedulerError(f"nodes without a program: {sorted(map(repr, missing))}")
+        extra = set(programs) - set(network.nodes)
+        if extra:
+            raise SchedulerError(f"programs for unknown nodes: {sorted(map(repr, extra))}")
+        self.network = network
+        self.programs = dict(programs)
+        self.bandwidth = bandwidth if bandwidth is not None else LocalModel()
+        self.ledger = ensure_ledger(ledger)
+        #: Optional RoundObserver receiving per-round event records.
+        self.observer = observer
+        #: Optional global-quiescence oracle: ``stop_when(programs)`` is
+        #: evaluated after every round and ends the run when true.  This
+        #: models an external termination detector -- protocols whose
+        #: nodes cannot decide termination locally (e.g. parallel local
+        #: search) use it instead of per-node halting.
+        self.stop_when = stop_when
+        self.rounds_executed = 0
+
+    def run(self, max_rounds: int = DEFAULT_MAX_ROUNDS) -> CostLedger:
+        """Run to quiescence; returns the ledger for convenience."""
+        halted: Dict[Node, bool] = {node: False for node in self.network}
+        pending: Dict[Node, List[Message]] = {node: [] for node in self.network}
+        round_number = 0
+        while True:
+            active = [node for node in self.network if not halted[node]]
+            in_flight = any(pending[node] for node in self.network)
+            if not active and not in_flight:
+                break
+            if round_number >= max_rounds:
+                raise RoundLimitExceeded(max_rounds, len(active))
+            round_number += 1
+
+            inboxes = pending
+            pending = {node: [] for node in self.network}
+            round_messages = 0
+            round_bits = 0
+            round_max_bits = 0
+            sent_this_round: List[Message] = []
+            halted_this_round: List[Node] = []
+
+            for node in self.network:
+                if halted[node]:
+                    if inboxes[node]:
+                        # Late messages to a halted node are dropped; the
+                        # protocols in this repo never rely on them.
+                        continue
+                    continue
+                ctx = RoundContext(
+                    node=node,
+                    neighbors=self.network.neighbors(node),
+                    round_number=round_number,
+                    inbox=tuple(inboxes[node]),
+                )
+                self.programs[node].on_round(ctx)
+                for message in ctx.outbox:
+                    if not self.network.has_edge(message.sender, message.receiver):
+                        raise NetworkError(
+                            f"{message.sender!r} tried to message non-neighbor "
+                            f"{message.receiver!r}"
+                        )
+                    self.bandwidth.check(message)
+                    pending[message.receiver].append(message)
+                    round_messages += 1
+                    bits = message.size_bits
+                    round_bits += bits
+                    if bits > round_max_bits:
+                        round_max_bits = bits
+                    if self.observer is not None:
+                        sent_this_round.append(message)
+                if ctx.halted:
+                    halted[node] = True
+                    halted_this_round.append(node)
+
+            self.ledger.charge_round(
+                messages=round_messages,
+                bits=round_bits,
+                max_message_bits=round_max_bits,
+            )
+            if self.observer is not None:
+                self.observer.on_round(
+                    round_number, sent_this_round, halted_this_round
+                )
+            if self.stop_when is not None and self.stop_when(self.programs):
+                break
+        self.rounds_executed = round_number
+        return self.ledger
+
+    def outputs(self) -> Dict[Node, object]:
+        """Collect every node's declared output."""
+        return {node: program.output() for node, program in self.programs.items()}
+
+
+def run_protocol(network: Network,
+                 programs: Mapping[Node, NodeProgram],
+                 bandwidth: Optional[BandwidthModel] = None,
+                 ledger: Optional[CostLedger] = None,
+                 max_rounds: int = DEFAULT_MAX_ROUNDS,
+                 stop_when=None
+                 ) -> Tuple[Dict[Node, object], CostLedger]:
+    """Convenience wrapper: run to quiescence and return (outputs, ledger)."""
+    scheduler = Scheduler(
+        network, programs, bandwidth=bandwidth, ledger=ledger,
+        stop_when=stop_when,
+    )
+    scheduler.run(max_rounds=max_rounds)
+    return scheduler.outputs(), scheduler.ledger

@@ -1,0 +1,153 @@
+"""The shared algebraic recoloring protocol.
+
+Linial's O(Delta^2)-coloring and the Lemma 3.4 defective coloring differ
+only in how a node picks its evaluation point each step:
+
+* **proper** steps pick a point where *no* relevant neighbor's polynomial
+  agrees (possible because ``m > avoid * k``),
+* **defective** steps pick the point *minimizing* the number of agreeing
+  relevant neighbors with a different current color (at most
+  ``k/m * beta_v`` by averaging).
+
+Color convention: every "q-coloring" in this repository uses colors
+``{0, ..., q-1}`` (the paper's ``1..q`` shifted down by one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from ..sim.congest import BandwidthModel
+from ..sim.errors import AlgorithmFailure, InstanceError
+from ..sim.message import color_bits
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.scheduler import run_protocol
+from .cover_free import RecoloringStep
+
+Node = Hashable
+Color = int
+
+_TAG = "algebraic-color"
+
+
+class AlgebraicRecoloringProgram(NodeProgram):
+    """One node's side of the iterated algebraic recoloring."""
+
+    def __init__(self, node: Node, initial_color: Color,
+                 schedule: Sequence[RecoloringStep],
+                 relevant: frozenset):
+        """``relevant``: the neighbors whose polynomials this node dodges
+        (all neighbors for undirected Linial, out-neighbors otherwise)."""
+        self.node = node
+        self.color = initial_color
+        self.schedule = list(schedule)
+        self.relevant = relevant
+        self._step_index = 0
+        self._families = [step.family() for step in self.schedule]
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if ctx.round_number == 1:
+            if not self.schedule:
+                ctx.halt()
+                return
+            ctx.broadcast(
+                _TAG, self.color, bits=color_bits(self.schedule[0].q)
+            )
+            return
+        step = self.schedule[self._step_index]
+        family = self._families[self._step_index]
+        neighbor_colors = ctx.received(_TAG)
+        self.color = self._recolor(step, family, neighbor_colors)
+        self._step_index += 1
+        if self._step_index >= len(self.schedule):
+            ctx.halt()
+            return
+        ctx.broadcast(
+            _TAG,
+            self.color,
+            bits=color_bits(self.schedule[self._step_index].q),
+        )
+
+    def _recolor(self, step: RecoloringStep, family,
+                 neighbor_colors: Mapping[Node, Color]) -> Color:
+        own = self.color
+        if own >= step.q:
+            raise AlgorithmFailure(
+                f"node {self.node!r}: color {own} outside the declared "
+                f"{step.q}-coloring"
+            )
+        rivals = [
+            color
+            for sender, color in neighbor_colors.items()
+            if sender in self.relevant and color != own
+        ]
+        if step.alpha_step == 0.0:
+            return self._recolor_proper(step, family, rivals)
+        return self._recolor_defective(step, family, rivals)
+
+    def _recolor_proper(self, step: RecoloringStep, family,
+                        rivals: Sequence[Color]) -> Color:
+        for x in range(step.m):
+            own_value = family.evaluate(self.color, x)
+            if all(family.evaluate(r, x) != own_value for r in rivals):
+                return x * step.m + own_value
+        raise AlgorithmFailure(
+            f"node {self.node!r}: no collision-free point over F_{step.m} "
+            f"with {len(rivals)} rivals of degree {step.k} -- the step "
+            f"parameters violate m > avoid * k"
+        )
+
+    def _recolor_defective(self, step: RecoloringStep, family,
+                           rivals: Sequence[Color]) -> Color:
+        best_x = 0
+        best_conflicts = None
+        for x in range(step.m):
+            own_value = family.evaluate(self.color, x)
+            conflicts = sum(
+                1 for r in rivals if family.evaluate(r, x) == own_value
+            )
+            if best_conflicts is None or conflicts < best_conflicts:
+                best_x = x
+                best_conflicts = conflicts
+                if conflicts == 0:
+                    break
+        return best_x * step.m + family.evaluate(self.color, best_x)
+
+    def output(self) -> Color:
+        return self.color
+
+
+def run_recoloring(network: Network,
+                   initial_colors: Mapping[Node, Color],
+                   schedule: Sequence[RecoloringStep],
+                   relevant: Mapping[Node, frozenset],
+                   ledger: Optional[CostLedger] = None,
+                   bandwidth: Optional[BandwidthModel] = None,
+                   phase: str = "algebraic-recoloring"
+                   ) -> Tuple[Dict[Node, Color], int]:
+    """Run the schedule on every node; returns (colors, final palette size).
+
+    ``relevant[v]`` is the set of neighbors whose polynomials node ``v``
+    must account for.  Validation of the *initial* coloring is the
+    caller's job (proper overall vs. proper towards out-neighbors).
+    """
+    ledger = ensure_ledger(ledger)
+    for node in network:
+        if node not in initial_colors:
+            raise InstanceError(f"node {node!r} has no initial color")
+    if not schedule:
+        palette = max(initial_colors.values(), default=0) + 1
+        return dict(initial_colors), palette
+    programs = {
+        node: AlgebraicRecoloringProgram(
+            node, initial_colors[node], schedule, relevant[node]
+        )
+        for node in network
+    }
+    with ledger.phase(phase):
+        outputs, _ = run_protocol(
+            network, programs, bandwidth=bandwidth, ledger=ledger
+        )
+    return dict(outputs), schedule[-1].palette_size

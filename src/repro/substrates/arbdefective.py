@@ -1,0 +1,78 @@
+"""The classic ``d``-arbdefective ``ceil((Delta+1)/(d+1))``-coloring.
+
+[BE10] introduced arbdefective colorings precisely because -- unlike
+standard defective coloring -- the greedy bound is achievable: a single
+sweep in which every node picks the color minimizing conflicts with
+already-committed neighbors, orienting monochromatic edges towards the
+earlier nodes, keeps every node's monochromatic *out*-degree at most
+``floor(deg(v) / k)``.  This module packages that as a distributed tool
+(Linial bootstrap + greedy sweep) with the standard parameter interface:
+give me defect ``d``, get ``ceil((Delta+1)/(d+1))`` colors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Mapping, Optional
+
+from ..coloring.instance import ArbdefectiveInstance
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InstanceError
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from .greedy import greedy_arbdefective_sweep
+from .linial import linial_coloring
+
+Node = Hashable
+
+
+def arbdefective_palette(max_degree: int, defect: int) -> int:
+    """``ceil((Delta + 1) / (d + 1))``: the greedy arbdefective palette."""
+    return max(1, math.ceil((max_degree + 1) / (defect + 1)))
+
+
+def arbdefective_coloring(network: Network,
+                          defect: int,
+                          ids: Optional[Mapping[Node, int]] = None,
+                          ledger: Optional[CostLedger] = None,
+                          bandwidth: Optional[BandwidthModel] = None
+                          ) -> ColoringResult:
+    """A ``d``-arbdefective coloring with ``ceil((Delta+1)/(d+1))`` colors.
+
+    Distributed: Linial shrinks the identifier space to O(Delta^2)
+    colors, then one greedy sweep commits final colors; monochromatic
+    edges point at earlier-committed neighbors, so every node has at most
+    ``floor(deg(v) / k) <= d`` same-colored out-neighbors.
+    """
+    if defect < 0:
+        raise InstanceError("defect must be non-negative")
+    ledger = ensure_ledger(ledger)
+    palette_size = arbdefective_palette(network.raw_max_degree(), defect)
+    palette = tuple(range(palette_size))
+    # Per-color defect floor(deg / k) makes the sweep's pigeonhole tight:
+    # weight = k * (floor(deg/k) + 1) >= deg + 1 > deg.
+    lists = {node: palette for node in network}
+    defects = {
+        node: {
+            color: network.degree(node) // palette_size
+            for color in palette
+        }
+        for node in network
+    }
+    instance = ArbdefectiveInstance(network, lists, defects, palette_size)
+    if ids is None:
+        from ..graphs.identifiers import sequential_ids
+
+        ids = sequential_ids(network)
+    q_ids = max(ids.values()) + 1 if ids else 1
+    with ledger.phase("arbdefective-coloring"):
+        colors0, q0 = linial_coloring(
+            network, ids, q_ids, ledger=ledger, bandwidth=bandwidth
+        )
+        result = greedy_arbdefective_sweep(
+            instance, colors0, q0, ledger=ledger, bandwidth=bandwidth,
+        )
+    return ColoringResult(
+        colors=result.colors, orientation=result.orientation, ledger=ledger
+    )

@@ -1,0 +1,205 @@
+"""Comparator algorithms and resource envelopes from prior work.
+
+Two kinds of baseline live here:
+
+* :func:`two_sweep_defective_baseline` is a full implementation of the
+  classic *non-list* two-sweep defective coloring [BE09, BHL+19] that the
+  paper's Algorithm 1 generalizes: O(beta^2 / d^2) colors with defect
+  ``d`` in two sweeps.
+* The ``*_required_list_size`` / ``*_local_work`` functions model the
+  *resource envelopes* of the [FK23a] and [MT20] OLDC algorithms (list
+  size needed and per-node computation) for the comparison experiment E3.
+  Re-implementing those 20+ page algorithms is out of scope (DESIGN.md,
+  substitution 4); the quantities the present paper claims to improve --
+  required list size and internal computation -- are exactly what these
+  envelopes provide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..coloring.result import ColoringResult
+from ..graphs.oriented import OrientedGraph
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InstanceError
+from ..sim.message import color_bits
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.scheduler import run_protocol
+
+Node = Hashable
+Color = int
+
+
+# ----------------------------------------------------------------------
+# Non-list two-sweep defective coloring [BE09, BHL+19]
+# ----------------------------------------------------------------------
+class _DefectiveTwoSweepProgram(NodeProgram):
+    """Two opposite sweeps; the final color is the pair (c1, c2)."""
+
+    _TAG_INITIAL = "base-initial"
+    _TAG_FIRST = "base-first"
+    _TAG_SECOND = "base-second"
+
+    def __init__(self, node: Node, initial_color: Color, q: int,
+                 palette: int, out_neighbors: frozenset):
+        self.node = node
+        self.initial_color = initial_color
+        self.q = q
+        self.palette = palette
+        self.out_neighbors = out_neighbors
+        self.neighbor_initial: Dict[Node, Color] = {}
+        self.first_counts = [0] * palette
+        self.second_counts = [0] * palette
+        self.first: Optional[Color] = None
+        self.second: Optional[Color] = None
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if ctx.round_number == 1:
+            ctx.broadcast(
+                self._TAG_INITIAL, self.initial_color, bits=color_bits(self.q)
+            )
+            return
+        self._collect(ctx)
+        if ctx.round_number == 2 + self.initial_color:
+            self.first = min(
+                range(self.palette),
+                key=lambda c: (self.first_counts[c], c),
+            )
+            ctx.broadcast(
+                self._TAG_FIRST, self.first, bits=color_bits(self.palette)
+            )
+        if ctx.round_number == self.q + 2 + (self.q - 1 - self.initial_color):
+            self.second = min(
+                range(self.palette),
+                key=lambda c: (self.second_counts[c], c),
+            )
+            ctx.broadcast(
+                self._TAG_SECOND, self.second, bits=color_bits(self.palette)
+            )
+            ctx.halt()
+
+    def _collect(self, ctx: RoundContext) -> None:
+        for sender, payload in ctx.received(self._TAG_INITIAL).items():
+            self.neighbor_initial[sender] = payload
+        for sender, payload in ctx.received(self._TAG_FIRST).items():
+            if (sender in self.out_neighbors
+                    and self.neighbor_initial[sender] < self.initial_color):
+                self.first_counts[payload] += 1
+        for sender, payload in ctx.received(self._TAG_SECOND).items():
+            if (sender in self.out_neighbors
+                    and self.neighbor_initial[sender] > self.initial_color):
+                self.second_counts[payload] += 1
+
+    def output(self) -> Tuple[Color, Color]:
+        return (self.first, self.second)
+
+
+def two_sweep_defective_baseline(graph: OrientedGraph,
+                                 initial_colors: Mapping[Node, Color],
+                                 q: int,
+                                 defect: int,
+                                 ledger: Optional[CostLedger] = None,
+                                 bandwidth: Optional[BandwidthModel] = None
+                                 ) -> ColoringResult:
+    """The classic two-sweep ``d``-defective coloring with O(beta^2/d^2) colors.
+
+    Each sweep uses a palette of ``k = ceil((beta + 1) / (floor(d/2) + 1))``
+    colors and picks the value minimizing conflicts with the already-
+    processed out-neighbors (at most ``floor(beta_v / k) <= floor(d/2)``
+    each); the final color is the flattened pair, so the same-colored
+    out-neighbors number at most ``2 * floor(d/2) <= d``.
+    """
+    if defect < 0:
+        raise InstanceError("defect must be non-negative")
+    beta = graph.max_beta()
+    palette = max(1, math.ceil((beta + 1) / (defect // 2 + 1)))
+    ledger = ensure_ledger(ledger)
+    programs = {
+        node: _DefectiveTwoSweepProgram(
+            node=node,
+            initial_color=initial_colors[node],
+            q=q,
+            palette=palette,
+            out_neighbors=frozenset(graph.out_neighbors(node)),
+        )
+        for node in graph.nodes
+    }
+    with ledger.phase("baseline-two-sweep"):
+        outputs, _ = run_protocol(
+            graph.network, programs, bandwidth=bandwidth, ledger=ledger
+        )
+    colors = {
+        node: first * palette + second
+        for node, (first, second) in outputs.items()
+    }
+    return ColoringResult(colors=colors, orientation=None, ledger=ledger)
+
+
+def baseline_palette_size(beta: int, defect: int) -> int:
+    """The color count of :func:`two_sweep_defective_baseline`."""
+    k = max(1, math.ceil((beta + 1) / (defect // 2 + 1)))
+    return k * k
+
+
+# ----------------------------------------------------------------------
+# Resource envelopes of [FK23a] and [MT20]
+# ----------------------------------------------------------------------
+def fk23_required_list_size(beta: int, defect: int, color_space: int,
+                            q: int, alpha: float = 1.0) -> int:
+    """List size the [FK23a] OLDC algorithm needs at uniform defect ``d``.
+
+    From the paper's comparison: Omega((beta/d)^2 * (log beta + loglog C))
+    (the loglog q term is absorbed; ``alpha`` is the unstated constant).
+    """
+    ratio = beta / max(1, defect)
+    log_term = (
+        max(1.0, math.log2(max(2, beta)))
+        + max(0.0, math.log2(max(2.0, math.log2(max(2, color_space)))))
+        + max(0.0, math.log2(max(2.0, math.log2(max(2, q)))))
+    )
+    return int(math.ceil(alpha * ratio * ratio * log_term))
+
+
+def mt20_required_list_size(beta: int, color_space: int) -> int:
+    """List size of the [MT20] proper list coloring: Theta(beta^2 log beta)."""
+    log_term = max(1.0, math.log2(max(2, beta))) + max(
+        0.0, math.log2(max(2.0, math.log2(max(2, color_space))))
+    )
+    return int(math.ceil(beta * beta * log_term))
+
+
+def two_sweep_required_list_size(beta: int, defect: int) -> int:
+    """List size our Algorithm 1 needs at uniform defect ``d``: ``p**2``.
+
+    With ``p = ceil((beta + 1) / (d + 1))`` a list of ``p**2`` colors of
+    defect ``d`` has weight ``p^2 (d+1) >= p (beta+1) > p * beta_v`` and
+    ``|L| / p * beta = p * beta`` likewise, satisfying Eq. (2).
+    """
+    p = max(1, math.ceil((beta + 1) / (defect + 1)))
+    return p * p
+
+
+def two_sweep_local_work(beta: int, list_size: int) -> int:
+    """Per-node computation of Algorithm 1 (comparisons, up to constants).
+
+    Aggregating the out-neighbors' sub-lists costs ``beta * p`` and the
+    sort costs ``|L| log |L|`` -- nearly linear in ``Delta`` times the
+    maximum list size, as Section 1.1 states.
+    """
+    p = max(1, int(math.isqrt(max(1, list_size))))
+    sort_cost = list_size * max(1, int(math.ceil(math.log2(max(2, list_size)))))
+    return beta * p + sort_cost
+
+
+def fk23_local_work(list_size: int, cap_bits: int = 64) -> int:
+    """Per-node computation of [FK23a]: more than exponential in the list.
+
+    Appendix C of the full version bounds the nodes' internal computation
+    by a quantity exponential in the maximum list size (the algorithm
+    searches a subset of ``2^(2^{L_v})``).  We report ``2**min(list,
+    cap_bits)`` so the comparison table stays finite.
+    """
+    return 2 ** min(list_size, cap_bits)

@@ -1,0 +1,243 @@
+"""Polynomial set systems over finite fields.
+
+Both Linial's O(Delta^2)-coloring [Lin87] and the defective coloring of
+Lemma 3.4 [Kuh09, KS18] rest on the same algebraic gadget: encode each of
+``q`` current colors as a polynomial of degree at most ``k`` over a prime
+field ``F_m`` (possible whenever ``q <= m**(k+1)``).  Two *distinct*
+polynomials agree on at most ``k`` evaluation points, so a node can pick a
+point where few (or no) neighbors' polynomials collide with its own --
+that point/value pair is its new color from a palette of size ``m**2``.
+
+The module provides the polynomial family, prime search, and the step
+parameter selection for both the *proper* (zero collisions with up to
+``avoid`` neighbors) and *defective* (collision rate at most
+``alpha_step``) recoloring steps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality (fields here are small)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """The smallest prime >= n."""
+    candidate = max(2, n)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+class PolynomialFamily:
+    """Degree-``k`` polynomials over ``F_m`` indexed by ``0 .. q-1``.
+
+    Index ``i`` maps to the polynomial whose coefficients are the base-``m``
+    digits of ``i``; distinct indices give distinct polynomials, and two
+    distinct degree-``<= k`` polynomials agree on at most ``k`` points.
+    """
+
+    def __init__(self, q: int, m: int, k: int):
+        if not is_prime(m):
+            raise ValueError(f"field size {m} is not prime")
+        if k < 1:
+            raise ValueError("degree bound k must be at least 1")
+        if q > m ** (k + 1):
+            raise ValueError(
+                f"cannot encode {q} indices as degree-{k} polynomials "
+                f"over F_{m} (capacity {m ** (k + 1)})"
+            )
+        self.q = q
+        self.m = m
+        self.k = k
+
+    def coefficients(self, index: int) -> Tuple[int, ...]:
+        """Base-``m`` digits of ``index`` (constant coefficient first)."""
+        if not 0 <= index < self.q:
+            raise ValueError(f"index {index} out of range [0, {self.q})")
+        digits = []
+        value = index
+        for _ in range(self.k + 1):
+            digits.append(value % self.m)
+            value //= self.m
+        return tuple(digits)
+
+    def evaluate(self, index: int, x: int) -> int:
+        """Evaluate polynomial ``index`` at point ``x`` (Horner over F_m)."""
+        coeffs = self.coefficients(index)
+        acc = 0
+        for coefficient in reversed(coeffs):
+            acc = (acc * x + coefficient) % self.m
+        return acc
+
+    def pair_color(self, index: int, x: int) -> int:
+        """The palette-``m**2`` color ``(x, p_index(x))`` flattened."""
+        return x * self.m + self.evaluate(index, x)
+
+    @property
+    def palette_size(self) -> int:
+        return self.m * self.m
+
+
+@dataclass(frozen=True)
+class RecoloringStep:
+    """One algebraic recoloring step: ``q`` colors -> ``m**2`` colors."""
+
+    q: int
+    m: int
+    k: int
+    #: Defect budget of this step (0.0 for proper Linial steps).
+    alpha_step: float = 0.0
+
+    def family(self) -> PolynomialFamily:
+        return PolynomialFamily(self.q, self.m, self.k)
+
+    @property
+    def palette_size(self) -> int:
+        return self.m * self.m
+
+
+def _min_field_size_for_capacity(q: int, k: int) -> int:
+    """Smallest ``m`` with ``m**(k+1) >= q``."""
+    if q <= 1:
+        return 2
+    m = max(2, int(round(q ** (1.0 / (k + 1)))))
+    while m ** (k + 1) < q:
+        m += 1
+    while m > 2 and (m - 1) ** (k + 1) >= q:
+        m -= 1
+    return m
+
+
+def choose_proper_step(q: int, avoid: int) -> Optional[RecoloringStep]:
+    """Parameters for one *proper* recoloring step from ``q`` colors.
+
+    ``avoid`` is the number of neighbors whose polynomials must be dodged
+    (Delta for undirected Linial, beta for the oriented variant).  Requires
+    ``m > avoid * k`` so a collision-free point always exists.  Returns the
+    step minimizing the new palette ``m**2``, or ``None`` when no step
+    makes progress (``m**2 >= q``): the coloring is already as small as
+    this technique gets.
+    """
+    best: Optional[RecoloringStep] = None
+    max_k = max(1, int(math.log2(max(2, q))) + 1)
+    for k in range(1, max_k + 1):
+        m = next_prime(max(avoid * k + 1, _min_field_size_for_capacity(q, k)))
+        step = RecoloringStep(q=q, m=m, k=k)
+        if best is None or step.palette_size < best.palette_size:
+            best = step
+        # Larger k only helps while the capacity constraint dominates.
+        if m == next_prime(avoid * k + 1) and k > 1:
+            break
+    if best is None or best.palette_size >= q:
+        return None
+    return best
+
+
+def choose_defective_step(q: int, alpha_step: float) -> Optional[RecoloringStep]:
+    """Parameters for one *defective* recoloring step from ``q`` colors.
+
+    The step guarantees a point whose collision rate against out-neighbors
+    with different current colors is at most ``k / m <= alpha_step``.
+    Returns ``None`` when no palette-shrinking step exists.
+    """
+    if alpha_step <= 0.0:
+        raise ValueError("alpha_step must be positive")
+    best: Optional[RecoloringStep] = None
+    max_k = max(1, int(math.log2(max(2, q))) + 1)
+    for k in range(1, max_k + 1):
+        min_m_defect = int(math.ceil(k / alpha_step))
+        m = next_prime(max(min_m_defect, _min_field_size_for_capacity(q, k), 2))
+        if k / m > alpha_step:  # pragma: no cover - next_prime guards this
+            continue
+        step = RecoloringStep(q=q, m=m, k=k, alpha_step=alpha_step)
+        if best is None or step.palette_size < best.palette_size:
+            best = step
+        if m == next_prime(max(min_m_defect, 2)) and k > 1:
+            break
+    if best is None or best.palette_size >= q:
+        return None
+    return best
+
+
+def proper_schedule(q: int, avoid: int) -> List[RecoloringStep]:
+    """The full Linial schedule: steps until the palette stops shrinking."""
+    steps: List[RecoloringStep] = []
+    current = q
+    while True:
+        step = choose_proper_step(current, avoid)
+        if step is None:
+            return steps
+        steps.append(step)
+        current = step.palette_size
+        if len(steps) > 64:  # pragma: no cover - schedule always converges
+            raise RuntimeError("Linial schedule failed to converge")
+
+
+def defective_schedule(q: int, alpha: float) -> List[RecoloringStep]:
+    """The Lemma 3.4 schedule with total defect budget ``alpha``.
+
+    The *last* step alone determines the final palette, so it should get a
+    constant fraction of the budget; the earlier steps only need to pull
+    ``q`` down to the last step's capacity and can share the rest.  We run
+    equal-budget shrinking steps with budget ``alpha / (2 * T_hat)`` until
+    they stop making progress, then append one final step with budget
+    ``alpha / 2`` -- giving a palette of O(1/alpha^2) while the budgets sum
+    to at most ``alpha``.  ``T_hat`` starts at an O(log* q) estimate and is
+    doubled in the (unobserved in practice) case the estimate was short.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must lie in (0, 1]")
+
+    t_hat = max(2, _count_equal_split_steps(q, alpha / 2.0))
+    for _ in range(8):
+        steps: List[RecoloringStep] = []
+        current = q
+        early_budget = alpha / (2.0 * t_hat)
+        while len(steps) < t_hat:
+            step = choose_defective_step(current, early_budget)
+            if step is None:
+                break
+            steps.append(step)
+            current = step.palette_size
+        if len(steps) == t_hat and choose_defective_step(
+                current, early_budget) is not None:
+            # The estimate was short: more shrinking steps were available.
+            t_hat *= 2
+            continue
+        final = choose_defective_step(current, alpha / 2.0)
+        if final is not None:
+            steps.append(final)
+        return steps
+    raise RuntimeError(
+        "defective schedule failed to converge")  # pragma: no cover
+
+
+def _count_equal_split_steps(q: int, budget: float) -> int:
+    """Steps an equal-split schedule with the given budget would take."""
+    count = 0
+    current = q
+    while True:
+        step = choose_defective_step(current, budget)
+        if step is None:
+            return count
+        count += 1
+        current = step.palette_size
+        if count > 64:  # pragma: no cover - schedules always converge
+            raise RuntimeError("defective schedule failed to converge")

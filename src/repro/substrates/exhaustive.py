@@ -1,0 +1,108 @@
+"""Exact brute-force solvers for tiny instances.
+
+Backtracking search over the full assignment space.  Exponential in the
+worst case -- these exist so tests can (a) cross-check the distributed
+algorithms' outputs against a ground-truth solver and (b) drive a single
+reduction lemma in isolation without pulling in the whole recursion.
+They are deliberately *not* part of the distributed tool set (zero
+rounds, global knowledge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from ..coloring.instance import ListDefectiveInstance, OLDCInstance
+
+Node = Hashable
+Color = int
+
+#: Hard cap so a mis-sized test fails fast instead of hanging.
+MAX_BRUTE_FORCE_NODES = 64
+
+
+def solve_list_defective_bruteforce(instance: ListDefectiveInstance
+                                    ) -> Optional[Dict[Node, Color]]:
+    """An exact ``P_D`` solution, or ``None`` if none exists.
+
+    Backtracks over nodes in a max-degree-first order; prunes as soon as
+    a *committed* node's defect is exceeded (conflicts only grow).
+    """
+    network = instance.network
+    if len(network) > MAX_BRUTE_FORCE_NODES:
+        raise ValueError(
+            f"brute force capped at {MAX_BRUTE_FORCE_NODES} nodes"
+        )
+    order: List[Node] = sorted(
+        network.nodes, key=lambda node: -network.degree(node)
+    )
+    colors: Dict[Node, Color] = {}
+
+    def violates(node: Node) -> bool:
+        """Is some committed node's defect already exceeded around node?"""
+        for candidate in (node, *network.neighbors(node)):
+            if candidate not in colors:
+                continue
+            color = colors[candidate]
+            conflicts = sum(
+                1
+                for neighbor in network.neighbors(candidate)
+                if colors.get(neighbor) == color
+            )
+            if conflicts > instance.defects[candidate][color]:
+                return True
+        return False
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        for color in instance.lists[node]:
+            colors[node] = color
+            if not violates(node) and backtrack(index + 1):
+                return True
+            del colors[node]
+        return False
+
+    return dict(colors) if backtrack(0) else None
+
+
+def solve_oldc_bruteforce(instance: OLDCInstance
+                          ) -> Optional[Dict[Node, Color]]:
+    """An exact OLDC solution, or ``None`` if none exists."""
+    graph = instance.graph
+    if len(graph.nodes) > MAX_BRUTE_FORCE_NODES:
+        raise ValueError(
+            f"brute force capped at {MAX_BRUTE_FORCE_NODES} nodes"
+        )
+    order: List[Node] = sorted(
+        graph.nodes, key=lambda node: -graph.outdegree(node)
+    )
+    colors: Dict[Node, Color] = {}
+
+    def violates(node: Node) -> bool:
+        for candidate in (node, *graph.in_neighbors(node), node):
+            if candidate not in colors:
+                continue
+            color = colors[candidate]
+            conflicts = sum(
+                1
+                for neighbor in graph.out_neighbors(candidate)
+                if colors.get(neighbor) == color
+            )
+            if conflicts > instance.defects[candidate][color]:
+                return True
+        return False
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        for color in instance.lists[node]:
+            colors[node] = color
+            if not violates(node) and backtrack(index + 1):
+                return True
+            del colors[node]
+        return False
+
+    return dict(colors) if backtrack(0) else None

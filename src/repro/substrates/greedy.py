@@ -1,0 +1,348 @@
+"""Greedy coloring algorithms: sequential baselines and distributed sweeps.
+
+Three roles in the reproduction:
+
+* sequential greedy algorithms are the textbook baselines the paper's
+  introduction cites (greedy ``(Delta+1)``-coloring, the d-defective
+  ``O(theta * Delta / d)``-coloring of the bounded-neighborhood-
+  independence discussion, arbdefective greedy);
+* :func:`greedy_arbdefective_sweep` is the distributed "process color
+  classes in order" solver -- by weighted pigeonhole it solves *any* list
+  arbdefective instance with slack above 1 in O(q) rounds, and serves as
+  the universal correct fallback at the base of the Section 4 recursion;
+* :func:`greedy_color_reduction` is the standard one-color-per-round
+  reduction that turns Linial's O(Delta^2) colors into ``Delta + 1``.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
+
+from ..coloring.instance import ArbdefectiveInstance
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.errors import (
+    AlgorithmFailure,
+    InfeasibleInstanceError,
+    InstanceError,
+)
+from ..sim.message import color_bits
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.scheduler import run_protocol
+
+Node = Hashable
+Color = int
+
+
+# ----------------------------------------------------------------------
+# Sequential baselines
+# ----------------------------------------------------------------------
+def sequential_greedy_coloring(network: Network,
+                               order: Optional[Sequence[Node]] = None
+                               ) -> Dict[Node, Color]:
+    """The sequential greedy ``(Delta + 1)``-coloring."""
+    order = list(order) if order is not None else list(network.nodes)
+    colors: Dict[Node, Color] = {}
+    for node in order:
+        used = {
+            colors[neighbor]
+            for neighbor in network.neighbors(node)
+            if neighbor in colors
+        }
+        color = 0
+        while color in used:
+            color += 1
+        colors[node] = color
+    return colors
+
+
+def sequential_greedy_defective(network: Network, num_colors: int,
+                                order: Optional[Sequence[Node]] = None
+                                ) -> Dict[Node, Color]:
+    """Greedy defective coloring: pick the color minimizing conflicts so far.
+
+    On a graph of neighborhood independence ``theta`` this is the greedy
+    algorithm of the paper's introduction: each node has at most
+    ``floor(Delta / num_colors)`` *earlier* same-colored neighbors, and by
+    Claim 4.1 at most ``(2 * floor(Delta/num_colors) + 1) * theta``
+    same-colored neighbors overall.
+    """
+    if num_colors < 1:
+        raise InstanceError("need at least one color")
+    order = list(order) if order is not None else list(network.nodes)
+    colors: Dict[Node, Color] = {}
+    for node in order:
+        counts = [0] * num_colors
+        for neighbor in network.neighbors(node):
+            if neighbor in colors:
+                counts[colors[neighbor]] += 1
+        colors[node] = min(range(num_colors), key=lambda c: (counts[c], c))
+    return colors
+
+
+def sequential_greedy_arbdefective(network: Network, num_colors: int,
+                                   order: Optional[Sequence[Node]] = None
+                                   ) -> Tuple[Dict[Node, Color],
+                                              Dict[Node, Tuple[Node, ...]]]:
+    """Greedy arbdefective coloring with the towards-earlier orientation.
+
+    Returns ``(colors, orientation)`` where each node's monochromatic
+    out-neighbors are the *earlier* same-colored neighbors; their count is
+    at most ``floor(deg(v) / num_colors)``, matching the classic
+    ``ceil((Delta+1)/(d+1))``-color greedy arbdefective bound.
+    """
+    colors = sequential_greedy_defective(network, num_colors, order)
+    position = {
+        node: index
+        for index, node in enumerate(
+            order if order is not None else list(network.nodes)
+        )
+    }
+    orientation = {
+        node: tuple(
+            neighbor
+            for neighbor in network.neighbors(node)
+            if colors[neighbor] == colors[node]
+            and position[neighbor] < position[node]
+        )
+        for node in network
+    }
+    return colors, orientation
+
+
+def lovasz_defective_partition(network: Network, num_classes: int,
+                               seed: int = 0,
+                               max_moves: Optional[int] = None
+                               ) -> Dict[Node, Color]:
+    """The [Lov66] local-search defective partition.
+
+    Every graph has a partition into ``k`` classes in which each node has
+    at most ``floor(deg(v) / k)`` same-class neighbors: start from any
+    partition and repeatedly move a violating node to its least-conflicted
+    class -- each move strictly decreases the number of monochromatic
+    edges, so the search terminates.  This is the ``d``-defective
+    ``ceil((Delta+1)/(d+1))``-coloring existence result the paper cites,
+    and doubles as a ground-truth partition source for experiments.
+    """
+    if num_classes < 1:
+        raise InstanceError("need at least one class")
+    rng = _random.Random(seed)
+    colors: Dict[Node, Color] = {
+        node: rng.randrange(num_classes) for node in network
+    }
+    budget = max_moves if max_moves is not None else (
+        10 * network.edge_count() * num_classes + 10 * len(network) + 10
+    )
+    moves = 0
+    while moves <= budget:
+        moved = False
+        for node in network:
+            counts = [0] * num_classes
+            for neighbor in network.neighbors(node):
+                counts[colors[neighbor]] += 1
+            best = min(range(num_classes), key=lambda c: (counts[c], c))
+            threshold = network.degree(node) // num_classes
+            if counts[colors[node]] > threshold and (
+                    counts[best] < counts[colors[node]]):
+                colors[node] = best
+                moved = True
+                moves += 1
+        if not moved:
+            break
+    return colors
+
+
+# ----------------------------------------------------------------------
+# Distributed greedy sweep for list arbdefective instances
+# ----------------------------------------------------------------------
+class _GreedySweepProgram(NodeProgram):
+    """Color class ``c`` decides in round ``c + 2`` (after the ID round)."""
+
+    _TAG_INITIAL = "sweep-initial"
+    _TAG_FINAL = "sweep-final"
+
+    def __init__(self, node: Node, initial_color: Color, q: int,
+                 color_list: Tuple[Color, ...],
+                 defect_fn: Mapping[Color, int],
+                 color_space_size: int):
+        self.node = node
+        self.initial_color = initial_color
+        self.q = q
+        self.color_list = color_list
+        self.defect_fn = dict(defect_fn)
+        self.color_space_size = color_space_size
+        self.neighbor_initial: Dict[Node, Color] = {}
+        self.decided: Dict[Node, Color] = {}
+        self.final_color: Optional[Color] = None
+        self.mono_out: Tuple[Node, ...] = ()
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if ctx.round_number == 1:
+            ctx.broadcast(
+                self._TAG_INITIAL, self.initial_color, bits=color_bits(self.q)
+            )
+            return
+        for sender, payload in ctx.received(self._TAG_INITIAL).items():
+            self.neighbor_initial[sender] = payload
+        for sender, payload in ctx.received(self._TAG_FINAL).items():
+            self.decided[sender] = payload
+        if ctx.round_number != self.initial_color + 2:
+            return
+        counts = {color: 0 for color in self.color_list}
+        for neighbor_color in self.decided.values():
+            if neighbor_color in counts:
+                counts[neighbor_color] += 1
+        chosen = None
+        for color in sorted(self.color_list):
+            if counts[color] <= self.defect_fn[color]:
+                chosen = color
+                break
+        if chosen is None:
+            raise AlgorithmFailure(
+                f"node {self.node!r}: greedy sweep found no feasible color; "
+                f"the instance's slack must be at most 1"
+            )
+        self.final_color = chosen
+        self.mono_out = tuple(
+            neighbor
+            for neighbor, neighbor_color in self.decided.items()
+            if neighbor_color == chosen
+        )
+        for neighbor in ctx.neighbors:
+            if self.neighbor_initial[neighbor] > self.initial_color:
+                ctx.send(
+                    neighbor,
+                    self._TAG_FINAL,
+                    chosen,
+                    bits=color_bits(self.color_space_size),
+                )
+        ctx.halt()
+
+    def output(self):
+        return (self.final_color, self.mono_out)
+
+
+def greedy_arbdefective_sweep(instance: ArbdefectiveInstance,
+                              initial_colors: Mapping[Node, Color],
+                              q: int,
+                              ledger: Optional[CostLedger] = None,
+                              bandwidth: Optional[BandwidthModel] = None,
+                              check: bool = True) -> ColoringResult:
+    """Solve any ``P_A`` instance with slack > 1 by one sweep over classes.
+
+    When node ``v`` decides, at most ``deg(v)`` neighbors have committed,
+    and ``sum_x (d_v(x)+1) > deg(v)`` guarantees (weighted pigeonhole) a
+    color whose committed conflicts stay within its defect.  Monochromatic
+    edges are oriented towards the earlier-deciding endpoint, so later
+    decisions never hurt ``v``.  Rounds: ``q + 1``.
+    """
+    ledger = ensure_ledger(ledger)
+    if check:
+        for node in instance.network:
+            color = initial_colors.get(node)
+            if color is None or not 0 <= color < q:
+                raise InstanceError(
+                    f"node {node!r}: initial color {color!r} outside 0..{q - 1}"
+                )
+            if instance.weight(node) <= instance.network.degree(node):
+                raise InfeasibleInstanceError(
+                    node,
+                    f"greedy sweep needs weight > deg: "
+                    f"{instance.weight(node)} <= {instance.network.degree(node)}",
+                )
+        for u, v in instance.network.edges():
+            if initial_colors[u] == initial_colors[v]:
+                raise InstanceError(
+                    f"initial coloring is not proper: edge {u!r}-{v!r}"
+                )
+    programs = {
+        node: _GreedySweepProgram(
+            node=node,
+            initial_color=initial_colors[node],
+            q=q,
+            color_list=instance.lists[node],
+            defect_fn=instance.defects[node],
+            color_space_size=instance.color_space_size,
+        )
+        for node in instance.network
+    }
+    with ledger.phase("greedy-sweep"):
+        outputs, _ = run_protocol(
+            instance.network, programs, bandwidth=bandwidth, ledger=ledger
+        )
+    colors = {node: value[0] for node, value in outputs.items()}
+    orientation = {node: value[1] for node, value in outputs.items()}
+    return ColoringResult(colors=colors, orientation=orientation, ledger=ledger)
+
+
+# ----------------------------------------------------------------------
+# Color reduction
+# ----------------------------------------------------------------------
+class _ColorReductionProgram(NodeProgram):
+    _TAG = "reduce-color"
+
+    def __init__(self, node: Node, color: Color, q: int, target: int):
+        self.node = node
+        self.color = color
+        self.q = q
+        self.target = target
+        self.neighbor_colors: Dict[Node, Color] = {}
+
+    def on_round(self, ctx: RoundContext) -> None:
+        if ctx.round_number == 1:
+            ctx.broadcast(self._TAG, self.color, bits=color_bits(self.q))
+            return
+        for sender, payload in ctx.received(self._TAG).items():
+            self.neighbor_colors[sender] = payload
+        # Round t >= 2 handles old color q - t + 1.
+        active_color = self.q - ctx.round_number + 1
+        if active_color < self.target:
+            ctx.halt()
+            return
+        if self.color == active_color:
+            used = set(self.neighbor_colors.values())
+            new_color = 0
+            while new_color in used:
+                new_color += 1
+            if new_color >= self.target:
+                raise AlgorithmFailure(
+                    f"node {self.node!r}: no free color below {self.target}; "
+                    f"target must be at least Delta + 1"
+                )
+            self.color = new_color
+            ctx.broadcast(self._TAG, new_color, bits=color_bits(self.q))
+
+    def output(self) -> Color:
+        return self.color
+
+
+def greedy_color_reduction(network: Network,
+                           colors: Mapping[Node, Color],
+                           q: int,
+                           target: int,
+                           ledger: Optional[CostLedger] = None,
+                           bandwidth: Optional[BandwidthModel] = None
+                           ) -> Dict[Node, Color]:
+    """Reduce a proper ``q``-coloring to ``target`` colors, one per round.
+
+    ``target`` must be at least ``Delta + 1``.  Rounds: ``q - target + 1``.
+    Combined with Linial this yields the classic O(Delta^2 + log* n)
+    ``(Delta + 1)``-coloring baseline.
+    """
+    if target < network.raw_max_degree() + 1:
+        raise InstanceError("target must be at least Delta + 1")
+    ledger = ensure_ledger(ledger)
+    if q <= target:
+        return dict(colors)  # nothing to reduce, zero rounds
+    programs = {
+        node: _ColorReductionProgram(node, colors[node], q, target)
+        for node in network
+    }
+    with ledger.phase("color-reduction"):
+        outputs, _ = run_protocol(
+            network, programs, bandwidth=bandwidth, ledger=ledger
+        )
+    return dict(outputs)

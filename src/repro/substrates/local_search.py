@@ -1,0 +1,171 @@
+"""Distributed local-search defective partition.
+
+The [Lov66] existence argument (move any node with too many same-class
+neighbors to its least-conflicted class; the monochromatic-edge count
+strictly drops) parallelizes with a two-phase round structure:
+
+* **status phase** (odd rounds): every node announces its class, its
+  *fresh* unhappiness flag, and its identifier;
+* **move phase** (even rounds): exactly the unhappy nodes whose
+  identifier beats every unhappy neighbor's (flags from the *same*
+  status phase, so the comparison is symmetric) move to their
+  least-conflicted class and announce the new class.
+
+Movers are pairwise non-adjacent -- two adjacent unhappy nodes compare
+the same pair of flags, so at most the larger id moves -- hence every
+move's improvement is computed against a static neighborhood and the
+monochromatic-edge potential strictly decreases whenever anyone is
+unhappy (the globally largest unhappy id always moves).  Convergence in
+at most ``|E|`` move phases; typically a handful.
+
+Termination: a locally-quiet node can be re-destabilized by a move two
+hops away, so nodes cannot decide termination locally without a
+termination-detection layer; the run uses the scheduler's
+global-quiescence oracle (``stop_when``) instead -- stop after a status
+phase in which nobody is unhappy, which is a fixpoint.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InstanceError
+from ..sim.message import color_bits, int_bits
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.scheduler import run_protocol
+
+Node = Hashable
+Color = int
+
+_TAG_STATUS = "ls-status"
+_TAG_MOVE = "ls-move"
+
+
+class LocalSearchProgram(NodeProgram):
+    """One node's side of the two-phase parallel local search."""
+
+    def __init__(self, node: Node, node_id: int, num_classes: int,
+                 initial_class: Color):
+        self.node = node
+        self.node_id = node_id
+        self.num_classes = num_classes
+        self.color = initial_class
+        self.neighbor_color: Dict[Node, Color] = {}
+        self.neighbor_status: Dict[Node, Tuple[bool, int]] = {}
+        #: Read by the runner's quiescence oracle after status phases.
+        self.currently_unhappy = False
+        self.in_status_phase = False
+        self.status_rounds_completed = 0
+
+    def _counts(self) -> Dict[Color, int]:
+        counts = {c: 0 for c in range(self.num_classes)}
+        for color in self.neighbor_color.values():
+            counts[color] += 1
+        return counts
+
+    def _unhappy(self) -> bool:
+        if not self.neighbor_color:
+            return False
+        counts = self._counts()
+        threshold = len(self.neighbor_color) // self.num_classes
+        return counts[self.color] > threshold and (
+            min(counts.values()) < counts[self.color]
+        )
+
+    def on_round(self, ctx: RoundContext) -> None:
+        # Absorb whatever arrived (status updates carry colors too).
+        for sender, (color, unhappy, rival_id) in ctx.received(
+                _TAG_STATUS).items():
+            self.neighbor_color[sender] = color
+            self.neighbor_status[sender] = (unhappy, rival_id)
+        for sender, color in ctx.received(_TAG_MOVE).items():
+            self.neighbor_color[sender] = color
+        if ctx.round_number % 2 == 1:
+            self._status_phase(ctx)
+        else:
+            self._move_phase(ctx)
+
+    def _status_phase(self, ctx: RoundContext) -> None:
+        self.in_status_phase = True
+        self.status_rounds_completed += 1
+        self.currently_unhappy = self._unhappy()
+        ctx.broadcast(
+            _TAG_STATUS,
+            (self.color, self.currently_unhappy, self.node_id),
+            bits=color_bits(self.num_classes) + 1 + int_bits(self.node_id),
+        )
+
+    def _move_phase(self, ctx: RoundContext) -> None:
+        self.in_status_phase = False
+        if not self.currently_unhappy:
+            return
+        rivals = [
+            rival_id
+            for unhappy, rival_id in self.neighbor_status.values()
+            if unhappy
+        ]
+        if all(self.node_id > rival for rival in rivals):
+            counts = self._counts()
+            self.color = min(
+                range(self.num_classes), key=lambda c: (counts[c], c)
+            )
+            ctx.broadcast(
+                _TAG_MOVE, self.color, bits=color_bits(self.num_classes)
+            )
+
+    def output(self) -> Color:
+        return self.color
+
+
+def distributed_lovasz_partition(network: Network,
+                                 num_classes: int,
+                                 ids: Optional[Mapping[Node, int]] = None,
+                                 seed: int = 0,
+                                 ledger: Optional[CostLedger] = None,
+                                 bandwidth: Optional[BandwidthModel] = None,
+                                 max_rounds: int = 100_000
+                                 ) -> Dict[Node, Color]:
+    """Distributed ``floor(deg/k)``-defective ``k``-partition.
+
+    Starts from a seeded random partition and converges to a [Lov66]
+    local optimum: every node ends with at most
+    ``floor(deg(v) / num_classes)`` same-class neighbors.
+    """
+    if num_classes < 1:
+        raise InstanceError("need at least one class")
+    if ids is None:
+        from ..graphs.identifiers import sequential_ids
+
+        ids = sequential_ids(network)
+    if len(set(ids.values())) != len(network):
+        raise InstanceError("identifiers must be unique")
+    rng = random.Random(seed)
+    ledger = ensure_ledger(ledger)
+    programs = {
+        node: LocalSearchProgram(
+            node, ids[node], num_classes, rng.randrange(num_classes)
+        )
+        for node in network.nodes
+    }
+
+    def quiescent(running) -> bool:
+        # Only decide right after a status phase, where the fresh flags
+        # reflect the current (post-move) configuration; the first
+        # status phase runs before any neighbor information arrived.
+        return all(
+            program.in_status_phase
+            and program.status_rounds_completed >= 2
+            and not program.currently_unhappy
+            for program in running.values()
+        )
+
+    with ledger.phase("distributed-local-search"):
+        outputs, _ = run_protocol(
+            network, programs, bandwidth=bandwidth, ledger=ledger,
+            max_rounds=max_rounds, stop_when=quiescent,
+        )
+    return dict(outputs)

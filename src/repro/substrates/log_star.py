@@ -1,0 +1,40 @@
+"""Iterated logarithm helpers.
+
+``log*`` appears in every round bound of the paper; benchmarks print it
+next to measured round counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """The iterated logarithm: how often log must be applied to reach <= 1."""
+    if x <= 1.0:
+        return 0
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log(value, base)
+        count += 1
+        if count > 128:  # pragma: no cover - unreachable for finite floats
+            raise OverflowError("log* did not converge")
+    return count
+
+
+def tower(height: int, base: float = 2.0) -> float:
+    """The power tower ``base^base^...`` of the given height (inverse of log*)."""
+    if height < 0:
+        raise ValueError("height must be non-negative")
+    value = 1.0
+    for _ in range(height):
+        value = base ** value
+    return value
+
+
+def ceil_log2(x: int) -> int:
+    """``ceil(log2 x)`` for positive integers, with ``ceil_log2(1) = 0``."""
+    if x < 1:
+        raise ValueError("x must be positive")
+    return (x - 1).bit_length()

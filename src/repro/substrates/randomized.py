@@ -1,0 +1,157 @@
+"""Randomized trial coloring -- the classic O(log n) baseline.
+
+The paper's introduction: "Even with the simple first randomized
+algorithms of the 1980s, it is possible to (Delta+1)-color a graph in
+only O(log n) rounds [ABI86, Lin87, Lub86]".  This module implements that
+baseline in its standard *trial coloring* form, generalized to
+(deg+1)-list coloring:
+
+each round, every uncolored node picks a uniform candidate from its
+remaining list and keeps it if no uncolored neighbor picked the same
+candidate and no colored neighbor owns it.  A node succeeds with
+probability at least 1/4 per round (its list always exceeds the number
+of competitors), so all nodes finish in O(log n) rounds w.h.p.
+
+It is the randomized comparator for the deterministic pipelines of
+Theorems 1.3 and 1.5 in benchmark E13.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Mapping, Optional, Tuple
+
+from ..coloring.result import ColoringResult
+from ..sim.congest import BandwidthModel
+from ..sim.errors import InstanceError
+from ..sim.message import color_bits
+from ..sim.metrics import CostLedger, ensure_ledger
+from ..sim.network import Network
+from ..sim.node import NodeProgram, RoundContext
+from ..sim.scheduler import run_protocol
+
+Node = Hashable
+Color = int
+
+_TAG_TRIAL = "trial"
+_TAG_KEEP = "keep"
+
+
+class TrialColoringProgram(NodeProgram):
+    """One node's side of the randomized trial coloring.
+
+    Round structure (two rounds per attempt):
+
+    * odd rounds: every active node broadcasts a random candidate from
+      its current list;
+    * even rounds: a node keeps its candidate iff no neighbor proposed
+      the same one, announces the decision, and halts; neighbors remove
+      kept colors from their lists.
+    """
+
+    def __init__(self, node: Node, color_list: Tuple[Color, ...],
+                 color_space_size: int, rng: random.Random):
+        self.node = node
+        self.available = list(color_list)
+        self.color_space_size = color_space_size
+        self.rng = rng
+        self.candidate: Optional[Color] = None
+        self.final_color: Optional[Color] = None
+
+    def on_round(self, ctx: RoundContext) -> None:
+        # Keep-announcements travel even -> odd rounds; consume them
+        # before anything else so the list is current when proposing.
+        for color in ctx.received(_TAG_KEEP).values():
+            if color in self.available:
+                self.available.remove(color)
+        if ctx.round_number % 2 == 1:
+            self._propose(ctx)
+        else:
+            self._resolve(ctx)
+
+    def _propose(self, ctx: RoundContext) -> None:
+        if not self.available:
+            raise InstanceError(
+                f"node {self.node!r}: list exhausted -- the instance was "
+                f"not a (deg+1)-list instance"
+            )
+        self.candidate = self.rng.choice(self.available)
+        ctx.broadcast(
+            _TAG_TRIAL, self.candidate,
+            bits=color_bits(self.color_space_size),
+        )
+
+    def _resolve(self, ctx: RoundContext) -> None:
+        proposals = ctx.received(_TAG_TRIAL)
+        conflicted = any(
+            color == self.candidate for color in proposals.values()
+        )
+        if not conflicted and self.candidate in self.available:
+            self.final_color = self.candidate
+            ctx.broadcast(
+                _TAG_KEEP, self.candidate,
+                bits=color_bits(self.color_space_size),
+            )
+            ctx.halt()
+        self.candidate = None
+
+    def output(self) -> Optional[Color]:
+        return self.final_color
+
+
+def randomized_list_coloring(network: Network,
+                             lists: Mapping[Node, Iterable[Color]],
+                             seed: int,
+                             ledger: Optional[CostLedger] = None,
+                             bandwidth: Optional[BandwidthModel] = None,
+                             color_space_size: Optional[int] = None,
+                             max_rounds: int = 10_000) -> ColoringResult:
+    """Randomized (deg+1)-list coloring in O(log n) rounds w.h.p.
+
+    ``lists[v]`` must hold at least ``deg(v) + 1`` colors.  The run is
+    reproducible: node randomness is derived from ``seed`` and the node's
+    position, independent of scheduling.
+    """
+    frozen = {
+        node: tuple(dict.fromkeys(lists[node])) for node in network
+    }
+    for node in network:
+        if len(frozen[node]) < network.degree(node) + 1:
+            raise InstanceError(
+                f"node {node!r}: list of {len(frozen[node])} colors < "
+                f"deg + 1 = {network.degree(node) + 1}"
+            )
+    if color_space_size is None:
+        color_space_size = max(
+            (max(colors) for colors in frozen.values() if colors),
+            default=0,
+        ) + 1
+    ledger = ensure_ledger(ledger)
+    master = random.Random(seed)
+    programs = {
+        node: TrialColoringProgram(
+            node, frozen[node], color_space_size,
+            random.Random(master.getrandbits(64)),
+        )
+        for node in network.nodes
+    }
+    with ledger.phase("randomized-trial-coloring"):
+        outputs, _ = run_protocol(
+            network, programs, bandwidth=bandwidth, ledger=ledger,
+            max_rounds=max_rounds,
+        )
+    return ColoringResult(colors=dict(outputs), orientation=None,
+                          ledger=ledger)
+
+
+def randomized_delta_plus_one(network: Network, seed: int,
+                              ledger: Optional[CostLedger] = None,
+                              bandwidth: Optional[BandwidthModel] = None
+                              ) -> ColoringResult:
+    """Randomized (Delta+1)-coloring: identical full lists everywhere."""
+    palette = tuple(range(network.raw_max_degree() + 1))
+    lists = {node: palette for node in network}
+    return randomized_list_coloring(
+        network, lists, seed, ledger=ledger, bandwidth=bandwidth,
+        color_space_size=len(palette),
+    )

@@ -1,0 +1,75 @@
+"""Tests for the Theorem 1.5 vs 1.3 crossover analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    crossover_exponent,
+    crossover_table,
+    crossover_theta,
+    theorem_13_rounds,
+    theorem_15_rounds,
+    theorem_15_beats_13,
+)
+
+
+class TestBeats:
+    def test_consistent_with_models(self):
+        delta, n = 2 ** 16, 2 ** 18
+        for theta in (1, 2, 8, 64):
+            direct = theorem_15_rounds(delta, theta, n) < (
+                theorem_13_rounds(delta, n)
+            )
+            assert theorem_15_beats_13(delta, theta, n) == direct
+
+
+class TestCrossoverTheta:
+    def test_prefix_property(self):
+        """Every theta at or below the crossover wins; above loses."""
+        delta = 2 ** 16
+        star = crossover_theta(delta)
+        assert star >= 1
+        for theta in range(1, star + 1):
+            assert theorem_15_beats_13(delta, theta)
+        assert not theorem_15_beats_13(delta, star + 1)
+
+    def test_matches_linear_scan(self):
+        """Binary search agrees with the brute-force definition."""
+        for delta in (64, 256, 1024):
+            star = crossover_theta(delta)
+            scan = 0
+            for theta in range(1, delta + 1):
+                if theorem_15_beats_13(delta, theta):
+                    scan = theta
+                else:
+                    break
+            assert star == scan
+
+    def test_zero_when_never_wins(self):
+        # Tiny degrees: the quasi-poly factor has not amortized.
+        assert crossover_theta(4) in (0, 1, 2, 3, 4)  # well-defined
+        assert isinstance(crossover_theta(4), int)
+
+
+class TestExponent:
+    def test_approaches_paper_band_at_scale(self):
+        """The paper's Delta^{1/8}: the measured exponent must sit in
+        (0, 1/4] once Delta is large (polylog slop around 1/8)."""
+        for log2_delta in (16, 20, 24, 28):
+            exponent = crossover_exponent(2 ** log2_delta)
+            assert exponent is not None
+            assert 0.0 < exponent <= 0.25
+
+    def test_exponent_none_or_zero_cases(self):
+        value = crossover_exponent(2)
+        assert value is None or value >= 0.0
+
+
+class TestTable:
+    def test_table_shape(self):
+        rows = crossover_table([256, 1024])
+        assert len(rows) == 2
+        delta, theta_star, exponent = rows[0]
+        assert delta == 256
+        assert theta_star == crossover_theta(256)

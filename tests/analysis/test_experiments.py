@@ -1,0 +1,62 @@
+"""Tests for the parameter-sweep harness."""
+
+from __future__ import annotations
+
+from repro.analysis import grid, summarize, sweep
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        cells = grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(cells) == 6
+        assert {"a": 2, "b": "y"} in cells
+
+    def test_single_axis(self):
+        assert grid(n=[10]) == [{"n": 10}]
+
+
+class TestSweep:
+    def test_records_tagged_with_params(self):
+        records = sweep(
+            lambda n: {"double": 2 * n}, grid(n=[1, 2, 3])
+        )
+        assert records == [
+            {"n": 1, "double": 2},
+            {"n": 2, "double": 4},
+            {"n": 3, "double": 6},
+        ]
+
+    def test_repeats_add_rep_axis(self):
+        records = sweep(
+            lambda n, rep: {"v": n + rep}, grid(n=[10]), repeats=3
+        )
+        assert [record["rep"] for record in records] == [0, 1, 2]
+
+    def test_timing_recorded(self):
+        records = sweep(lambda n: {}, grid(n=[1]), timing=True)
+        assert records[0]["wall_s"] >= 0.0
+
+
+class TestSummarize:
+    def test_group_means(self):
+        records = [
+            {"n": 1, "v": 2.0},
+            {"n": 1, "v": 4.0},
+            {"n": 2, "v": 10.0},
+        ]
+        rows = summarize(records, group_by=["n"], fields=["v"])
+        by_n = {row["n"]: row["v"] for row in rows}
+        assert by_n[1] == 3.0
+        assert by_n[2] == 10.0
+
+    def test_custom_reducer(self):
+        records = [{"n": 1, "v": 2.0}, {"n": 1, "v": 9.0}]
+        rows = summarize(
+            records, group_by=["n"], fields=["v"], reducer=max
+        )
+        assert rows[0]["v"] == 9.0
+
+    def test_missing_values_skipped(self):
+        records = [{"n": 1, "v": None}, {"n": 1, "v": 6.0}]
+        rows = summarize(records, group_by=["n"], fields=["v"])
+        assert rows[0]["v"] == 6.0

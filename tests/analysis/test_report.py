@@ -1,0 +1,67 @@
+"""Tests for the benchmark report aggregator."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import build_report, collect_result_files, write_report
+
+
+def make_results(tmp_path: pathlib.Path) -> pathlib.Path:
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "E2_second.txt").write_text("E2: title two\nrow\n")
+    (results / "E10a_tenth.txt").write_text("E10a: title ten\nrow\n")
+    (results / "E1_first.txt").write_text("E1: title one\nrow\n")
+    (results / "notes.md").write_text("not a result file")
+    return results
+
+
+class TestCollect:
+    def test_numeric_ordering(self, tmp_path):
+        results = make_results(tmp_path)
+        names = [path.stem for path in collect_result_files(results)]
+        assert names == ["E1_first", "E2_second", "E10a_tenth"]
+
+    def test_non_result_files_ignored(self, tmp_path):
+        results = make_results(tmp_path)
+        assert all(
+            path.suffix == ".txt" for path in collect_result_files(results)
+        )
+
+
+class TestBuildAndWrite:
+    def test_report_contains_all_tables(self, tmp_path):
+        results = make_results(tmp_path)
+        report = build_report(results)
+        assert "E1: title one" in report
+        assert "E10a: title ten" in report
+        assert report.index("E1: title one") < report.index(
+            "E2: title two"
+        )
+
+    def test_empty_directory_notice(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert "no result files" in build_report(empty)
+
+    def test_write_report(self, tmp_path):
+        results = make_results(tmp_path)
+        output = write_report(results)
+        assert output.exists()
+        assert output.name == "REPORT.md"
+        assert "Benchmark report" in output.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        results = make_results(tmp_path)
+        assert main(["report", "--results-dir", str(results)]) == 0
+        assert "report written" in capsys.readouterr().out
+
+    def test_cli_report_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["report", "--results-dir", str(tmp_path / "nope")]
+        ) == 1

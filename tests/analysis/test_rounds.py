@@ -1,0 +1,77 @@
+"""Tests for the theoretical bound calculators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    defective_3coloring_threshold,
+    lemma_44_factor,
+    lemma_a1_factor,
+    substituted_13_rounds,
+    theorem_11_rounds,
+    theorem_12_rounds,
+    theorem_13_rounds,
+    theorem_14_round_factor,
+    theorem_15_rounds,
+)
+
+
+class TestTheorem11:
+    def test_epsilon_zero_is_q(self):
+        assert theorem_11_rounds(100, 3, 0.0) == 100.0
+
+    def test_min_with_q(self):
+        # Tiny q: the sweep bound wins.
+        assert theorem_11_rounds(5, 3, 0.1) == 5.0
+        # Huge q: the (p/eps)^2 bound wins.
+        value = theorem_11_rounds(10 ** 9, 2, 0.5)
+        assert value == pytest.approx(16 + 5)
+
+
+class TestTheorem12:
+    def test_cubic_in_log_c(self):
+        a = theorem_12_rounds(16, 100)
+        b = theorem_12_rounds(256, 100)
+        assert b == pytest.approx(
+            a - math.log2(16) ** 3 + math.log2(256) ** 3
+        )
+
+
+class TestTheorem13:
+    def test_substituted_is_sqrt_delta_slower(self):
+        claimed = theorem_13_rounds(64, 1000)
+        ours = substituted_13_rounds(64, 1000)
+        ratio = (ours - 4) / (claimed - 4)  # strip the log* n term
+        assert ratio == pytest.approx(math.sqrt(64), rel=0.01)
+
+
+class TestTheorem15:
+    def test_min_of_two_branches(self):
+        # For tiny theta and large Delta the quasi-poly branch wins.
+        small_theta = theorem_15_rounds(2 ** 16, theta=1, n=1000)
+        poly = 1 * 1 * (2 ** 16) ** 0.25 * 16.0 ** 8
+        assert small_theta <= poly
+
+    def test_monotone_in_theta(self):
+        a = theorem_15_rounds(256, theta=1, n=100)
+        b = theorem_15_rounds(256, theta=4, n=100)
+        assert a <= b
+
+
+class TestFactors:
+    def test_theorem_14_factor(self):
+        assert theorem_14_round_factor(8) == 4
+        assert theorem_14_round_factor(9) == 5
+
+    def test_lemma_factors(self):
+        assert lemma_44_factor(3.0) == 9.0
+        assert lemma_a1_factor(2.0, 16) == 4.0 * 4
+
+
+class TestDefective3Coloring:
+    def test_threshold_formula(self):
+        assert defective_3coloring_threshold(6) == pytest.approx(3.0)
+        assert defective_3coloring_threshold(9) == pytest.approx(5.0)

@@ -1,0 +1,60 @@
+"""Tests for the table renderer."""
+
+from __future__ import annotations
+
+from repro.analysis import format_value, render_records, render_table
+
+
+class TestFormatValue:
+    def test_ints_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_floats(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(0.0001) == "0.0001"
+
+    def test_none_and_nan(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(
+            ["name", "rounds"], [["two-sweep", 41], ["greedy", 7]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0] and "rounds" in lines[0]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines must share a width"
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1]], title="E1")
+        assert text.splitlines()[0] == "E1"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderRecords:
+    def test_column_selection_and_order(self):
+        records = [
+            {"a": 1, "b": 2, "c": 3},
+            {"a": 4, "b": 5},
+        ]
+        text = render_records(records, ["b", "a"])
+        lines = text.splitlines()
+        assert lines[0].startswith("b")
+        assert "5" in lines[3] and "4" in lines[3]
+
+    def test_missing_fields_dash(self):
+        text = render_records([{"a": 1}], ["a", "zzz"])
+        assert "-" in text.splitlines()[-1]

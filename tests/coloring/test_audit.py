@@ -1,0 +1,81 @@
+"""Tests for the coloring audit module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    OLDCInstance,
+    audit_oriented,
+    audit_undirected,
+    orientation_balance,
+    uniform_lists,
+)
+from repro.graphs import orient_by_id, path_graph, ring_graph, star_graph
+
+
+class TestUndirectedAudit:
+    def test_proper_coloring_zero_conflicts(self):
+        network = ring_graph(6)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        colors = {node: node % 2 for node in network}
+        audit = audit_undirected(instance, network, colors)
+        assert audit.max_conflicts == 0
+        assert audit.worst_utilization == 0.0
+        assert audit.colors_used == 2
+        assert audit.tight_nodes == 0
+
+    def test_utilization_and_tightness(self):
+        network = star_graph(2)
+        lists, defects = uniform_lists(network.nodes, (0,), 2)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        colors = {node: 0 for node in network}
+        audit = audit_undirected(instance, network, colors)
+        # Center: 2 conflicts / defect 2 = 1.0, and tight.
+        assert audit.worst_utilization == 1.0
+        assert audit.tight_nodes >= 1
+        assert audit.max_conflicts == 2
+
+    def test_infinite_utilization_on_violation(self):
+        network = path_graph(2)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        colors = {0: 0, 1: 0}
+        audit = audit_undirected(instance, network, colors)
+        assert audit.worst_utilization == float("inf")
+
+    def test_histogram(self):
+        network = path_graph(3)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        audit = audit_undirected(instance, network, {0: 0, 1: 1, 2: 0})
+        assert audit.palette_histogram == {0: 2, 1: 1}
+
+    def test_summary_readable(self):
+        network = path_graph(2)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        audit = audit_undirected(instance, network, {0: 0, 1: 1})
+        assert "2 nodes" in audit.summary()
+
+
+class TestOrientedAudit:
+    def test_only_out_conflicts_counted(self):
+        network = path_graph(2)
+        graph = orient_by_id(network)  # 1 -> 0
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = OLDCInstance(graph, lists, defects)
+        audit = audit_oriented(instance, {0: 0, 1: 0})
+        assert audit.max_conflicts == 1  # node 1's out-conflict only
+        assert audit.worst_utilization == 1.0
+
+
+class TestOrientationBalance:
+    def test_balance(self):
+        assert orientation_balance({}) == (0, 0.0)
+        orientation = {0: (1, 2), 1: (), 2: (0,)}
+        maximum, mean = orientation_balance(orientation)
+        assert maximum == 2
+        assert mean == pytest.approx(1.0)

@@ -1,0 +1,102 @@
+"""Tests for slack arithmetic and Two-Sweep parameter selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    OLDCInstance,
+    balanced_p,
+    choose_p,
+    drop_negative_defects,
+    feasible_p_interval,
+    feasible_p_values,
+    reduce_defects,
+    uniform_lists,
+)
+from repro.graphs import orient_by_id, ring_graph
+
+
+def uniform_instance(network, colors, defect):
+    graph = orient_by_id(network)
+    lists, defects = uniform_lists(network.nodes, colors, defect)
+    return OLDCInstance(graph, lists, defects)
+
+
+class TestFeasiblePValues:
+    def test_every_listed_p_satisfies_eq2(self):
+        instance = uniform_instance(ring_graph(8), range(9), 1)
+        for p in feasible_p_values(instance):
+            assert all(
+                instance.satisfies_eq2(p, node) for node in instance.lists
+            )
+
+    def test_values_outside_interval_fail(self):
+        instance = uniform_instance(ring_graph(8), range(9), 1)
+        values = set(feasible_p_values(instance))
+        low, high = feasible_p_interval(instance)
+        for p in range(1, 12):
+            if p not in values:
+                assert not all(
+                    instance.satisfies_eq2(p, node)
+                    for node in instance.lists
+                ) or not (low < p < high)
+
+    def test_infeasible_instance_has_no_values(self):
+        # One color, zero defect, ring: weight 1 <= beta.
+        instance = uniform_instance(ring_graph(5), (0,), 0)
+        assert feasible_p_values(instance) == ()
+        assert choose_p(instance) is None
+
+    def test_epsilon_shrinks_the_set(self):
+        instance = uniform_instance(ring_graph(8), range(9), 1)
+        lax = set(feasible_p_values(instance, 0.0))
+        strict = set(feasible_p_values(instance, 1.0))
+        assert strict <= lax
+
+
+class TestChooseP:
+    def test_choose_p_is_smallest(self):
+        instance = uniform_instance(ring_graph(8), range(16), 2)
+        values = feasible_p_values(instance)
+        assert choose_p(instance) == values[0]
+
+    def test_headline_parameterization(self):
+        # Lists of size p^2 with weight > p * beta: p must be feasible.
+        network = ring_graph(10)
+        graph = orient_by_id(network)
+        p = 3
+        lists, defects = uniform_lists(network.nodes, range(p * p), 0)
+        # beta <= 2; weight = 9 > max(3, 3) * 2 = 6.
+        instance = OLDCInstance(graph, lists, defects)
+        assert p in feasible_p_values(instance)
+
+
+class TestBalancedP:
+    def test_sqrt_of_max_list(self):
+        instance = uniform_instance(ring_graph(5), range(9), 0)
+        assert balanced_p(instance) == 3
+
+    def test_minimum_one(self):
+        instance = uniform_instance(ring_graph(5), (0,), 5)
+        assert balanced_p(instance) == 1
+
+
+class TestDefectRescaling:
+    def test_reduce_defects(self):
+        defects = {0: {1: 5, 2: 0}}
+        reduced = reduce_defects(defects, {0: 2})
+        assert reduced == {0: {1: 3, 2: -2}}
+
+    def test_drop_negative_defects(self):
+        lists = {0: (1, 2, 3)}
+        defects = {0: {1: 3, 2: -1, 3: 0}}
+        new_lists, new_defects = drop_negative_defects(lists, defects)
+        assert new_lists == {0: (1, 3)}
+        assert new_defects == {0: {1: 3, 3: 0}}
+
+    def test_drop_preserves_order(self):
+        lists = {0: (5, 1, 9)}
+        defects = {0: {5: 0, 1: -1, 9: 2}}
+        new_lists, _ = drop_negative_defects(lists, defects)
+        assert new_lists[0] == (5, 9)

@@ -1,0 +1,153 @@
+"""Tests for coloring instance classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    ListDefectiveInstance,
+    OLDCInstance,
+    degree_plus_one_instance,
+    uniform_lists,
+)
+from repro.graphs import orient_by_id, path_graph, ring_graph, star_graph
+from repro.sim import InstanceError
+
+
+def make_oldc(network=None, defect=1, colors=(0, 1, 2)):
+    network = network if network is not None else ring_graph(5)
+    graph = orient_by_id(network)
+    lists, defects = uniform_lists(network.nodes, colors, defect)
+    return OLDCInstance(graph, lists, defects)
+
+
+class TestNormalization:
+    def test_missing_list_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(InstanceError):
+            ListDefectiveInstance(network, {0: (0,)}, {})
+
+    def test_negative_color_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(InstanceError):
+            ListDefectiveInstance(network, {0: (-1,), 1: (0,)}, {})
+
+    def test_negative_defect_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(InstanceError):
+            ListDefectiveInstance(
+                network, {0: (0,), 1: (0,)}, {0: {0: -2}, 1: {}}
+            )
+
+    def test_defect_for_unlisted_color_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(InstanceError):
+            ListDefectiveInstance(
+                network, {0: (0,), 1: (0,)}, {0: {5: 1}, 1: {}}
+            )
+
+    def test_missing_defects_default_to_zero(self):
+        network = path_graph(2)
+        instance = ListDefectiveInstance(network, {0: (0, 1), 1: (0,)}, {})
+        assert instance.defect(0, 1) == 0
+
+    def test_duplicate_colors_deduplicated(self):
+        network = path_graph(2)
+        instance = ListDefectiveInstance(
+            network, {0: (1, 1, 2), 1: (0,)}, {}
+        )
+        assert instance.lists[0] == (1, 2)
+
+    def test_color_space_inferred(self):
+        network = path_graph(2)
+        instance = ListDefectiveInstance(network, {0: (7,), 1: (3,)}, {})
+        assert instance.color_space_size == 8
+
+    def test_color_outside_declared_space_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(InstanceError):
+            ListDefectiveInstance(
+                network, {0: (7,), 1: (3,)}, {}, color_space_size=5
+            )
+
+
+class TestWeights:
+    def test_weight_formula(self):
+        network = path_graph(2)
+        instance = ListDefectiveInstance(
+            network, {0: (0, 1), 1: (0,)}, {0: {0: 2, 1: 0}, 1: {0: 4}}
+        )
+        assert instance.weight(0) == (2 + 1) + (0 + 1)
+        assert instance.weight(1) == 5
+
+    def test_max_list_size(self):
+        network = path_graph(2)
+        instance = ListDefectiveInstance(network, {0: (0, 1, 2), 1: (0,)}, {})
+        assert instance.max_list_size() == 3
+        assert instance.total_list_entries() == 4
+
+
+class TestOLDCConditions:
+    def test_eq2_holds(self):
+        instance = make_oldc(defect=2)
+        # weight = 3 * 3 = 9; beta = 1 (ring oriented by id has outdeg <=2)
+        for node in instance.graph.nodes:
+            threshold = max(2, 3 / 2) * instance.beta(node)
+            assert instance.satisfies_eq2(2, node) == (9 > threshold)
+
+    def test_eq7_stricter_than_eq2(self):
+        instance = make_oldc(defect=0)
+        for node in instance.graph.nodes:
+            if instance.satisfies_eq7(1, 0.5, node):
+                assert instance.satisfies_eq2(1, node)
+
+    def test_requires_oriented_graph(self):
+        network = ring_graph(4)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        with pytest.raises(InstanceError):
+            OLDCInstance(network, lists, defects)
+
+    def test_restrict_keeps_orientation_and_space(self):
+        instance = make_oldc()
+        sub = instance.restrict([0, 1, 2])
+        assert set(sub.graph.nodes) == {0, 1, 2}
+        assert sub.color_space_size == instance.color_space_size
+
+
+class TestSlack:
+    def test_slack_definition(self):
+        network = star_graph(3)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 1)
+        instance = ListDefectiveInstance(network, lists, defects)
+        # weight = 4 everywhere; center degree 3 -> slack 4/3.
+        assert instance.slack(0) == pytest.approx(4 / 3)
+        assert instance.min_slack() == pytest.approx(4 / 3)
+        assert instance.has_slack(1.0)
+        assert not instance.has_slack(4 / 3)  # strict inequality
+
+    def test_isolated_node_has_infinite_slack(self):
+        from repro.graphs import empty_graph
+
+        network = empty_graph(2)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        assert instance.slack(0) == float("inf")
+
+
+class TestDegreePlusOne:
+    def test_accepts_large_enough_lists(self):
+        network = path_graph(3)
+        lists = {0: (0, 1), 1: (0, 1, 2), 2: (1, 2)}
+        instance = degree_plus_one_instance(network, lists)
+        assert all(
+            instance.defect(node, color) == 0
+            for node in network
+            for color in instance.lists[node]
+        )
+
+    def test_rejects_short_lists(self):
+        network = path_graph(3)
+        lists = {0: (0, 1), 1: (0, 1), 2: (1, 2)}  # node 1 needs 3
+        with pytest.raises(InstanceError):
+            degree_plus_one_instance(network, lists)

@@ -1,0 +1,124 @@
+"""Tests for instance and result serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    ColoringResult,
+    check_oldc,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_result,
+    random_arbdefective_instance,
+    random_defective_instance,
+    random_oldc_instance,
+    save_instance,
+    save_result,
+)
+from repro.graphs import gnp_graph, orient_by_id, sequential_ids
+from repro.sim import InstanceError
+
+
+@pytest.fixture
+def oldc_instance():
+    network = gnp_graph(15, 0.3, seed=41)
+    return random_oldc_instance(orient_by_id(network), p=2, seed=41)
+
+
+class TestRoundTrips:
+    def test_oldc_roundtrip(self, oldc_instance):
+        rebuilt = instance_from_dict(instance_to_dict(oldc_instance))
+        assert rebuilt.lists == oldc_instance.lists
+        assert rebuilt.defects == oldc_instance.defects
+        assert rebuilt.color_space_size == oldc_instance.color_space_size
+        for node in oldc_instance.graph.nodes:
+            assert set(rebuilt.graph.out_neighbors(node)) == set(
+                oldc_instance.graph.out_neighbors(node)
+            )
+
+    def test_defective_roundtrip(self):
+        network = gnp_graph(12, 0.3, seed=42)
+        instance = random_defective_instance(
+            network, slack=2.0, seed=42, color_space_size=10
+        )
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        assert rebuilt.lists == instance.lists
+        assert type(rebuilt) is type(instance)
+
+    def test_arbdefective_roundtrip(self):
+        network = gnp_graph(12, 0.3, seed=43)
+        instance = random_arbdefective_instance(
+            network, slack=2.0, seed=43, color_space_size=10
+        )
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        assert isinstance(rebuilt, ArbdefectiveInstance)
+        assert rebuilt.defects == instance.defects
+
+    def test_string_node_ids(self):
+        from repro.sim import Network
+
+        network = Network({"a": ["b"], "b": ["a"]})
+        instance = ArbdefectiveInstance(
+            network, {"a": (0,), "b": (1,)}, {}
+        )
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        assert set(rebuilt.network.nodes) == {"a", "b"}
+
+    def test_result_roundtrip(self):
+        result = ColoringResult(
+            colors={0: 3, 1: 4}, orientation={0: (1,), 1: ()}
+        )
+        from repro.coloring import result_from_dict, result_to_dict
+
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.colors == result.colors
+        assert rebuilt.orientation == {0: (1,), 1: ()}
+
+    def test_result_without_orientation(self):
+        from repro.coloring import result_from_dict, result_to_dict
+
+        rebuilt = result_from_dict(
+            result_to_dict(ColoringResult(colors={0: 1}))
+        )
+        assert rebuilt.orientation is None
+
+
+class TestFiles:
+    def test_save_and_load_instance(self, oldc_instance, tmp_path):
+        path = save_instance(oldc_instance, tmp_path / "instance.json")
+        rebuilt = load_instance(path)
+        assert rebuilt.lists == oldc_instance.lists
+
+    def test_save_and_load_result(self, tmp_path):
+        result = ColoringResult(colors={0: 1, 1: 0})
+        path = save_result(result, tmp_path / "result.json")
+        assert load_result(path).colors == result.colors
+
+    def test_solve_a_loaded_instance(self, oldc_instance, tmp_path):
+        """End to end: save, load, solve, validate against the ORIGINAL."""
+        from repro.core import two_sweep
+
+        path = save_instance(oldc_instance, tmp_path / "instance.json")
+        loaded = load_instance(path)
+        network = loaded.graph.network
+        result = two_sweep(
+            loaded, sequential_ids(network), len(network), 2
+        )
+        assert check_oldc(oldc_instance, result.colors) == []
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InstanceError):
+            instance_from_dict({"kind": "mystery"})
+
+    def test_unserializable_node_id(self):
+        from repro.sim import Network
+
+        network = Network({(1, 2): []})
+        instance = ArbdefectiveInstance(network, {(1, 2): (0,)}, {})
+        with pytest.raises(InstanceError):
+            instance_to_dict(instance)

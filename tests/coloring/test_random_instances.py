@@ -1,0 +1,93 @@
+"""Tests for the random instance generators (feasibility guarantees)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    random_arbdefective_instance,
+    random_defective_instance,
+    random_nonuniform_oldc_instance,
+    random_oldc_instance,
+)
+from repro.graphs import gnp_graph, orient_by_id, ring_graph
+
+
+@pytest.fixture
+def oriented():
+    return orient_by_id(gnp_graph(30, 0.15, seed=77))
+
+
+class TestRandomOLDC:
+    def test_satisfies_eq2(self, oriented):
+        instance = random_oldc_instance(oriented, p=3, seed=1)
+        assert all(
+            instance.satisfies_eq2(3, node) for node in oriented.nodes
+        )
+
+    def test_satisfies_eq7(self, oriented):
+        instance = random_oldc_instance(oriented, p=2, seed=1, epsilon=0.75)
+        assert all(
+            instance.satisfies_eq7(2, 0.75, node) for node in oriented.nodes
+        )
+
+    def test_list_size_is_p_squared(self, oriented):
+        instance = random_oldc_instance(oriented, p=4, seed=2)
+        assert all(
+            instance.list_size(node) == 16 for node in oriented.nodes
+        )
+
+    def test_reproducible(self, oriented):
+        a = random_oldc_instance(oriented, p=3, seed=5)
+        b = random_oldc_instance(oriented, p=3, seed=5)
+        assert a.lists == b.lists
+        assert a.defects == b.defects
+
+    def test_color_space_too_small_rejected(self, oriented):
+        with pytest.raises(ValueError):
+            random_oldc_instance(oriented, p=4, seed=1, color_space_size=10)
+
+    def test_no_jitter_uses_base_defect(self, oriented):
+        instance = random_oldc_instance(oriented, p=3, seed=3, jitter=False)
+        for node in oriented.nodes:
+            base = oriented.beta(node) // 3
+            assert all(
+                instance.defect(node, color) == base
+                for color in instance.lists[node]
+            )
+
+
+class TestNonUniformOLDC:
+    def test_satisfies_eq2(self, oriented):
+        instance = random_nonuniform_oldc_instance(oriented, p=3, seed=4)
+        assert all(
+            instance.satisfies_eq2(3, node) for node in oriented.nodes
+        )
+
+    def test_list_sizes_vary(self, oriented):
+        instance = random_nonuniform_oldc_instance(oriented, p=3, seed=4)
+        sizes = {instance.list_size(node) for node in oriented.nodes}
+        assert len(sizes) > 1
+
+
+class TestSlackInstances:
+    def test_defective_slack(self):
+        network = gnp_graph(25, 0.2, seed=8)
+        instance = random_defective_instance(
+            network, slack=3.0, seed=1, color_space_size=20
+        )
+        assert instance.has_slack(3.0)
+
+    def test_arbdefective_slack(self):
+        network = ring_graph(12)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=2, color_space_size=8
+        )
+        assert instance.has_slack(1.5)
+
+    def test_list_size_cap(self):
+        network = ring_graph(12)
+        instance = random_arbdefective_instance(
+            network, slack=2.0, seed=3, color_space_size=30, list_size_cap=4
+        )
+        assert instance.max_list_size() <= 4

@@ -1,0 +1,65 @@
+"""Tests for ColoringResult helpers and leftover validator utilities."""
+
+from __future__ import annotations
+
+from repro.coloring import ColoringResult, check_complete
+from repro.sim import CostLedger
+
+
+class TestColoringResult:
+    def test_palette_sorted_unique(self):
+        result = ColoringResult(colors={0: 3, 1: 1, 2: 3})
+        assert result.palette() == (1, 3)
+        assert result.color_count() == 2
+
+    def test_rounds_proxies_ledger(self):
+        ledger = CostLedger()
+        ledger.charge_rounds(5)
+        result = ColoringResult(colors={}, ledger=ledger)
+        assert result.rounds == 5
+
+    def test_monochromatic_out_neighbors(self):
+        result = ColoringResult(
+            colors={0: 1, 1: 1},
+            orientation={0: (1,), 1: ()},
+        )
+        assert result.monochromatic_out_neighbors(0) == (1,)
+        assert result.monochromatic_out_neighbors(1) == ()
+
+    def test_monochromatic_without_orientation(self):
+        result = ColoringResult(colors={0: 1})
+        assert result.monochromatic_out_neighbors(0) == ()
+
+    def test_stats_default_none(self):
+        assert ColoringResult(colors={}).stats is None
+
+
+class TestCheckComplete:
+    def test_complete(self):
+        assert check_complete([0, 1], {0: 5, 1: 6}) == []
+
+    def test_missing(self):
+        violations = check_complete([0, 1, 2], {0: 5})
+        assert len(violations) == 2
+
+    def test_none_color_flagged(self):
+        assert check_complete([0], {0: None}) != []
+
+
+class TestReprs:
+    def test_result_repr(self):
+        result = ColoringResult(colors={0: 1, 1: 2})
+        text = repr(result)
+        assert "nodes=2" in text and "plain" in text
+
+    def test_network_and_instance_reprs(self):
+        from repro.coloring import ArbdefectiveInstance, uniform_lists
+        from repro.graphs import orient_by_id, ring_graph
+
+        network = ring_graph(5)
+        assert "n=5" in repr(network) and "m=5" in repr(network)
+        assert "beta=" in repr(orient_by_id(network))
+        lists, defects = uniform_lists(network.nodes, (0, 1), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        assert "ArbdefectiveInstance" in repr(instance)
+        assert "Lambda=2" in repr(instance)

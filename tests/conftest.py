@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    gnp_graph,
+    orient_by_id,
+    path_graph,
+    random_bounded_degree_graph,
+    ring_graph,
+    sequential_ids,
+    star_graph,
+)
+from repro.sim import CostLedger, Network
+
+
+@pytest.fixture
+def triangle() -> Network:
+    return complete_graph(3)
+
+
+@pytest.fixture
+def small_path() -> Network:
+    return path_graph(5)
+
+
+@pytest.fixture
+def small_ring() -> Network:
+    return ring_graph(8)
+
+
+@pytest.fixture
+def small_star() -> Network:
+    return star_graph(6)
+
+
+@pytest.fixture
+def medium_random() -> Network:
+    return gnp_graph(40, 0.12, seed=101)
+
+
+@pytest.fixture
+def bounded_degree() -> Network:
+    return random_bounded_degree_graph(50, 5, seed=202)
+
+
+@pytest.fixture
+def ledger() -> CostLedger:
+    return CostLedger()
+
+
+def proper_ids(network: Network):
+    """Sequential IDs viewed as a trivially proper n-coloring (0..n-1)."""
+    return sequential_ids(network), len(network)
+
+
+def oriented_conflicts(graph, colors, node):
+    """Same-colored out-neighbors of ``node`` (validator cross-check)."""
+    return sum(
+        1 for neighbor in graph.out_neighbors(node)
+        if colors[neighbor] == colors[node]
+    )
+
+
+def undirected_conflicts(network: Network, colors, node):
+    """Same-colored neighbors of ``node``."""
+    return sum(
+        1 for neighbor in network.neighbors(node)
+        if colors[neighbor] == colors[node]
+    )
+
+
+def random_proper_coloring_graph(n: int, degree: int, seed: int):
+    """(network, oriented-by-id graph, sequential ids, q) tuple."""
+    network = random_bounded_degree_graph(n, degree, seed)
+    return network, orient_by_id(network), sequential_ids(network), n

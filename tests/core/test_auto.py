@@ -1,0 +1,103 @@
+"""Tests for the automatic (p, epsilon) planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    OLDCInstance,
+    check_oldc,
+    random_oldc_instance,
+    uniform_lists,
+)
+from repro.graphs import gnp_graph, orient_by_id, random_ids, sequential_ids
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import plan_oldc, solve_oldc_auto
+
+
+@pytest.fixture
+def setup():
+    network = gnp_graph(40, 0.15, seed=61)
+    graph = orient_by_id(network)
+    return network, graph
+
+
+class TestPlanner:
+    def test_plans_sorted_by_estimate(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=3, seed=1, epsilon=1.0)
+        plans = plan_oldc(instance, len(network))
+        estimates = [plan.estimated_rounds for plan in plans]
+        assert estimates == sorted(estimates)
+        assert plans
+
+    def test_small_q_prefers_plain_sweep(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=3, seed=2, epsilon=1.0)
+        best = plan_oldc(instance, len(network))[0]
+        # q = 40 is below any defective palette: the plain 2q+1 wins.
+        assert best.estimated_rounds == 2 * len(network) + 1
+
+    def test_large_q_prefers_defective_path(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=2, seed=3, epsilon=2.0)
+        best = plan_oldc(instance, 2 ** 40)[0]
+        assert best.epsilon > 0.0
+        assert best.estimated_rounds < 2 ** 20
+
+    def test_describe(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=2, seed=4)
+        plan = plan_oldc(instance, len(network))[0]
+        assert "p=" in plan.describe()
+
+    def test_infeasible_instance_has_no_plans(self):
+        from repro.graphs import ring_graph
+
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = OLDCInstance(graph, lists, defects)
+        assert plan_oldc(instance, 6) == []
+
+
+class TestAutoSolver:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_validity_small_q(self, setup, seed):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=3, seed=seed)
+        result = solve_oldc_auto(
+            instance, sequential_ids(network), len(network)
+        )
+        assert check_oldc(instance, result.colors) == []
+        assert "p" in result.stats
+
+    def test_validity_large_q(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=2, seed=5, epsilon=2.0)
+        ids = random_ids(network, seed=6, bits=36)
+        ledger = CostLedger()
+        result = solve_oldc_auto(instance, ids, 2 ** 36, ledger=ledger)
+        assert check_oldc(instance, result.colors) == []
+        # Must have taken the defective path: far fewer than 2^36 rounds.
+        assert ledger.rounds < 10_000
+
+    def test_estimate_close_to_actual(self, setup):
+        network, graph = setup
+        instance = random_oldc_instance(graph, p=2, seed=7, epsilon=1.0)
+        ids = random_ids(network, seed=8, bits=32)
+        ledger = CostLedger()
+        result = solve_oldc_auto(instance, ids, 2 ** 32, ledger=ledger)
+        estimate = result.stats["estimated_rounds"]
+        assert ledger.rounds <= 2 * estimate + 10
+        assert estimate <= 4 * ledger.rounds + 10
+
+    def test_infeasible_raises(self):
+        from repro.graphs import ring_graph
+
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = OLDCInstance(graph, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            solve_oldc_auto(instance, sequential_ids(network), 6)

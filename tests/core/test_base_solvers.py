@@ -1,0 +1,152 @@
+"""Tests for the base-case solvers (peel + Linial + greedy sweep)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    check_arbdefective,
+    random_arbdefective_instance,
+    uniform_lists,
+)
+from repro.graphs import (
+    empty_graph,
+    gnp_graph,
+    ring_graph,
+    sequential_ids,
+    star_graph,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import peel_free_color_nodes, solve_arbdefective_base
+
+
+class TestPeel:
+    def test_free_color_nodes_peeled(self):
+        network = ring_graph(5)
+        # defect = 2 = deg: every node has a free color -> all peeled.
+        lists, defects = uniform_lists(network.nodes, (0,), 2)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ledger = CostLedger()
+        colors, orientation, residual = peel_free_color_nodes(
+            instance, ledger
+        )
+        assert len(colors) == 5
+        assert len(residual.network) == 0
+        assert check_arbdefective(instance, colors, orientation) == []
+
+    def test_peel_cascades(self):
+        # Star: center has defect = deg (free); leaves have defect 0 but
+        # once the center is gone they become isolated and free too.
+        network = star_graph(3)
+        lists = {0: (0,), 1: (1,), 2: (1,), 3: (1,)}
+        defects = {0: {0: 3}, 1: {1: 0}, 2: {1: 0}, 3: {1: 0}}
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ledger = CostLedger()
+        colors, orientation, residual = peel_free_color_nodes(
+            instance, ledger
+        )
+        assert len(colors) == 4
+        assert ledger.rounds == 2  # two waves
+        assert check_arbdefective(instance, colors, orientation) == []
+
+    def test_nothing_to_peel(self):
+        network = ring_graph(6)
+        lists, defects = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ledger = CostLedger()
+        colors, _, residual = peel_free_color_nodes(instance, ledger)
+        assert colors == {}
+        assert len(residual.network) == 6
+        assert ledger.rounds == 0
+
+    def test_peel_reduces_neighbor_defects(self):
+        network = star_graph(2)
+        # Center free (defect 2 >= deg 2); leaves have color 0 with
+        # defect 1 -- after the center takes 0, leaves still fine.
+        lists = {0: (0,), 1: (0,), 2: (0,)}
+        defects = {0: {0: 2}, 1: {0: 1}, 2: {0: 1}}
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ledger = CostLedger()
+        colors, orientation, residual = peel_free_color_nodes(
+            instance, ledger
+        )
+        # Everyone ends up peeled: after the center, leaves are isolated.
+        assert len(colors) == 3
+        assert check_arbdefective(instance, colors, orientation) == []
+
+
+class TestBaseSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances(self, seed):
+        network = gnp_graph(30, 0.15, seed=seed)
+        instance = random_arbdefective_instance(
+            network, slack=1.3, seed=seed, color_space_size=10
+        )
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), len(network)
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_zero_defect_proper_coloring(self):
+        network = ring_graph(7)
+        lists, defects = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), 7
+        )
+        for u, v in network.edges():
+            assert result.colors[u] != result.colors[v]
+
+    def test_isolated_nodes(self):
+        network = empty_graph(4)
+        lists, defects = uniform_lists(network.nodes, (3,), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), 4
+        )
+        assert all(color == 3 for color in result.colors.values())
+
+    def test_slack_one_rejected(self):
+        network = ring_graph(4)
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            solve_arbdefective_base(
+                instance, sequential_ids(network), 4
+            )
+
+    def test_without_peel(self):
+        network = gnp_graph(25, 0.2, seed=31)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=1, color_space_size=8
+        )
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), len(network), peel=False
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_linial_relabel_bounds_rounds(self):
+        """With a huge ID space the sweep must run on the Linial palette,
+        not on the raw IDs."""
+        from repro.graphs import random_ids
+
+        network = gnp_graph(30, 0.12, seed=32)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=2, color_space_size=8
+        )
+        ids = random_ids(network, seed=3, bits=40)
+        ledger = CostLedger()
+        result = solve_arbdefective_base(
+            instance, ids, 2 ** 40, ledger=ledger
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+        # Far below 2^40: Linial palette is O(Delta^2).
+        delta = network.raw_max_degree()
+        assert ledger.rounds <= (4 * delta + 2) ** 2 + 20

@@ -1,0 +1,155 @@
+"""Tests for Lemma 3.5 (color space reduction)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.coloring import OLDCInstance, check_oldc
+from repro.graphs import gnp_graph, orient_by_id, sequential_ids
+from repro.sim import CostLedger, InfeasibleInstanceError, InstanceError
+from repro.core import (
+    color_space_reduced_oldc,
+    check_reduction_precondition,
+    reduction_depth,
+    two_sweep,
+)
+
+
+def make_high_slack_instance(graph, color_space, kappa, lam, seed):
+    """Uniform instance with weight > beta * kappa**depth at every node."""
+    depth = reduction_depth(color_space, lam)
+    need = kappa ** depth
+    rng = random.Random(seed)
+    size = max(4, color_space // 2)
+    lists, defects = {}, {}
+    for node in graph.nodes:
+        beta = graph.beta(node)
+        d = int(need * beta / size) + 1
+        colors = tuple(sorted(rng.sample(range(color_space), size)))
+        lists[node] = colors
+        defects[node] = {color: d for color in colors}
+    return OLDCInstance(graph, lists, defects, color_space)
+
+
+def greedy_style_base_solver(p=2, epsilon=0.0):
+    """A base solver built on the plain Two-Sweep (leaf lists are tiny)."""
+    def solver(instance, initial, q, ledger):
+        result = two_sweep(
+            instance, {n: initial[n] for n in instance.graph.nodes},
+            q, p, ledger=ledger, check=False,
+        )
+        return result.colors
+
+    return solver
+
+
+class TestReductionDepth:
+    def test_values(self):
+        assert reduction_depth(4, 4) == 1
+        assert reduction_depth(5, 4) == 2
+        assert reduction_depth(16, 4) == 2
+        assert reduction_depth(17, 4) == 3
+        assert reduction_depth(64, 4) == 3
+
+    def test_lambda_validation(self):
+        with pytest.raises(InstanceError):
+            reduction_depth(16, 1)
+
+
+class TestPrecondition:
+    def test_rejects_low_slack(self):
+        network = gnp_graph(20, 0.2, seed=1)
+        graph = orient_by_id(network)
+        instance = make_high_slack_instance(graph, 64, kappa=1.1, lam=4,
+                                            seed=1)
+        with pytest.raises(InfeasibleInstanceError):
+            check_reduction_precondition(instance, kappa=100.0, lam=4)
+
+    def test_accepts_high_slack(self):
+        network = gnp_graph(20, 0.2, seed=2)
+        graph = orient_by_id(network)
+        instance = make_high_slack_instance(graph, 64, kappa=2.5, lam=4,
+                                            seed=2)
+        check_reduction_precondition(instance, kappa=2.5, lam=4)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("color_space", [8, 16, 64])
+    def test_validity(self, color_space):
+        network = gnp_graph(30, 0.15, seed=3)
+        graph = orient_by_id(network)
+        kappa, lam = 2.5, 4
+        instance = make_high_slack_instance(
+            graph, color_space, kappa, lam, seed=color_space
+        )
+        ids = sequential_ids(network)
+        colors = color_space_reduced_oldc(
+            instance, ids, len(network), greedy_style_base_solver(),
+            kappa, lam,
+        )
+        assert check_oldc(instance, colors) == []
+
+    def test_base_solver_sees_only_small_lists(self):
+        network = gnp_graph(25, 0.2, seed=4)
+        graph = orient_by_id(network)
+        kappa, lam = 2.5, 4
+        instance = make_high_slack_instance(graph, 64, kappa, lam, seed=9)
+        observed = []
+
+        def recording_solver(sub, initial, q, ledger):
+            observed.append(sub.max_list_size())
+            return greedy_style_base_solver()(sub, initial, q, ledger)
+
+        color_space_reduced_oldc(
+            instance, sequential_ids(network), len(network),
+            recording_solver, kappa, lam,
+        )
+        assert observed
+        assert all(size <= lam for size in observed)
+
+    def test_number_of_solver_calls_is_depth(self):
+        network = gnp_graph(25, 0.2, seed=5)
+        graph = orient_by_id(network)
+        kappa, lam = 2.5, 4
+        color_space = 64
+        instance = make_high_slack_instance(
+            graph, color_space, kappa, lam, seed=10
+        )
+        calls = []
+
+        def counting_solver(sub, initial, q, ledger):
+            calls.append(sub.color_space_size)
+            return greedy_style_base_solver()(sub, initial, q, ledger)
+
+        color_space_reduced_oldc(
+            instance, sequential_ids(network), len(network),
+            counting_solver, kappa, lam,
+        )
+        assert len(calls) == reduction_depth(color_space, lam)
+
+    def test_block_defects_sum_exceeds_kappa_beta(self):
+        """The floor allocation must still produce a kappa-slack choice
+        instance (the deviation documented in the module docstring)."""
+        network = gnp_graph(25, 0.2, seed=6)
+        graph = orient_by_id(network)
+        kappa, lam = 2.5, 4
+        instance = make_high_slack_instance(graph, 64, kappa, lam, seed=11)
+        seen = {}
+
+        def inspecting_solver(sub, initial, q, ledger):
+            if not seen:  # first call = the top-level block choice
+                for node in sub.graph.nodes:
+                    seen[node] = sub.weight(node)
+            return greedy_style_base_solver()(sub, initial, q, ledger)
+
+        color_space_reduced_oldc(
+            instance, sequential_ids(network), len(network),
+            inspecting_solver, kappa, lam,
+        )
+        for node, weight in seen.items():
+            if graph.outdegree(node) == 0:
+                continue
+            assert weight > kappa * graph.beta(node)

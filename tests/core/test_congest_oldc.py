@@ -1,0 +1,140 @@
+"""Tests for Theorem 1.2 (CONGEST oriented list defective coloring)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.coloring import OLDCInstance, check_oldc
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    random_bounded_degree_graph,
+    random_ids,
+    sequential_ids,
+)
+from repro.sim import CongestModel, CostLedger, InfeasibleInstanceError
+from repro.substrates import log_star
+from repro.core import (
+    congest_epsilon,
+    congest_kappa,
+    congest_oldc,
+    required_slack_factor,
+)
+
+
+def make_theorem_12_instance(graph, color_space, seed, margin=1.0):
+    """Uniform instance with weight > required_slack_factor * beta."""
+    need = required_slack_factor(color_space) * margin
+    rng = random.Random(seed)
+    size = max(4, color_space // 2)
+    lists, defects = {}, {}
+    for node in graph.nodes:
+        beta = graph.beta(node)
+        d = int(need * beta / size) + 1
+        colors = tuple(sorted(rng.sample(range(color_space), size)))
+        lists[node] = colors
+        defects[node] = {color: d for color in colors}
+    return OLDCInstance(graph, lists, defects, color_space)
+
+
+class TestParameters:
+    def test_epsilon_formula(self):
+        assert congest_epsilon(4) == pytest.approx(1 / 3)
+        assert congest_epsilon(256) == pytest.approx(1 / 12)
+
+    def test_kappa_below_three(self):
+        for color_space in (4, 64, 1024):
+            assert 2.0 < congest_kappa(color_space) < 3.0
+
+    def test_required_factor_below_3_sqrt_c(self):
+        """The paper's clean bound 3 sqrt(C) dominates the exact factor."""
+        for color_space in (4, 16, 64, 256, 4096):
+            assert required_slack_factor(color_space) <= (
+                3.0 * math.sqrt(color_space)
+            )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("color_space", [8, 32, 128])
+    def test_random_instances(self, color_space):
+        network = random_bounded_degree_graph(40, 5, seed=color_space)
+        graph = orient_by_id(network)
+        instance = make_theorem_12_instance(graph, color_space, seed=1)
+        result = congest_oldc(
+            instance, sequential_ids(network), len(network),
+        )
+        assert check_oldc(instance, result.colors) == []
+
+    def test_large_id_space(self):
+        network = random_bounded_degree_graph(40, 4, seed=9)
+        graph = orient_by_id(network)
+        instance = make_theorem_12_instance(graph, 64, seed=2)
+        ids = random_ids(network, seed=3, bits=32)
+        result = congest_oldc(instance, ids, 2 ** 32)
+        assert check_oldc(instance, result.colors) == []
+
+
+class TestCongestBudget:
+    def test_messages_fit_logq_plus_logc(self):
+        """Theorem 1.2's message bound, enforced by the simulator."""
+        network = random_bounded_degree_graph(40, 4, seed=10)
+        graph = orient_by_id(network)
+        color_space = 64
+        instance = make_theorem_12_instance(graph, color_space, seed=4)
+        ids = random_ids(network, seed=5, bits=24)
+        bits_c = max(1, math.ceil(math.log2(color_space)))
+        bandwidth = CongestModel(n=2 ** 24, factor=4, extra_bits=bits_c)
+        result = congest_oldc(
+            instance, ids, 2 ** 24, bandwidth=bandwidth,
+        )
+        assert check_oldc(instance, result.colors) == []
+
+    def test_max_message_bits_small(self):
+        network = random_bounded_degree_graph(30, 4, seed=11)
+        graph = orient_by_id(network)
+        instance = make_theorem_12_instance(graph, 256, seed=6)
+        ledger = CostLedger()
+        congest_oldc(
+            instance, sequential_ids(network), len(network), ledger=ledger
+        )
+        # p = 2 colors of log C bits plus small headers; far below the
+        # instance's total list size (128 colors x 8 bits).
+        assert ledger.max_message_bits <= 4 * (
+            math.ceil(math.log2(256)) + math.ceil(math.log2(30)) + 8
+        )
+
+
+class TestPrecondition:
+    def test_low_slack_rejected(self):
+        network = gnp_graph(20, 0.2, seed=12)
+        graph = orient_by_id(network)
+        # One zero-defect color per node: weight 1 <= kappa^depth * beta.
+        lists = {node: (0,) for node in graph.nodes}
+        defects = {node: {0: 0} for node in graph.nodes}
+        instance = OLDCInstance(graph, lists, defects, 64)
+        with pytest.raises(InfeasibleInstanceError):
+            congest_oldc(instance, sequential_ids(network), len(network))
+
+
+class TestRounds:
+    def test_round_shape(self):
+        """Rounds grow polylog in C (times the O(q)-ish leaf sweeps on
+        these small test graphs), never like C itself."""
+        network = random_bounded_degree_graph(30, 4, seed=13)
+        graph = orient_by_id(network)
+        rounds = {}
+        for color_space in (16, 256):
+            instance = make_theorem_12_instance(
+                graph, color_space, seed=color_space
+            )
+            ledger = CostLedger()
+            congest_oldc(
+                instance, sequential_ids(network), len(network),
+                ledger=ledger,
+            )
+            rounds[color_space] = ledger.rounds
+        # 16x more colors must cost far less than 16x more rounds.
+        assert rounds[256] <= 6 * rounds[16]

@@ -1,0 +1,151 @@
+"""Tests for Theorem 1.4 (Section 4.1): defective via arbdefective."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coloring import (
+    ListDefectiveInstance,
+    check_list_defective,
+    random_defective_instance,
+    uniform_lists,
+)
+from repro.graphs import (
+    gnp_graph,
+    line_graph_of_network,
+    neighborhood_independence,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import (
+    defective_from_arbdefective,
+    solve_arbdefective_base,
+    theorem_14_slack,
+)
+
+
+def base_arb_solver(sub, sub_initial, sub_q, ledger):
+    return solve_arbdefective_base(sub, sub_initial, sub_q, ledger=ledger)
+
+
+def bounded_theta_graph(seed):
+    base = gnp_graph(14, 0.3, seed=seed)
+    network, _ = line_graph_of_network(base)
+    return network, neighborhood_independence(network)
+
+
+class TestSlackFormula:
+    def test_matches_eq9(self):
+        assert theorem_14_slack(theta=1, max_degree=8, s=1.0) == (
+            21.0 * (math.ceil(math.log2(8)) + 1)
+        )
+
+    def test_scales_with_theta_and_s(self):
+        one = theorem_14_slack(1, 16, 1.0)
+        assert theorem_14_slack(3, 16, 1.0) == 3 * one
+        assert theorem_14_slack(1, 16, 2.0) == 2 * one
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_line_graphs(self, seed):
+        network, theta = bounded_theta_graph(seed)
+        need = theorem_14_slack(theta, network.max_degree(), 1.0)
+        instance = random_defective_instance(
+            network, slack=need, seed=seed, color_space_size=32
+        )
+        ids = sequential_ids(network)
+        # validate=True re-checks Lemma 4.3 internally and raises on any
+        # violation; no exception = the theorem's guarantee held.
+        result = defective_from_arbdefective(
+            instance, theta, s=1.0, arb_solver=base_arb_solver,
+            initial_colors=ids, q=len(network),
+        )
+        assert check_list_defective(instance, result.colors) == []
+
+    def test_free_color_peel_path(self):
+        # Defects >= deg everywhere: everyone is peeled up front.
+        network = ring_graph(6)
+        lists, defects = uniform_lists(network.nodes, tuple(range(200)), 2)
+        instance = ListDefectiveInstance(network, lists, defects)
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        result = defective_from_arbdefective(
+            instance, theta=2, s=1.0, arb_solver=base_arb_solver,
+            initial_colors=ids, q=6, ledger=ledger,
+        )
+        assert check_list_defective(instance, result.colors) == []
+
+    def test_sub_instances_meet_eq13(self):
+        """Every instance handed to the P_A solver has slack above s,
+        on an instance engineered to have no free colors (so the peel
+        shortcut cannot swallow all the work)."""
+        network, theta = bounded_theta_graph(7)
+        need = theorem_14_slack(theta, network.max_degree(), 1.0)
+        # Per-color defect deg(v) - 1 (never free); list size just above
+        # the Eq. (9) slack requirement.
+        size = int(need) + 2
+        space = 2 * size
+        lists = {}
+        defects = {}
+        for node in network:
+            degree = max(1, network.degree(node))
+            lists[node] = tuple(range(size))
+            defects[node] = {
+                color: max(0, degree - 1) for color in range(size)
+            }
+        instance = ListDefectiveInstance(network, lists, defects, space)
+        assert instance.has_slack(need)
+        seen = []
+
+        def recorder(sub, sub_initial, sub_q, ledger):
+            seen.append(sub)
+            return base_arb_solver(sub, sub_initial, sub_q, ledger)
+
+        defective_from_arbdefective(
+            instance, theta, s=1.0, arb_solver=recorder,
+            initial_colors=sequential_ids(network), q=len(network),
+        )
+        assert seen
+        for sub in seen:
+            assert sub.has_slack(1.0)
+            # Uniform per-iteration defects d_i = 2^i - 1.
+            per_node = {
+                frozenset(sub.defects[node].values()) for node in sub.network
+            }
+            assert all(len(values) <= 1 for values in per_node)
+
+    def test_iteration_count_bounded(self):
+        network, theta = bounded_theta_graph(9)
+        need = theorem_14_slack(theta, network.max_degree(), 1.0)
+        instance = random_defective_instance(
+            network, slack=need, seed=9, color_space_size=32
+        )
+        calls = []
+
+        def counter(sub, sub_initial, sub_q, ledger):
+            calls.append(len(sub.network))
+            return base_arb_solver(sub, sub_initial, sub_q, ledger)
+
+        defective_from_arbdefective(
+            instance, theta, s=1.0, arb_solver=counter,
+            initial_colors=sequential_ids(network), q=len(network),
+        )
+        assert len(calls) <= math.ceil(
+            math.log2(network.max_degree())
+        ) + 1
+
+
+class TestPrecondition:
+    def test_eq9_violation_rejected(self):
+        network = ring_graph(6)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 1)
+        instance = ListDefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            defective_from_arbdefective(
+                instance, theta=2, s=1.0, arb_solver=base_arb_solver,
+                initial_colors=sequential_ids(network), q=6,
+            )

@@ -1,0 +1,73 @@
+"""Tests for the public edge coloring API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import edge_coloring, hyperedge_coloring
+from repro.graphs import (
+    complete_graph,
+    empty_graph,
+    gnp_graph,
+    is_proper_edge_coloring,
+    random_uniform_hypergraph,
+    ring_graph,
+    star_graph,
+)
+from repro.sim import CostLedger
+
+
+class TestEdgeColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graphs(self, seed):
+        network = gnp_graph(16, 0.25, seed=seed)
+        colors, result = edge_coloring(network)
+        assert is_proper_edge_coloring(network, colors)
+        assert result.color_count() <= max(
+            1, 2 * network.raw_max_degree() - 1
+        )
+
+    def test_star_needs_exactly_delta_colors(self):
+        network = star_graph(5)
+        colors, result = edge_coloring(network)
+        # All 5 edges share the center: 5 distinct colors.
+        assert len(set(colors.values())) == 5
+
+    def test_ring_uses_at_most_three(self):
+        network = ring_graph(9)
+        colors, _ = edge_coloring(network)
+        assert len(set(colors.values())) <= 3
+
+    def test_clique(self):
+        network = complete_graph(5)
+        colors, _ = edge_coloring(network)
+        assert is_proper_edge_coloring(network, colors)
+
+    def test_empty_graph(self):
+        colors, result = edge_coloring(empty_graph(4))
+        assert colors == {}
+
+    def test_rounds_charged(self):
+        network = ring_graph(8)
+        ledger = CostLedger()
+        edge_coloring(network, ledger=ledger)
+        assert ledger.rounds > 0
+
+
+class TestHyperedgeColoring:
+    @pytest.mark.parametrize("rank", [2, 3, 4])
+    def test_intersecting_hyperedges_distinct(self, rank):
+        hypergraph = random_uniform_hypergraph(
+            16, 16, rank=rank, seed=rank
+        )
+        colors, result = hyperedge_coloring(hypergraph)
+        edges = list(colors)
+        for i, a in enumerate(edges):
+            for b in edges[i + 1:]:
+                if a & b:
+                    assert colors[a] != colors[b]
+
+    def test_all_hyperedges_colored(self):
+        hypergraph = random_uniform_hypergraph(12, 10, rank=3, seed=9)
+        colors, _ = hyperedge_coloring(hypergraph)
+        assert set(colors) == set(hypergraph.edges)

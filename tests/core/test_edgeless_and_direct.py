@@ -1,0 +1,111 @@
+"""Direct tests for helpers usually exercised only through wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    check_arbdefective,
+    random_arbdefective_instance,
+    uniform_lists,
+)
+from repro.core import (
+    check_fast_two_sweep_preconditions,
+    check_two_sweep_preconditions,
+    solve_arbdefective_via_congest,
+    solve_edgeless,
+)
+from repro.graphs import empty_graph, gnp_graph, orient_by_id, sequential_ids
+from repro.sim import (
+    CostLedger,
+    InfeasibleInstanceError,
+    InstanceError,
+)
+
+
+class TestSolveEdgeless:
+    def test_picks_max_defect_color(self):
+        network = empty_graph(3)
+        lists = {node: (4, 7, 9) for node in network}
+        defects = {node: {4: 0, 7: 5, 9: 2} for node in network}
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ledger = CostLedger()
+        result = solve_edgeless(instance, ledger)
+        assert all(color == 7 for color in result.colors.values())
+        assert ledger.rounds == 1
+
+    def test_tie_break_prefers_smaller_color(self):
+        network = empty_graph(1)
+        lists = {0: (9, 4)}
+        defects = {0: {9: 1, 4: 1}}
+        instance = ArbdefectiveInstance(network, lists, defects)
+        result = solve_edgeless(instance, CostLedger())
+        assert result.colors[0] == 4
+
+    def test_empty_list_rejected(self):
+        network = empty_graph(1)
+        instance = ArbdefectiveInstance(network, {0: ()}, {})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_edgeless(instance, CostLedger())
+
+    def test_no_nodes_no_round(self):
+        network = empty_graph(0)
+        instance = ArbdefectiveInstance(network, {}, {})
+        ledger = CostLedger()
+        solve_edgeless(instance, ledger)
+        assert ledger.rounds == 0
+
+
+class TestPreconditionCheckers:
+    def test_two_sweep_checker_passes_on_feasible(self):
+        from repro.coloring import random_oldc_instance
+
+        network = gnp_graph(15, 0.3, seed=1)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=1)
+        check_two_sweep_preconditions(
+            instance, sequential_ids(network), len(network), 2
+        )
+
+    def test_two_sweep_checker_rejects_bad_q(self):
+        from repro.coloring import random_oldc_instance
+
+        network = gnp_graph(15, 0.3, seed=2)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=2)
+        with pytest.raises(InstanceError):
+            check_two_sweep_preconditions(
+                instance, sequential_ids(network), 3, 2
+            )
+
+    def test_fast_checker_rejects_bad_p(self):
+        from repro.coloring import random_oldc_instance
+
+        network = gnp_graph(15, 0.3, seed=3)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=3)
+        with pytest.raises(InstanceError):
+            check_fast_two_sweep_preconditions(instance, 0, 0.5)
+
+
+class TestSolveViaCongest:
+    def test_direct_invocation(self):
+        """The Theorem 1.3 inner solver, driven directly on a high-slack
+        instance (orientation chosen from the initial coloring)."""
+        from repro.core import required_slack_factor
+
+        network = gnp_graph(25, 0.15, seed=4)
+        color_space = 16
+        mu = required_slack_factor(color_space)
+        instance = random_arbdefective_instance(
+            network, slack=mu + 1, seed=4, color_space_size=color_space
+        )
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        result = solve_arbdefective_via_congest(
+            instance, ids, len(network), ledger
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []

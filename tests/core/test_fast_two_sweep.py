@@ -1,0 +1,148 @@
+"""Tests for Algorithm 2 (Fast-Two-Sweep) -- Theorem 1.1 with epsilon > 0."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    OLDCInstance,
+    check_oldc,
+    random_oldc_instance,
+    uniform_lists,
+)
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError, InstanceError
+from repro.substrates import log_star
+from repro.core import fast_two_sweep, two_sweep
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_instances_large_q(self, seed):
+        """With a huge ID space the defective-coloring path must engage."""
+        network = gnp_graph(45, 0.15, seed=seed)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(
+            graph, p=2, seed=seed, epsilon=0.5
+        )
+        ids = random_ids(network, seed=seed, bits=36)
+        ledger = CostLedger()
+        result = fast_two_sweep(
+            instance, ids, 2 ** 36, 2, 0.5, ledger=ledger
+        )
+        assert check_oldc(instance, result.colors) == []
+        assert ledger.phase_rounds("fast-two-sweep-defective") > 0
+
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+    def test_epsilon_values(self, epsilon):
+        network = gnp_graph(35, 0.2, seed=60)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(
+            graph, p=2, seed=1, epsilon=epsilon
+        )
+        ids = random_ids(network, seed=2, bits=32)
+        result = fast_two_sweep(instance, ids, 2 ** 32, 2, epsilon)
+        assert check_oldc(instance, result.colors) == []
+
+    def test_epsilon_zero_equals_plain_two_sweep(self):
+        network = ring_graph(10)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=3)
+        ids = sequential_ids(network)
+        a = fast_two_sweep(instance, ids, len(network), 2, 0.0)
+        b = two_sweep(instance, ids, len(network), 2)
+        assert a.colors == b.colors
+
+
+class TestRoundBound:
+    def test_rounds_independent_of_q(self):
+        """Theorem 1.1: rounds O((p/eps)^2 + log* q), not O(q)."""
+        network = gnp_graph(40, 0.15, seed=61)
+        graph = orient_by_id(network)
+        p, epsilon = 2, 0.5
+        instance = random_oldc_instance(
+            graph, p=p, seed=4, epsilon=epsilon
+        )
+        q = 2 ** 48
+        ids = random_ids(network, seed=5, bits=48)
+        ledger = CostLedger()
+        fast_two_sweep(instance, ids, q, p, epsilon, ledger=ledger)
+        # Generous constant; the point is "nowhere near q = 2^48".
+        bound = 40 * ((p / epsilon) ** 2 + log_star(q)) + 40
+        assert ledger.rounds <= bound
+
+    def test_small_q_takes_plain_sweep_branch(self):
+        network = ring_graph(8)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=6, epsilon=0.5)
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        fast_two_sweep(instance, ids, len(network), 2, 0.5, ledger=ledger)
+        assert ledger.phase_rounds("fast-two-sweep-defective") == 0
+        assert ledger.rounds <= 2 * len(network) + 2
+
+
+class TestPreconditions:
+    def test_eq7_violation_rejected(self):
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        # Satisfies Eq.(2) for p=2 exactly but not the (1+eps) version:
+        # weight = 4+1 = 5 > 2*beta(=2)*... pick tight defects.
+        lists, defects = uniform_lists(network.nodes, (0, 1), 2)
+        # weight = 6 > 2 * 2 = 4 (Eq.2, p=2), but 6 <= (1+1.0) * 2 * 2 = 8.
+        instance = OLDCInstance(graph, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            fast_two_sweep(
+                instance, sequential_ids(network), 6, 2, 1.0
+            )
+
+    def test_negative_epsilon_rejected(self):
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=7)
+        with pytest.raises(InstanceError):
+            fast_two_sweep(
+                instance, sequential_ids(network), 6, 2, -0.5
+            )
+
+    def test_defect_reduction_never_breaks_validity(self):
+        """End-to-end: the floor-based reduction still meets the ORIGINAL
+        defect bounds (the whole point of Algorithm 2's bookkeeping)."""
+        for seed in range(4):
+            network = gnp_graph(40, 0.2, seed=70 + seed)
+            graph = orient_by_id(network)
+            instance = random_oldc_instance(
+                graph, p=3, seed=seed, epsilon=1.0, jitter=False
+            )
+            ids = random_ids(network, seed=seed, bits=32)
+            result = fast_two_sweep(instance, ids, 2 ** 32, 3, 1.0)
+            assert check_oldc(instance, result.colors) == []
+
+
+class TestMinimalSlackEpsilon:
+    def test_boundary_eps_instances_solved_with_wide_ids(self):
+        """Minimal Eq. (7) instances through the full Algorithm 2 path
+        (defective coloring engaged by a 2^32 identifier space)."""
+        from repro.coloring import minimal_slack_oldc_instance
+
+        for seed in range(3):
+            network = gnp_graph(35, 0.2, seed=80 + seed)
+            graph = orient_by_id(network)
+            instance = minimal_slack_oldc_instance(graph, p=2, epsilon=0.5)
+            ids = random_ids(network, seed=seed, bits=32)
+            result = fast_two_sweep(instance, ids, 2 ** 32, 2, 0.5)
+            assert check_oldc(instance, result.colors) == []
+
+    def test_stats_propagated(self):
+        network = gnp_graph(30, 0.2, seed=85)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=85, epsilon=0.5)
+        ids = random_ids(network, seed=85, bits=32)
+        result = fast_two_sweep(instance, ids, 2 ** 32, 2, 0.5)
+        assert result.stats["max_local_work"] > 0

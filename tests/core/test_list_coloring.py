@@ -1,0 +1,94 @@
+"""Tests for Theorem 1.3 ((deg+1)-list coloring in CONGEST)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.coloring import check_proper_coloring
+from repro.graphs import (
+    gnp_graph,
+    random_bounded_degree_graph,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CongestModel, CostLedger, InstanceError
+from repro.core import (
+    deg_plus_one_list_coloring,
+    delta_plus_one_coloring,
+    linial_reduction_baseline,
+)
+
+
+def random_lists(network, seed, extra=2):
+    rng = random.Random(seed)
+    space = network.raw_max_degree() + 1 + extra
+    lists = {
+        node: tuple(
+            sorted(rng.sample(range(space), network.degree(node) + 1))
+        )
+        for node in network
+    }
+    return lists, space
+
+
+class TestDegPlusOneLists:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_validity_and_list_membership(self, seed):
+        network = random_bounded_degree_graph(25, 4, seed=seed)
+        lists, space = random_lists(network, seed)
+        result = deg_plus_one_list_coloring(
+            network, lists, color_space_size=space
+        )
+        assert check_proper_coloring(network, result.colors) == []
+        for node in network:
+            assert result.colors[node] in lists[node]
+
+    def test_short_list_rejected(self):
+        network = ring_graph(5)
+        lists = {node: (0, 1) for node in network}  # need deg+1 = 3
+        with pytest.raises(InstanceError):
+            deg_plus_one_list_coloring(network, lists)
+
+    def test_congest_budget_respected(self):
+        network = random_bounded_degree_graph(20, 4, seed=7)
+        lists, space = random_lists(network, 7)
+        bits_c = max(1, math.ceil(math.log2(space)))
+        bandwidth = CongestModel(n=len(network), factor=8,
+                                 extra_bits=bits_c)
+        result = deg_plus_one_list_coloring(
+            network, lists, color_space_size=space, bandwidth=bandwidth
+        )
+        assert check_proper_coloring(network, result.colors) == []
+
+
+class TestDeltaPlusOne:
+    def test_palette_within_delta_plus_one(self):
+        network = random_bounded_degree_graph(25, 4, seed=9)
+        result = delta_plus_one_coloring(network)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= network.raw_max_degree()
+
+    def test_with_sparse_id_space(self):
+        network = random_bounded_degree_graph(20, 3, seed=10)
+        ids = random_ids(network, seed=2, bits=24)
+        result = delta_plus_one_coloring(network, ids=ids)
+        assert check_proper_coloring(network, result.colors) == []
+
+
+class TestBaseline:
+    def test_baseline_valid(self):
+        network = gnp_graph(40, 0.12, seed=11)
+        result = linial_reduction_baseline(network)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= network.raw_max_degree()
+
+    def test_baseline_rounds_quadratic_in_delta(self):
+        network = gnp_graph(40, 0.12, seed=12)
+        ledger = CostLedger()
+        linial_reduction_baseline(network, ledger=ledger)
+        delta = network.raw_max_degree()
+        assert ledger.rounds <= (4 * delta + 2) ** 2 + 20

@@ -1,0 +1,110 @@
+"""Tests for the shared partial-coloring bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import ArbdefectiveInstance, uniform_lists
+from repro.graphs import path_graph, ring_graph, star_graph
+from repro.sim import AlgorithmFailure
+from repro.core import PartialColoring
+
+
+def make_instance(network, colors=(0, 1), defect=2):
+    lists, defects = uniform_lists(network.nodes, colors, defect)
+    return ArbdefectiveInstance(network, lists, defects)
+
+
+class TestConflictTracking:
+    def test_commit_updates_conflicts(self):
+        network = star_graph(3)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({1: 0, 2: 1})
+        assert partial.conflicts(0, 0) == 1
+        assert partial.conflicts(0, 1) == 1
+        assert partial.colored_neighbor_count(0) == 2
+        assert partial.colored_neighbor_count(3) == 0
+
+    def test_residual_defect(self):
+        network = star_graph(2)
+        partial = PartialColoring(make_instance(network, defect=1))
+        partial.commit({1: 0, 2: 0})
+        assert partial.residual_defect(0, 0) == 1 - 2
+        assert partial.residual_defect(0, 1) == 1
+
+    def test_residual_weight_drops_exhausted_colors(self):
+        network = star_graph(2)
+        partial = PartialColoring(make_instance(network, defect=1))
+        partial.commit({1: 0, 2: 0})
+        # Color 0 is exhausted (residual -1); only color 1 contributes.
+        assert partial.residual_weight(0) == 2
+
+    def test_double_commit_rejected(self):
+        network = path_graph(2)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({0: 0})
+        with pytest.raises(AlgorithmFailure):
+            partial.commit({0: 1})
+
+
+class TestResidualInstance:
+    def test_colored_nodes_excluded(self):
+        network = ring_graph(5)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({0: 0})
+        sub = partial.residual_instance([0, 1, 2])
+        assert set(sub.network.nodes) == {1, 2}
+
+    def test_defects_reduced_and_lists_filtered(self):
+        network = star_graph(2)
+        partial = PartialColoring(make_instance(network, defect=1))
+        partial.commit({1: 0, 2: 0})
+        sub = partial.residual_instance([0])
+        assert sub.lists[0] == (1,)
+        assert sub.defects[0] == {1: 1}
+
+    def test_custom_lists_respected(self):
+        network = path_graph(3)
+        partial = PartialColoring(make_instance(network, colors=(0, 1, 2)))
+        sub = partial.residual_instance([0, 2], lists={0: (2,), 2: (0, 1)})
+        assert sub.lists[0] == (2,)
+        assert sub.lists[2] == (0, 1)
+
+
+class TestOrientation:
+    def test_cross_edges_point_to_earlier(self):
+        network = path_graph(3)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({0: 0})
+        partial.commit({1: 0})
+        assert partial.orientation[1] == (0,)
+        assert partial.orientation[0] == ()
+
+    def test_inner_orientation_preserved(self):
+        network = path_graph(3)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({0: 0, 1: 0}, inner_orientation={1: (0,), 0: ()})
+        assert partial.orientation[1] == (0,)
+
+    def test_different_colors_not_oriented(self):
+        network = path_graph(2)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({0: 0})
+        partial.commit({1: 1})
+        assert partial.orientation[1] == ()
+
+
+class TestCompleteness:
+    def test_require_complete(self):
+        network = path_graph(2)
+        partial = PartialColoring(make_instance(network))
+        with pytest.raises(AlgorithmFailure):
+            partial.require_complete("test")
+        partial.commit({0: 0, 1: 1})
+        partial.require_complete("test")
+
+    def test_uncolored_listing(self):
+        network = path_graph(3)
+        partial = PartialColoring(make_instance(network))
+        partial.commit({1: 0})
+        assert set(partial.uncolored()) == {0, 2}

@@ -1,0 +1,132 @@
+"""Tests for Lemma 4.6 / Theorem 1.5 (bounded-theta recursion)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_proper_coloring,
+    random_arbdefective_instance,
+)
+from repro.graphs import (
+    gnp_graph,
+    line_graph_of_hypergraph,
+    line_graph_of_network,
+    neighborhood_independence,
+    random_uniform_hypergraph,
+    ring_graph,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import (
+    lemma_46_slack,
+    theta_delta_plus_one_coloring,
+    theta_recursive_arbdefective,
+)
+
+
+def line_graph_instance(seed, slack, color_space=32):
+    base = gnp_graph(14, 0.3, seed=seed)
+    network, _ = line_graph_of_network(base)
+    theta = neighborhood_independence(network)
+    instance = random_arbdefective_instance(
+        network, slack=slack, seed=seed, color_space_size=color_space
+    )
+    return instance, network, theta
+
+
+class TestSlackFormula:
+    def test_lemma_46_slack(self):
+        assert lemma_46_slack(1, 8) == 84.0 * 3
+        assert lemma_46_slack(2, 8) == 2 * 84.0 * 3
+        assert lemma_46_slack(1, 2) == 84.0
+
+
+class TestDefaultDispatch:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_validity_slack_just_above_one(self, seed):
+        instance, network, theta = line_graph_instance(seed, slack=1.2)
+        result = theta_recursive_arbdefective(instance, theta)
+        # validate=True already asserted; double-check independently.
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_validity_high_slack(self):
+        instance, network, theta = line_graph_instance(11, slack=30.0)
+        result = theta_recursive_arbdefective(instance, theta)
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_infeasible_rejected(self):
+        network = ring_graph(6)
+        from repro.coloring import ArbdefectiveInstance, uniform_lists
+
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            theta_recursive_arbdefective(instance, theta=2)
+
+
+class TestForcedRecursion:
+    def test_all_branches_visited(self):
+        hg = random_uniform_hypergraph(24, 36, rank=3, seed=8)
+        network, _ = line_graph_of_hypergraph(hg)
+        theta = neighborhood_independence(network)
+        big = lemma_46_slack(theta, network.raw_max_degree())
+        instance = random_arbdefective_instance(
+            network, slack=big + 1, seed=3, color_space_size=64
+        )
+        result = theta_recursive_arbdefective(
+            instance, theta, force_recursion=True,
+            base_degree=0, base_color_space=2,
+        )
+        assert result.stats["lemma44"] + result.stats["lemma46"] > 0
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_low_slack_routes_through_a1(self):
+        instance, network, theta = line_graph_instance(21, slack=1.3)
+        result = theta_recursive_arbdefective(
+            instance, theta, force_recursion=True,
+            base_degree=0, base_color_space=2, max_depth=10,
+        )
+        assert result.stats["lemmaA1"] >= 1
+
+    def test_depth_budget_respected(self):
+        """max_depth = 0 must immediately fall back to the base solver
+        (which is universally correct)."""
+        instance, network, theta = line_graph_instance(22, slack=2.5)
+        result = theta_recursive_arbdefective(
+            instance, theta, max_depth=0,
+        )
+        assert result.stats["base"] >= 1
+        assert result.stats["lemma44"] == 0
+
+
+class TestDeltaPlusOne:
+    @pytest.mark.parametrize("rank", [2, 3])
+    def test_proper_coloring_on_hypergraph_line_graphs(self, rank):
+        hg = random_uniform_hypergraph(20, 24, rank=rank, seed=rank)
+        network, _ = line_graph_of_hypergraph(hg)
+        theta = neighborhood_independence(network)
+        assert theta <= rank
+        result = theta_delta_plus_one_coloring(network, theta)
+        assert check_proper_coloring(network, result.colors) == []
+        assert result.color_count() <= network.raw_max_degree() + 1
+
+    def test_ring(self):
+        network = ring_graph(17)
+        result = theta_delta_plus_one_coloring(network, theta=2)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= 2
+
+    def test_rounds_charged(self):
+        network = ring_graph(12)
+        ledger = CostLedger()
+        theta_delta_plus_one_coloring(network, theta=2, ledger=ledger)
+        assert ledger.rounds > 0

@@ -1,0 +1,204 @@
+"""Tests for Lemma 4.4 and Lemma A.1 (slack reduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    check_arbdefective,
+    random_arbdefective_instance,
+    uniform_lists,
+)
+from repro.graphs import gnp_graph, ring_graph, sequential_ids
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import (
+    slack_reduction,
+    slack_reduction_full,
+    solve_arbdefective_base,
+)
+
+
+def base_inner(sub, sub_initial, sub_q, ledger):
+    """Inner solver used by the tests: the universal base solver."""
+    return solve_arbdefective_base(sub, sub_initial, sub_q, ledger=ledger)
+
+
+def recording_inner(log):
+    def inner(sub, sub_initial, sub_q, ledger):
+        log.append(sub)
+        return base_inner(sub, sub_initial, sub_q, ledger)
+
+    return inner
+
+
+class TestLemma44:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validity(self, seed):
+        network = gnp_graph(30, 0.15, seed=seed)
+        instance = random_arbdefective_instance(
+            network, slack=2.5, seed=seed, color_space_size=12
+        )
+        result = slack_reduction(
+            instance, sequential_ids(network), len(network),
+            mu=4.0, inner_solver=base_inner,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_inner_instances_have_boosted_slack(self):
+        """Classes with edges must carry slack > mu.  (On small graphs
+        most classes are edgeless and take the local fast path; the
+        slack guard inside slack_reduction additionally raises
+        AlgorithmFailure at runtime if the arithmetic ever broke.)"""
+        network = gnp_graph(35, 0.2, seed=5)
+        instance = random_arbdefective_instance(
+            network, slack=2.5, seed=5, color_space_size=12
+        )
+        seen = []
+        result = slack_reduction(
+            instance, sequential_ids(network), len(network),
+            mu=5.0, inner_solver=recording_inner(seen),
+        )
+        for sub in seen:
+            assert sub.has_slack(5.0)
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_inner_degrees_shrink(self):
+        network = gnp_graph(40, 0.3, seed=6)
+        instance = random_arbdefective_instance(
+            network, slack=2.5, seed=6, color_space_size=12
+        )
+        mu = 5.0
+        seen = []
+        slack_reduction(
+            instance, sequential_ids(network), len(network),
+            mu=mu, inner_solver=recording_inner(seen),
+        )
+        for sub in seen:
+            for node in sub.network:
+                assert sub.network.degree(node) <= (
+                    network.degree(node) / mu
+                )
+
+    def test_slack_two_required(self):
+        network = ring_graph(4)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            slack_reduction(
+                instance, sequential_ids(network), 4,
+                mu=3.0, inner_solver=base_inner,
+            )
+
+
+class TestLemmaA1:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validity_low_slack(self, seed):
+        network = gnp_graph(30, 0.15, seed=40 + seed)
+        instance = random_arbdefective_instance(
+            network, slack=1.2, seed=seed, color_space_size=12
+        )
+        result = slack_reduction_full(
+            instance, sequential_ids(network), len(network),
+            mu=3.0, inner_solver=base_inner,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_deg_plus_one_lists(self):
+        """The flagship client: zero defects, lists of size deg + 1."""
+        import random as rnd
+
+        network = gnp_graph(30, 0.2, seed=44)
+        rng = rnd.Random(1)
+        space = network.raw_max_degree() + 4
+        lists = {
+            node: tuple(
+                sorted(rng.sample(range(space), network.degree(node) + 1))
+            )
+            for node in network
+        }
+        defects = {
+            node: {color: 0 for color in lists[node]} for node in network
+        }
+        instance = ArbdefectiveInstance(network, lists, defects, space)
+        result = slack_reduction_full(
+            instance, sequential_ids(network), len(network),
+            mu=2.0, inner_solver=base_inner,
+        )
+        # Zero defects: the output must be proper.
+        for u, v in network.edges():
+            assert result.colors[u] != result.colors[v]
+
+    def test_inner_instances_have_boosted_slack(self):
+        network = gnp_graph(35, 0.2, seed=45)
+        instance = random_arbdefective_instance(
+            network, slack=1.1, seed=7, color_space_size=12
+        )
+        seen = []
+        result = slack_reduction_full(
+            instance, sequential_ids(network), len(network),
+            mu=2.5, inner_solver=recording_inner(seen),
+        )
+        for sub in seen:
+            assert sub.has_slack(2.5)
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_slack_above_one_required(self):
+        network = ring_graph(4)
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            slack_reduction_full(
+                instance, sequential_ids(network), 4,
+                mu=2.0, inner_solver=base_inner,
+            )
+
+    def test_rounds_charged_to_shared_ledger(self):
+        network = gnp_graph(25, 0.2, seed=46)
+        instance = random_arbdefective_instance(
+            network, slack=1.3, seed=8, color_space_size=10
+        )
+        ledger = CostLedger()
+        slack_reduction_full(
+            instance, sequential_ids(network), len(network),
+            mu=2.0, inner_solver=base_inner, ledger=ledger,
+        )
+        assert ledger.rounds > 0
+        assert ledger.phase_rounds("slack-reduction-A.1") == ledger.rounds
+
+
+class TestPartitionerHook:
+    def test_a1_with_distributed_local_search_partitioner(self):
+        """Lemma A.1 driven by the distributed [Lov66] partition source
+        instead of the built-in Lemma 3.4 coloring."""
+        import math
+
+        from repro.substrates import distributed_lovasz_partition
+
+        network = gnp_graph(36, 0.3, seed=61)
+        instance = random_arbdefective_instance(
+            network, slack=1.3, seed=61, color_space_size=14
+        )
+        mu = 2.0
+        classes = max(2, int(math.ceil(2 * mu)))
+
+        def partitioner(subnetwork):
+            return distributed_lovasz_partition(
+                subnetwork, classes, seed=61
+            )
+
+        result = slack_reduction_full(
+            instance, sequential_ids(network), len(network),
+            mu=mu, inner_solver=base_inner, partitioner=partitioner,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []

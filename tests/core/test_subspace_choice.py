@@ -1,0 +1,137 @@
+"""Tests for Lemma 4.5 (subspace choice for arbdefective instances)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    check_arbdefective,
+    check_list_defective,
+    random_arbdefective_instance,
+)
+from repro.graphs import gnp_graph, sequential_ids
+from repro.sim import CostLedger, InfeasibleInstanceError
+from repro.core import (
+    build_residual_instance,
+    build_subspace_instance,
+    solve_arbdefective_base,
+    subspace_reduced_arbdefective,
+)
+
+
+def make_instance(seed, slack, color_space=36):
+    network = gnp_graph(30, 0.2, seed=seed)
+    return random_arbdefective_instance(
+        network, slack=slack, seed=seed, color_space_size=color_space
+    ), network
+
+
+class TestSubspaceInstanceConstruction:
+    def test_choice_instance_has_sigma_slack(self):
+        instance, network = make_instance(seed=1, slack=8.0)
+        choice, block_size = build_subspace_instance(instance, p=6, sigma=4.0)
+        # Eq.(19)-with-floor must yield a P_D(sigma, p) instance.
+        assert choice.has_slack(4.0)
+        assert choice.color_space_size == 6
+        assert block_size == 6
+
+    def test_choice_lists_only_nonempty_blocks(self):
+        instance, network = make_instance(seed=2, slack=8.0)
+        choice, block_size = build_subspace_instance(instance, p=6, sigma=4.0)
+        for node in network:
+            blocks_with_mass = {
+                color // block_size for color in instance.lists[node]
+            }
+            assert set(choice.lists[node]) == blocks_with_mass
+
+    def test_residual_slack_lower_bound(self):
+        """W_{v,i} >= d_{v,i} * W_v / (sigma * deg) -- the floor fix."""
+        instance, network = make_instance(seed=3, slack=8.0)
+        sigma = 4.0
+        choice, block_size = build_subspace_instance(instance, p=6,
+                                                     sigma=sigma)
+        for node in network:
+            degree = network.degree(node)
+            if degree == 0:
+                continue
+            total = instance.weight(node)
+            for block in choice.lists[node]:
+                mass = sum(
+                    instance.defects[node][color] + 1
+                    for color in instance.lists[node]
+                    if color // block_size == block
+                )
+                allocated = choice.defects[node][block]
+                assert mass * sigma * degree >= allocated * total
+
+
+class TestResidualConstruction:
+    def test_residual_drops_cross_block_edges(self):
+        instance, network = make_instance(seed=4, slack=8.0)
+        choice, block_size = build_subspace_instance(instance, p=6, sigma=4.0)
+        # Fake block choice: parity of node id.
+        chosen = {node: node % 2 for node in network}
+        residual = build_residual_instance(instance, chosen, block_size)
+        for u, v in residual.network.edges():
+            assert chosen[u] == chosen[v]
+
+    def test_residual_colors_renumbered(self):
+        instance, network = make_instance(seed=5, slack=8.0)
+        _, block_size = build_subspace_instance(instance, p=6, sigma=4.0)
+        chosen = {node: 1 for node in network}
+        residual = build_residual_instance(instance, chosen, block_size)
+        for node in network:
+            for color in residual.lists[node]:
+                assert 0 <= color < block_size
+                original = color + block_size
+                assert original in instance.lists[node]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_validity(self, seed):
+        """Drive Lemma 4.5 in isolation: the subspace choice is solved by
+        the exact brute-force P_D solver, the residual by the universal
+        base solver -- on a small graph where both are fast."""
+        from repro.coloring import ColoringResult
+        from repro.graphs import ring_graph
+        from repro.substrates import solve_list_defective_bruteforce
+
+        network = ring_graph(10)
+        instance = random_arbdefective_instance(
+            network, slack=10.0, seed=seed, color_space_size=36
+        )
+        ids = sequential_ids(network)
+
+        def defective_solver(pd_instance, ledger):
+            colors = solve_list_defective_bruteforce(pd_instance)
+            assert colors is not None, "choice instance must be solvable"
+            assert check_list_defective(pd_instance, colors) == []
+            return ColoringResult(colors=colors)
+
+        def residual_solver(sub, ledger):
+            return solve_arbdefective_base(
+                sub, {n: ids[n] for n in sub.network}, len(network),
+                ledger=ledger,
+            )
+
+        result = subspace_reduced_arbdefective(
+            instance, p=6, sigma=5.0,
+            defective_solver=defective_solver,
+            residual_solver=residual_solver,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_sigma_slack_required(self):
+        instance, network = make_instance(seed=30, slack=1.5)
+        with pytest.raises(InfeasibleInstanceError):
+            subspace_reduced_arbdefective(
+                instance, p=6, sigma=5.0,
+                defective_solver=lambda inst, led: None,
+                residual_solver=lambda inst, led: None,
+            )

@@ -1,0 +1,111 @@
+"""Tests for the undirected list defective coloring front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ListDefectiveInstance,
+    check_list_defective,
+    minimal_slack_oldc_instance,
+    uniform_lists,
+)
+from repro.core import (
+    as_bidirected_oldc,
+    list_defective_auto,
+    list_defective_two_sweep,
+)
+from repro.graphs import (
+    gnp_graph,
+    orient_all_out,
+    random_ids,
+    random_regular_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError
+
+
+def make_instance(network, colors, defect):
+    lists, defects = uniform_lists(network.nodes, colors, defect)
+    return ListDefectiveInstance(network, lists, defects)
+
+
+class TestBidirectedView:
+    def test_beta_equals_degree(self):
+        network = gnp_graph(20, 0.25, seed=51)
+        instance = make_instance(network, (0, 1, 2), 2)
+        oldc = as_bidirected_oldc(instance)
+        for node in network:
+            assert oldc.beta(node) == max(1, network.degree(node))
+
+
+class TestTwoSweepFrontEnd:
+    def test_three_coloring_above_threshold(self):
+        delta = 9
+        network = random_regular_graph(30, delta, seed=52)
+        defect = 6  # > (2*9-3)/3 = 5
+        instance = make_instance(network, (0, 1, 2), defect)
+        result = list_defective_two_sweep(
+            instance, sequential_ids(network), 30, p=2
+        )
+        assert check_list_defective(instance, result.colors) == []
+
+    def test_below_threshold_rejected(self):
+        delta = 9
+        network = random_regular_graph(30, delta, seed=53)
+        instance = make_instance(network, (0, 1, 2), 4)
+        with pytest.raises(InfeasibleInstanceError):
+            list_defective_two_sweep(
+                instance, sequential_ids(network), 30, p=2
+            )
+
+    def test_fast_variant_with_large_q(self):
+        network = gnp_graph(40, 0.2, seed=54)
+        delta = network.raw_max_degree()
+        # Generous instance: p^2 colors with defect ~ delta.
+        instance = make_instance(network, tuple(range(9)), delta)
+        ids = random_ids(network, seed=54, bits=30)
+        ledger = CostLedger()
+        result = list_defective_two_sweep(
+            instance, ids, 2 ** 30, p=3, epsilon=0.5, ledger=ledger
+        )
+        assert check_list_defective(instance, result.colors) == []
+        assert ledger.rounds < 10_000
+
+
+class TestAutoFrontEnd:
+    def test_auto_solves_and_records_plan(self):
+        network = gnp_graph(30, 0.2, seed=55)
+        delta = network.raw_max_degree()
+        instance = make_instance(network, tuple(range(9)), delta)
+        result = list_defective_auto(
+            instance, sequential_ids(network), 30
+        )
+        assert check_list_defective(instance, result.colors) == []
+        assert "p" in result.stats
+
+
+class TestMinimalSlackInstances:
+    def test_boundary_instances_still_solvable(self):
+        """The tightest Eq. (2) instances are exactly solvable -- the
+        theorem's constant is sharp in this implementation."""
+        network = random_regular_graph(24, 6, seed=56)
+        graph = orient_all_out(network)
+        instance = minimal_slack_oldc_instance(graph, p=3)
+        from repro.core import two_sweep
+        from repro.coloring import check_oldc
+
+        result = two_sweep(
+            instance, sequential_ids(network), 24, 3
+        )
+        assert check_oldc(instance, result.colors) == []
+
+    def test_eps_variant(self):
+        network = random_regular_graph(20, 5, seed=57)
+        from repro.graphs import orient_by_id
+
+        graph = orient_by_id(network)
+        instance = minimal_slack_oldc_instance(graph, p=2, epsilon=0.5)
+        assert all(
+            instance.satisfies_eq7(2, 0.5, node) for node in graph.nodes
+        )

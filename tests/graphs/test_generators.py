@@ -1,0 +1,134 @@
+"""Tests for graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    binary_tree,
+    blow_up,
+    complete_bipartite_graph,
+    complete_graph,
+    disjoint_cliques,
+    empty_graph,
+    gnp_graph,
+    grid_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_regular_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.sim import NetworkError
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        network = empty_graph(5)
+        assert len(network) == 5
+        assert network.edge_count() == 0
+
+    def test_path(self):
+        network = path_graph(6)
+        assert network.edge_count() == 5
+        assert network.degree(0) == 1
+        assert network.degree(3) == 2
+
+    def test_ring(self):
+        network = ring_graph(7)
+        assert network.edge_count() == 7
+        assert all(network.degree(v) == 2 for v in network)
+
+    def test_ring_too_small(self):
+        with pytest.raises(NetworkError):
+            ring_graph(2)
+
+    def test_complete(self):
+        network = complete_graph(5)
+        assert network.edge_count() == 10
+        assert all(network.degree(v) == 4 for v in network)
+
+    def test_complete_bipartite(self):
+        network = complete_bipartite_graph(3, 4)
+        assert network.edge_count() == 12
+        assert network.degree(0) == 4
+        assert network.degree(3) == 3
+
+    def test_star(self):
+        network = star_graph(5)
+        assert network.degree(0) == 5
+        assert all(network.degree(v) == 1 for v in range(1, 6))
+
+    def test_grid(self):
+        network = grid_graph(3, 4)
+        assert len(network) == 12
+        assert network.edge_count() == 3 * 3 + 2 * 4
+
+    def test_binary_tree(self):
+        network = binary_tree(3)
+        assert len(network) == 15
+        assert network.edge_count() == 14
+        assert network.degree(0) == 2
+
+    def test_disjoint_cliques(self):
+        network = disjoint_cliques(3, 4)
+        assert len(network) == 12
+        assert network.edge_count() == 3 * 6
+        assert not network.has_edge(0, 4)
+
+
+class TestRandomFamilies:
+    def test_gnp_reproducible(self):
+        a = gnp_graph(30, 0.2, seed=7)
+        b = gnp_graph(30, 0.2, seed=7)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_gnp_seed_changes_graph(self):
+        a = gnp_graph(30, 0.2, seed=7)
+        b = gnp_graph(30, 0.2, seed=8)
+        assert set(a.edges()) != set(b.edges())
+
+    def test_gnp_extreme_probabilities(self):
+        assert gnp_graph(10, 0.0, seed=1).edge_count() == 0
+        assert gnp_graph(10, 1.0, seed=1).edge_count() == 45
+
+    def test_gnp_invalid_probability(self):
+        with pytest.raises(NetworkError):
+            gnp_graph(10, 1.5, seed=1)
+
+    def test_regular_graph_degrees(self):
+        network = random_regular_graph(20, 4, seed=3)
+        assert all(network.degree(v) == 4 for v in network)
+
+    def test_regular_parity_check(self):
+        with pytest.raises(NetworkError):
+            random_regular_graph(5, 3, seed=1)
+
+    def test_regular_degree_bound(self):
+        with pytest.raises(NetworkError):
+            random_regular_graph(4, 4, seed=1)
+
+    def test_bounded_degree_respected(self):
+        network = random_bounded_degree_graph(60, 5, seed=9)
+        assert network.raw_max_degree() <= 5
+        assert network.edge_count() > 0
+
+
+class TestBlowUp:
+    def test_sizes(self):
+        base = path_graph(3)
+        blown = blow_up(base, 2)
+        assert len(blown) == 6
+        # Each base edge becomes a K_{2,2}: 4 edges.
+        assert blown.edge_count() == 2 * 4
+
+    def test_copies_of_same_node_independent(self):
+        blown = blow_up(path_graph(2), 3)
+        # Copies of node 0 are 0, 1, 2 -- mutually non-adjacent.
+        assert not blown.has_edge(0, 1)
+        assert blown.has_edge(0, 3)
+
+    def test_degree_multiplied(self):
+        base = ring_graph(5)
+        blown = blow_up(base, 3)
+        assert blown.raw_max_degree() == 3 * base.raw_max_degree()

@@ -1,0 +1,90 @@
+"""Tests for bounded-rank hypergraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Hypergraph,
+    complete_uniform_hypergraph,
+    graph_as_hypergraph,
+    partitioned_hypergraph,
+    random_hypergraph,
+    random_uniform_hypergraph,
+)
+from repro.sim import NetworkError
+
+
+class TestConstruction:
+    def test_rank(self):
+        hg = Hypergraph(5, (frozenset({0, 1}), frozenset({1, 2, 3})))
+        assert hg.rank == 3
+
+    def test_edgeless_rank_zero(self):
+        assert Hypergraph(3, ()).rank == 0
+
+    def test_singleton_edge_rejected(self):
+        with pytest.raises(NetworkError):
+            Hypergraph(3, (frozenset({0}),))
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(NetworkError):
+            Hypergraph(3, (frozenset({0, 7}),))
+
+    def test_duplicate_edges_rejected(self):
+        edge = frozenset({0, 1})
+        with pytest.raises(NetworkError):
+            Hypergraph(3, (edge, edge))
+
+    def test_vertex_degree(self):
+        hg = Hypergraph(4, (frozenset({0, 1}), frozenset({0, 2, 3})))
+        assert hg.vertex_degree(0) == 2
+        assert hg.vertex_degree(3) == 1
+        assert hg.max_vertex_degree() == 2
+
+
+class TestGraphAsHypergraph:
+    def test_rank_two(self):
+        hg = graph_as_hypergraph([(0, 1), (1, 2)], 3)
+        assert hg.rank == 2
+        assert len(hg.edges) == 2
+
+
+class TestRandomFamilies:
+    def test_random_hypergraph_rank_respected(self):
+        hg = random_hypergraph(20, 15, rank=4, seed=5)
+        assert len(hg.edges) == 15
+        assert 2 <= hg.rank <= 4
+
+    def test_random_reproducible(self):
+        a = random_hypergraph(20, 10, rank=3, seed=2)
+        b = random_hypergraph(20, 10, rank=3, seed=2)
+        assert a.edges == b.edges
+
+    def test_uniform_all_edges_full_rank(self):
+        hg = random_uniform_hypergraph(15, 12, rank=3, seed=1)
+        assert all(len(edge) == 3 for edge in hg.edges)
+
+    def test_rank_validation(self):
+        with pytest.raises(NetworkError):
+            random_hypergraph(10, 5, rank=1, seed=1)
+        with pytest.raises(NetworkError):
+            random_uniform_hypergraph(2, 1, rank=3, seed=1)
+
+    def test_impossible_edge_count_rejected(self):
+        # Only C(3,2)=3 distinct rank-2 edges exist on 3 vertices.
+        with pytest.raises(NetworkError):
+            random_uniform_hypergraph(3, 10, rank=2, seed=1)
+
+
+class TestStructuredFamilies:
+    def test_complete_uniform(self):
+        hg = complete_uniform_hypergraph(5, 3)
+        assert len(hg.edges) == 10
+        assert hg.rank == 3
+
+    def test_partitioned_edges_stay_in_groups(self):
+        hg = partitioned_hypergraph(groups=3, group_size=5, rank=3, seed=7)
+        for edge in hg.edges:
+            groups_touched = {v // 5 for v in edge}
+            assert len(groups_touched) == 1

@@ -1,0 +1,56 @@
+"""Tests for identifier assignment."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    gnp_graph,
+    id_space_size,
+    ids_as_coloring,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+
+
+class TestSequentialIds:
+    def test_unique_and_dense(self, small_ring):
+        ids = sequential_ids(small_ring)
+        assert sorted(ids.values()) == list(range(len(small_ring)))
+
+
+class TestRandomIds:
+    def test_unique(self):
+        network = gnp_graph(40, 0.1, seed=1)
+        ids = random_ids(network, seed=5)
+        assert len(set(ids.values())) == len(network)
+
+    def test_default_space_quadratic(self):
+        network = ring_graph(10)
+        ids = random_ids(network, seed=5)
+        assert all(0 <= value < 100 for value in ids.values())
+
+    def test_bits_parameter(self):
+        network = ring_graph(10)
+        ids = random_ids(network, seed=5, bits=20)
+        assert all(0 <= value < 2 ** 20 for value in ids.values())
+
+    def test_reproducible(self):
+        network = ring_graph(10)
+        assert random_ids(network, seed=3) == random_ids(network, seed=3)
+
+
+class TestIdsAsColoring:
+    def test_shifted_to_one_based(self):
+        network = ring_graph(5)
+        ids = sequential_ids(network)
+        coloring = ids_as_coloring(ids)
+        assert min(coloring.values()) == 1
+        assert max(coloring.values()) == 5
+
+    def test_space_size(self):
+        network = ring_graph(5)
+        ids = {node: node * 3 for node in network}
+        assert id_space_size(ids) == 13
+
+    def test_empty(self):
+        assert id_space_size({}) == 1

@@ -1,0 +1,108 @@
+"""Tests for neighborhood independence computation."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    complete_bipartite_graph,
+    complete_graph,
+    empty_graph,
+    gnp_graph,
+    neighborhood_independence,
+    neighborhood_independence_at,
+    path_graph,
+    ring_graph,
+    star_graph,
+    verify_independence_bound,
+)
+
+
+class TestExactValues:
+    def test_clique_theta_one(self):
+        # Every neighborhood of a clique is itself a clique.
+        assert neighborhood_independence(complete_graph(5)) == 1
+
+    def test_star_theta_is_leaf_count(self):
+        assert neighborhood_independence(star_graph(6)) == 6
+
+    def test_ring_theta_two(self):
+        assert neighborhood_independence(ring_graph(8)) == 2
+
+    def test_path_endpoints_and_middles(self):
+        network = path_graph(4)
+        assert neighborhood_independence_at(network, 0) == 1
+        assert neighborhood_independence_at(network, 1) == 2
+
+    def test_complete_bipartite(self):
+        # N(left vertex) = right side, an independent set of size b.
+        assert neighborhood_independence(complete_bipartite_graph(3, 4)) == 4
+
+    def test_edgeless_graph_theta_zero(self):
+        assert neighborhood_independence(empty_graph(4)) == 0
+
+
+class TestGreedyLowerBound:
+    def test_greedy_never_exceeds_exact(self):
+        for seed in range(5):
+            network = gnp_graph(18, 0.3, seed=seed)
+            exact = neighborhood_independence(network, exact=True)
+            greedy = neighborhood_independence(network, exact=False)
+            assert greedy <= exact
+
+    def test_greedy_exact_on_star(self):
+        network = star_graph(5)
+        assert neighborhood_independence(network, exact=False) == 5
+
+
+class TestVerifyBound:
+    def test_bound_holds(self):
+        assert verify_independence_bound(ring_graph(6), 2)
+        assert verify_independence_bound(ring_graph(6), 3)
+
+    def test_bound_violated(self):
+        assert not verify_independence_bound(star_graph(4), 3)
+
+
+class TestUpperBound:
+    def test_upper_bound_dominates_exact(self):
+        from repro.graphs import neighborhood_independence_upper
+
+        for seed in range(6):
+            network = gnp_graph(20, 0.3, seed=seed)
+            exact = neighborhood_independence(network, exact=True)
+            upper = neighborhood_independence_upper(network)
+            assert upper >= exact
+
+    def test_upper_bound_tight_on_cliques(self):
+        from repro.graphs import neighborhood_independence_upper
+
+        assert neighborhood_independence_upper(complete_graph(6)) == 1
+
+    def test_upper_bound_tight_on_stars(self):
+        from repro.graphs import neighborhood_independence_upper
+
+        assert neighborhood_independence_upper(star_graph(5)) == 5
+
+
+class TestSafeTheta:
+    def test_exact_for_small_degrees(self):
+        from repro.graphs import safe_theta
+
+        network = ring_graph(10)
+        assert safe_theta(network) == 2
+
+    def test_upper_bound_for_large_degrees(self):
+        from repro.graphs import neighborhood_independence_upper, safe_theta
+
+        network = gnp_graph(40, 0.6, seed=3)
+        assert network.raw_max_degree() > 20
+        assert safe_theta(network) == neighborhood_independence_upper(
+            network
+        )
+
+    def test_feeds_theorem_15_safely(self):
+        from repro.coloring import check_proper_coloring
+        from repro.core import theta_delta_plus_one_coloring
+
+        network = gnp_graph(18, 0.3, seed=4)
+        result = theta_delta_plus_one_coloring(network)  # theta=None
+        assert check_proper_coloring(network, result.colors) == []

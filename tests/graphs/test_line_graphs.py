@@ -1,0 +1,91 @@
+"""Tests for line graphs and the theta <= rank guarantee."""
+
+from __future__ import annotations
+
+from repro.graphs import (
+    complete_graph,
+    edge_coloring_from_line_coloring,
+    gnp_graph,
+    is_proper_edge_coloring,
+    line_graph_of_hypergraph,
+    line_graph_of_network,
+    neighborhood_independence,
+    path_graph,
+    random_uniform_hypergraph,
+    ring_graph,
+    star_graph,
+)
+from repro.substrates import sequential_greedy_coloring
+
+
+class TestLineGraphOfNetwork:
+    def test_path_line_graph_is_path(self):
+        lg, edge_of = line_graph_of_network(path_graph(4))
+        assert len(lg) == 3
+        assert lg.edge_count() == 2
+
+    def test_star_line_graph_is_clique(self):
+        lg, _ = line_graph_of_network(star_graph(4))
+        assert len(lg) == 4
+        assert lg.edge_count() == 6
+
+    def test_triangle_line_graph_is_triangle(self):
+        lg, _ = line_graph_of_network(complete_graph(3))
+        assert len(lg) == 3
+        assert lg.edge_count() == 3
+
+    def test_edge_mapping_covers_all_edges(self):
+        base = gnp_graph(12, 0.3, seed=2)
+        lg, edge_of = line_graph_of_network(base)
+        assert len(edge_of) == base.edge_count()
+        mapped = {frozenset(edge) for edge in edge_of.values()}
+        assert mapped == {frozenset(edge) for edge in base.edges()}
+
+    def test_theta_at_most_two(self):
+        base = gnp_graph(14, 0.3, seed=3)
+        lg, _ = line_graph_of_network(base)
+        assert neighborhood_independence(lg) <= 2
+
+
+class TestLineGraphOfHypergraph:
+    def test_theta_at_most_rank(self):
+        for rank in (2, 3, 4):
+            hg = random_uniform_hypergraph(18, 20, rank=rank, seed=rank)
+            lg, _ = line_graph_of_hypergraph(hg)
+            assert neighborhood_independence(lg) <= rank
+
+    def test_adjacency_iff_intersection(self):
+        hg = random_uniform_hypergraph(12, 10, rank=3, seed=9)
+        lg, edge_of = line_graph_of_hypergraph(hg)
+        for a in lg:
+            for b in lg:
+                if a >= b:
+                    continue
+                intersects = bool(edge_of[a] & edge_of[b])
+                assert lg.has_edge(a, b) == intersects
+
+
+class TestEdgeColoring:
+    def test_line_coloring_roundtrip_is_proper_edge_coloring(self):
+        base = ring_graph(9)
+        lg, edge_of = line_graph_of_network(base)
+        line_colors = sequential_greedy_coloring(lg)
+        edge_colors = edge_coloring_from_line_coloring(line_colors, edge_of)
+        assert is_proper_edge_coloring(base, edge_colors)
+
+    def test_detects_conflicting_edge_colors(self):
+        base = path_graph(3)
+        bad = {(0, 1): 0, (1, 2): 0}
+        assert not is_proper_edge_coloring(base, bad)
+
+    def test_detects_missing_edges(self):
+        base = path_graph(3)
+        partial = {(0, 1): 0}
+        assert not is_proper_edge_coloring(base, partial)
+
+    def test_greedy_uses_at_most_2delta_minus_1_colors(self):
+        base = gnp_graph(15, 0.3, seed=6)
+        lg, edge_of = line_graph_of_network(base)
+        line_colors = sequential_greedy_coloring(lg)
+        used = len(set(line_colors.values()))
+        assert used <= 2 * base.raw_max_degree() - 1

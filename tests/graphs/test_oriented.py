@@ -1,0 +1,154 @@
+"""Tests for oriented graphs and orientation constructors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import (
+    OrientedGraph,
+    complete_graph,
+    gnp_graph,
+    orient_all_out,
+    orient_by_coloring,
+    orient_by_id,
+    orient_by_key,
+    orient_low_outdegree,
+    orient_random,
+    path_graph,
+    ring_graph,
+)
+from repro.sim import Network, NetworkError
+
+
+def assert_valid_orientation(graph: OrientedGraph):
+    """Every undirected edge is oriented exactly one way."""
+    for u, v in graph.network.edges():
+        assert graph.points_to(u, v) != graph.points_to(v, u)
+
+
+class TestConstruction:
+    def test_explicit_orientation(self):
+        network = path_graph(3)
+        graph = OrientedGraph(network, {0: [], 1: [0], 2: [1]})
+        assert graph.outdegree(0) == 0
+        assert graph.in_neighbors(0) == (1,)
+        assert_valid_orientation(graph)
+
+    def test_unoriented_edge_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(NetworkError):
+            OrientedGraph(network, {0: [], 1: []})
+
+    def test_doubly_oriented_edge_rejected(self):
+        network = path_graph(2)
+        with pytest.raises(NetworkError):
+            OrientedGraph(network, {0: [1], 1: [0]})
+
+    def test_non_edge_rejected(self):
+        network = path_graph(3)
+        with pytest.raises(NetworkError):
+            OrientedGraph(network, {0: [2], 1: [0, 2], 2: []})
+
+
+class TestBetaConvention:
+    def test_beta_floored_at_one(self):
+        graph = orient_by_id(path_graph(2))
+        sink = next(v for v in graph.nodes if graph.outdegree(v) == 0)
+        assert graph.beta(sink) == 1
+
+    def test_max_beta_vs_max_outdegree(self):
+        graph = orient_by_id(path_graph(1))
+        assert graph.max_outdegree() == 0
+        assert graph.max_beta() == 1
+
+
+class TestOrienters:
+    def test_orient_by_id_acyclic(self):
+        graph = orient_by_id(ring_graph(6))
+        assert_valid_orientation(graph)
+        # Every edge points to the smaller id: node 0 is a sink.
+        assert graph.outdegree(0) == 0
+
+    def test_orient_by_key(self):
+        network = path_graph(4)
+        graph = orient_by_key(network, key=lambda v: -v)
+        # Edges point towards larger original ids now.
+        assert graph.points_to(0, 1)
+        assert_valid_orientation(graph)
+
+    def test_orient_by_coloring_requires_proper(self):
+        network = path_graph(3)
+        with pytest.raises(NetworkError):
+            orient_by_coloring(network, {0: 1, 1: 1, 2: 2})
+
+    def test_orient_by_coloring_points_to_smaller_color(self):
+        network = path_graph(3)
+        graph = orient_by_coloring(network, {0: 2, 1: 1, 2: 3})
+        assert graph.points_to(0, 1)
+        assert graph.points_to(2, 1)
+        assert_valid_orientation(graph)
+
+    def test_orient_random_valid(self):
+        graph = orient_random(gnp_graph(25, 0.2, seed=4), random.Random(1))
+        assert_valid_orientation(graph)
+
+    def test_orient_low_outdegree_on_tree(self):
+        # Trees are 1-degenerate: outdegree at most 1.
+        from repro.graphs import binary_tree
+
+        graph = orient_low_outdegree(binary_tree(4))
+        assert graph.max_outdegree() <= 1
+        assert_valid_orientation(graph)
+
+    def test_orient_low_outdegree_on_clique(self):
+        graph = orient_low_outdegree(complete_graph(6))
+        assert_valid_orientation(graph)
+        assert graph.max_outdegree() <= 5
+
+
+class TestSubgraphAndEdgeRemoval:
+    def test_subgraph_keeps_orientation(self):
+        graph = orient_by_id(ring_graph(6))
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.points_to(1, 0)
+        assert sub.points_to(2, 1)
+        assert len(sub) == 3
+
+    def test_without_edges(self):
+        graph = orient_by_id(complete_graph(4))
+        reduced = graph.without_edges([(0, 1), (2, 3)])
+        assert not reduced.network.has_edge(0, 1)
+        assert not reduced.network.has_edge(3, 2)
+        assert reduced.network.has_edge(0, 2)
+        assert_valid_orientation(reduced)
+
+    def test_without_edges_direction_agnostic(self):
+        graph = orient_by_id(path_graph(2))
+        reduced = graph.without_edges([(0, 1)])
+        assert reduced.network.edge_count() == 0
+
+
+class TestBidirectedView:
+    def test_all_neighbors_are_out(self):
+        view = orient_all_out(ring_graph(5))
+        assert set(view.out_neighbors(0)) == set(view.neighbors(0))
+        assert view.beta(0) == 2
+        assert view.max_beta() == 2
+        assert view.points_to(0, 1) and view.points_to(1, 0)
+
+
+class TestBidirectedDerivedGraphs:
+    def test_subgraph(self):
+        view = orient_all_out(ring_graph(6))
+        sub = view.subgraph([0, 1, 2])
+        assert set(sub.out_neighbors(1)) == {0, 2}
+        assert sub.max_beta() == 2
+
+    def test_without_edges(self):
+        view = orient_all_out(ring_graph(4))
+        reduced = view.without_edges([(0, 1), (1, 0)])
+        assert not reduced.network.has_edge(0, 1)
+        assert reduced.network.has_edge(1, 2)
+        assert 0 not in reduced.out_neighbors(1)

@@ -1,0 +1,98 @@
+"""CONGEST enforcement across whole pipelines.
+
+Theorems 1.2-1.5 are CONGEST results: the message budget is part of the
+claim.  These tests run the complete pipelines with the simulator's
+bandwidth checker armed -- any oversized message kills the run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_proper_coloring,
+    random_arbdefective_instance,
+)
+from repro.core import (
+    solve_arbdefective_base,
+    theta_delta_plus_one_coloring,
+    theta_recursive_arbdefective,
+)
+from repro.graphs import (
+    gnp_graph,
+    line_graph_of_network,
+    neighborhood_independence,
+    random_bounded_degree_graph,
+)
+from repro.sim import CongestModel
+
+
+def budget_for(network, color_space):
+    bits_c = max(1, math.ceil(math.log2(max(2, color_space))))
+    return CongestModel(n=len(network), factor=8, extra_bits=bits_c)
+
+
+class TestTheorem15UnderCongest:
+    def test_delta_plus_one_on_line_graph(self):
+        base = gnp_graph(14, 0.25, seed=81)
+        line, _ = line_graph_of_network(base)
+        bandwidth = budget_for(line, line.raw_max_degree() + 1)
+        result = theta_delta_plus_one_coloring(
+            line, theta=2, bandwidth=bandwidth
+        )
+        assert check_proper_coloring(line, result.colors) == []
+
+    def test_recursion_with_general_defects(self):
+        base = gnp_graph(12, 0.3, seed=82)
+        network, _ = line_graph_of_network(base)
+        theta = neighborhood_independence(network)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=82, color_space_size=16
+        )
+        bandwidth = budget_for(network, 16)
+        result = theta_recursive_arbdefective(
+            instance, theta, bandwidth=bandwidth
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_forced_recursion_under_congest(self):
+        base = gnp_graph(12, 0.3, seed=83)
+        network, _ = line_graph_of_network(base)
+        theta = neighborhood_independence(network)
+        from repro.core import lemma_46_slack
+
+        big = lemma_46_slack(theta, network.raw_max_degree())
+        instance = random_arbdefective_instance(
+            network, slack=big + 1, seed=83, color_space_size=64
+        )
+        bandwidth = budget_for(network, 64)
+        result = theta_recursive_arbdefective(
+            instance, theta, bandwidth=bandwidth,
+            force_recursion=True, base_degree=0, base_color_space=2,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+
+class TestBaseSolverUnderCongest:
+    def test_base_solver(self):
+        from repro.graphs import sequential_ids
+
+        network = random_bounded_degree_graph(30, 5, seed=84)
+        instance = random_arbdefective_instance(
+            network, slack=1.4, seed=84, color_space_size=12
+        )
+        bandwidth = budget_for(network, 12)
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), len(network),
+            bandwidth=bandwidth,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []

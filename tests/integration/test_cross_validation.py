@@ -1,0 +1,119 @@
+"""Cross-validation: distributed outputs vs brute-force ground truth,
+and mutation testing of the validators (corrupted outputs must be caught).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_list_defective,
+    check_oldc,
+    random_arbdefective_instance,
+    random_defective_instance,
+    random_oldc_instance,
+)
+from repro.core import solve_arbdefective_base, two_sweep
+from repro.graphs import gnp_graph, orient_by_id, ring_graph, sequential_ids
+from repro.substrates import (
+    solve_list_defective_bruteforce,
+    solve_oldc_bruteforce,
+)
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_two_sweep_instances_are_brute_force_solvable(self, seed):
+        """Feasible Eq. (2) instances must admit *some* solution --
+        brute force on a small graph confirms non-vacuity."""
+        network = gnp_graph(11, 0.3, seed=seed)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(
+            graph, p=2, seed=seed, color_space_size=8
+        )
+        assert solve_oldc_bruteforce(instance) is not None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_brute_force_and_two_sweep_both_valid(self, seed):
+        network = gnp_graph(10, 0.35, seed=100 + seed)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(
+            graph, p=2, seed=seed, color_space_size=8
+        )
+        ids = sequential_ids(network)
+        distributed = two_sweep(instance, ids, len(network), 2)
+        exact = solve_oldc_bruteforce(instance)
+        assert check_oldc(instance, distributed.colors) == []
+        assert check_oldc(instance, exact) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_defective_instances_brute_force_solvable(self, seed):
+        network = ring_graph(9)
+        instance = random_defective_instance(
+            network, slack=1.5, seed=seed, color_space_size=6
+        )
+        colors = solve_list_defective_bruteforce(instance)
+        assert colors is not None
+        assert check_list_defective(instance, colors) == []
+
+
+class TestMutationCatching:
+    """Corrupt a valid output one field at a time; the validator must
+    notice (or the corruption must be provably harmless)."""
+
+    def _valid_arb(self, seed):
+        network = gnp_graph(20, 0.25, seed=seed)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=seed, color_space_size=8
+        )
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), len(network)
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+        return network, instance, result
+
+    def test_color_outside_list_detected(self):
+        network, instance, result = self._valid_arb(1)
+        rng = random.Random(1)
+        victim = rng.choice(list(network.nodes))
+        colors = dict(result.colors)
+        colors[victim] = instance.color_space_size + 5
+        violations = check_arbdefective(
+            instance, colors, result.orientation
+        )
+        assert violations
+
+    def test_missing_node_detected(self):
+        network, instance, result = self._valid_arb(2)
+        colors = dict(result.colors)
+        colors.pop(next(iter(network.nodes)))
+        assert check_arbdefective(instance, colors, result.orientation)
+
+    def test_dropped_orientation_detected_when_conflicts_exist(self):
+        network, instance, result = self._valid_arb(3)
+        has_mono = any(
+            result.colors[u] == result.colors[v]
+            for u, v in network.edges()
+        )
+        if not has_mono:
+            pytest.skip("run produced a proper coloring; nothing to drop")
+        empty = {node: () for node in network.nodes}
+        assert check_arbdefective(instance, result.colors, empty)
+
+    def test_recolor_to_neighbors_color_detected_when_defect_zero(self):
+        network = ring_graph(8)
+        from repro.coloring import ArbdefectiveInstance, uniform_lists
+
+        lists, defects = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), 8
+        )
+        colors = dict(result.colors)
+        colors[0] = colors[1]  # force a zero-defect conflict
+        assert check_arbdefective(instance, colors, result.orientation)

@@ -1,0 +1,67 @@
+"""(2 Delta - 1)-edge coloring via line graphs -- Theorem 1.5's headline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    edge_coloring_from_line_coloring,
+    gnp_graph,
+    is_proper_edge_coloring,
+    line_graph_of_hypergraph,
+    line_graph_of_network,
+    neighborhood_independence,
+    random_uniform_hypergraph,
+    ring_graph,
+)
+from repro.sim import CostLedger
+from repro.coloring import check_proper_coloring
+from repro.core import theta_delta_plus_one_coloring
+
+
+class TestEdgeColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_2delta_minus_1_edge_coloring(self, seed):
+        base = gnp_graph(14, 0.25, seed=seed)
+        if base.edge_count() == 0:
+            pytest.skip("empty graph sampled")
+        line, edge_of = line_graph_of_network(base)
+        result = theta_delta_plus_one_coloring(line, theta=2)
+        edge_colors = edge_coloring_from_line_coloring(
+            result.colors, edge_of
+        )
+        assert is_proper_edge_coloring(base, edge_colors)
+        # Delta(L(G)) + 1 <= 2 Delta(G) - 1.
+        assert result.color_count() <= max(
+            1, 2 * base.raw_max_degree() - 1
+        )
+
+    def test_ring_edge_coloring(self):
+        base = ring_graph(10)
+        line, edge_of = line_graph_of_network(base)
+        result = theta_delta_plus_one_coloring(line, theta=2)
+        edge_colors = edge_coloring_from_line_coloring(
+            result.colors, edge_of
+        )
+        assert is_proper_edge_coloring(base, edge_colors)
+        assert result.color_count() <= 3  # 2*2 - 1
+
+
+class TestHypergraphEdgeColoring:
+    @pytest.mark.parametrize("rank", [2, 3, 4])
+    def test_bounded_rank_hypergraph_edge_coloring(self, rank):
+        hg = random_uniform_hypergraph(18, 20, rank=rank, seed=rank * 7)
+        line, edge_of = line_graph_of_hypergraph(hg)
+        theta = neighborhood_independence(line)
+        assert theta <= rank
+        ledger = CostLedger()
+        result = theta_delta_plus_one_coloring(
+            line, max(1, theta), ledger=ledger
+        )
+        assert check_proper_coloring(line, result.colors) == []
+        # Proper line-graph coloring = proper hyperedge coloring:
+        # intersecting hyperedges got distinct colors.
+        for a in line:
+            for b in line.neighbors(a):
+                assert result.colors[a] != result.colors[b]
+                assert edge_of[a] & edge_of[b]

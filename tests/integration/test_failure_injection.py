@@ -1,0 +1,119 @@
+"""Failure injection: malformed inputs must fail loudly, never silently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    OLDCInstance,
+    random_oldc_instance,
+    uniform_lists,
+)
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import (
+    AlgorithmFailure,
+    BandwidthExceeded,
+    CongestModel,
+    InfeasibleInstanceError,
+    InstanceError,
+)
+from repro.core import (
+    deg_plus_one_list_coloring,
+    fast_two_sweep,
+    solve_arbdefective_base,
+    theta_recursive_arbdefective,
+    two_sweep,
+)
+
+
+class TestInfeasibleInstances:
+    def test_two_sweep_names_offending_node(self):
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = OLDCInstance(graph, lists, defects)
+        with pytest.raises(InfeasibleInstanceError) as excinfo:
+            two_sweep(instance, sequential_ids(network), 6, 1)
+        assert excinfo.value.node in set(network.nodes)
+        assert "Eq. (2)" in str(excinfo.value)
+
+    def test_empty_list_infeasible(self):
+        network = ring_graph(4)
+        lists = {node: () for node in network}
+        instance = ArbdefectiveInstance(network, lists, {})
+        with pytest.raises(InfeasibleInstanceError):
+            solve_arbdefective_base(
+                instance, sequential_ids(network), 4
+            )
+
+    def test_recursion_infeasible_slack(self):
+        network = ring_graph(5)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        with pytest.raises(InfeasibleInstanceError):
+            theta_recursive_arbdefective(instance, theta=2)
+
+
+class TestCheckFalseFailsAtRuntime:
+    def test_two_sweep_stuck_node_raises_algorithm_failure(self):
+        """With check=False an infeasible instance must end in a loud
+        AlgorithmFailure (a node with no pickable color), never a bogus
+        coloring."""
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = OLDCInstance(graph, lists, defects)
+        with pytest.raises(AlgorithmFailure):
+            two_sweep(
+                instance, sequential_ids(network), 6, 1, check=False
+            )
+
+
+class TestBandwidthInjection:
+    def test_two_sweep_under_absurdly_tight_budget(self):
+        """A 1-bit budget cannot even carry initial colors: must raise."""
+        network = gnp_graph(20, 0.2, seed=1)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=3, seed=2)
+        bandwidth = CongestModel(n=2, factor=1)  # 1 * log2(2) = 1 bit
+        with pytest.raises(BandwidthExceeded):
+            two_sweep(
+                instance, sequential_ids(network), len(network), 3,
+                bandwidth=bandwidth,
+            )
+
+
+class TestMalformedInputs:
+    def test_lists_missing_node(self):
+        network = ring_graph(4)
+        with pytest.raises(InstanceError):
+            ArbdefectiveInstance(network, {0: (0,)}, {})
+
+    def test_fast_two_sweep_bad_epsilon(self):
+        network = ring_graph(6)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=3)
+        with pytest.raises(InstanceError):
+            fast_two_sweep(
+                instance, sequential_ids(network), 6, 2, -1.0
+            )
+
+    def test_deg_plus_one_short_lists(self):
+        network = ring_graph(4)
+        with pytest.raises(InstanceError):
+            deg_plus_one_list_coloring(
+                network, {node: (0,) for node in network}
+            )
+
+    def test_non_integer_color_rejected(self):
+        network = ring_graph(4)
+        with pytest.raises(InstanceError):
+            ArbdefectiveInstance(
+                network, {node: ("red",) for node in network}, {}
+            )

@@ -1,0 +1,96 @@
+"""Family matrix: every major pipeline across every graph family.
+
+One parametrized sweep catching family-specific bugs (grids' regularity,
+blow-ups' clustered neighborhoods, cliques' theta = 1, line graphs'
+bounded theta, trees' degeneracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_oldc,
+    check_proper_coloring,
+    random_arbdefective_instance,
+    random_oldc_instance,
+)
+from repro.core import (
+    delta_plus_one_coloring,
+    solve_arbdefective_base,
+    theta_delta_plus_one_coloring,
+    two_sweep,
+)
+from repro.graphs import (
+    binary_tree,
+    blow_up,
+    complete_bipartite_graph,
+    complete_graph,
+    disjoint_cliques,
+    grid_graph,
+    line_graph_of_network,
+    orient_by_id,
+    path_graph,
+    ring_graph,
+    safe_theta,
+    sequential_ids,
+)
+
+FAMILIES = {
+    "grid": lambda: grid_graph(5, 5),
+    "tree": lambda: binary_tree(4),
+    "clique": lambda: complete_graph(9),
+    "bipartite": lambda: complete_bipartite_graph(5, 6),
+    "ring": lambda: ring_graph(15),
+    "path": lambda: path_graph(15),
+    "disjoint-cliques": lambda: disjoint_cliques(3, 5),
+    "blow-up": lambda: blow_up(ring_graph(5), 3),
+    "line-of-grid": lambda: line_graph_of_network(grid_graph(3, 4))[0],
+}
+
+
+@pytest.fixture(params=sorted(FAMILIES), ids=sorted(FAMILIES))
+def family_network(request):
+    return FAMILIES[request.param]()
+
+
+class TestTwoSweepAcrossFamilies:
+    def test_oldc(self, family_network):
+        network = family_network
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=len(network))
+        result = two_sweep(
+            instance, sequential_ids(network), len(network), 2
+        )
+        assert check_oldc(instance, result.colors) == []
+
+
+class TestBaseSolverAcrossFamilies:
+    def test_arbdefective(self, family_network):
+        network = family_network
+        instance = random_arbdefective_instance(
+            network, slack=1.3, seed=len(network),
+            color_space_size=max(8, network.raw_max_degree() + 2),
+        )
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), len(network)
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+
+class TestDeltaPlusOneAcrossFamilies:
+    def test_theorem_13(self, family_network):
+        network = family_network
+        result = delta_plus_one_coloring(network)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= network.raw_max_degree()
+
+    def test_theorem_15(self, family_network):
+        network = family_network
+        theta = safe_theta(network)
+        result = theta_delta_plus_one_coloring(network, theta)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= network.raw_max_degree()

@@ -1,0 +1,118 @@
+"""End-to-end pipeline tests across module boundaries."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.coloring import (
+    check_oldc,
+    check_proper_coloring,
+    random_oldc_instance,
+)
+from repro.graphs import (
+    gnp_graph,
+    grid_graph,
+    orient_by_coloring,
+    orient_by_id,
+    random_bounded_degree_graph,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger
+from repro.core import (
+    delta_plus_one_coloring,
+    fast_two_sweep,
+    linial_reduction_baseline,
+    theta_delta_plus_one_coloring,
+    two_sweep,
+)
+from repro.substrates import linial_coloring, log_star
+
+
+class TestLinialIntoTwoSweep:
+    """The paper's standard composition: shrink q with Linial, then sweep."""
+
+    def test_composed_rounds_beat_raw_sweep(self):
+        network = gnp_graph(60, 0.08, seed=1)
+        graph = orient_by_id(network)
+        ids = random_ids(network, seed=2, bits=30)
+        q_raw = 2 ** 30
+        instance = random_oldc_instance(graph, p=2, seed=3)
+
+        composed = CostLedger()
+        colors0, q0 = linial_coloring(network, ids, q_raw, ledger=composed)
+        result = two_sweep(instance, colors0, q0, 2, ledger=composed)
+        assert check_oldc(instance, result.colors) == []
+        # 2 * q0 + O(log* q_raw) rounds, utterly dwarfing nothing -- but
+        # the raw sweep would need ~2^31 rounds.  Assert the real bound.
+        assert composed.rounds <= 2 * q0 + 3 * log_star(q_raw) + 5
+
+    def test_orient_by_linial_coloring(self):
+        """A proper coloring both orients the graph and schedules sweeps."""
+        network = gnp_graph(40, 0.12, seed=4)
+        ids = random_ids(network, seed=5, bits=24)
+        colors0, q0 = linial_coloring(network, ids, 2 ** 24)
+        graph = orient_by_coloring(network, colors0)
+        instance = random_oldc_instance(graph, p=2, seed=6)
+        result = two_sweep(instance, colors0, q0, 2)
+        assert check_oldc(instance, result.colors) == []
+
+
+class TestDeltaPlusOneRoutes:
+    """All three (Delta+1)-coloring routes must agree on validity."""
+
+    @pytest.fixture
+    def network(self):
+        return random_bounded_degree_graph(25, 4, seed=8)
+
+    def test_theorem_13_route(self, network):
+        result = delta_plus_one_coloring(network)
+        assert check_proper_coloring(network, result.colors) == []
+
+    def test_theorem_15_route(self, network):
+        from repro.graphs import neighborhood_independence
+
+        theta = neighborhood_independence(network)
+        result = theta_delta_plus_one_coloring(network, theta)
+        assert check_proper_coloring(network, result.colors) == []
+
+    def test_baseline_route(self, network):
+        result = linial_reduction_baseline(network)
+        assert check_proper_coloring(network, result.colors) == []
+
+    def test_all_within_palette(self, network):
+        delta = network.raw_max_degree()
+        for result in (
+            delta_plus_one_coloring(network),
+            linial_reduction_baseline(network),
+        ):
+            assert max(result.colors.values()) <= delta
+
+
+class TestStructuredTopologies:
+    @pytest.mark.parametrize("factory", [
+        lambda: ring_graph(16),
+        lambda: grid_graph(4, 5),
+        lambda: gnp_graph(30, 0.1, seed=9),
+    ])
+    def test_fast_two_sweep_on_topologies(self, factory):
+        network = factory()
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=10, epsilon=0.5)
+        ids = random_ids(network, seed=11, bits=24)
+        result = fast_two_sweep(instance, ids, 2 ** 24, 2, 0.5)
+        assert check_oldc(instance, result.colors) == []
+
+
+class TestLedgerConsistency:
+    def test_phases_partition_rounds_sensibly(self):
+        network = random_bounded_degree_graph(20, 4, seed=12)
+        ledger = CostLedger()
+        delta_plus_one_coloring(network, ledger=ledger)
+        top = ledger.phase_rounds("theorem-1.3")
+        assert top == ledger.rounds
+        assert ledger.phase_rounds("linial") <= top

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+Strategies generate random graphs, orientations and feasible instances;
+the properties are the statements of Lemmas 3.1-3.3 and the validity
+guarantees of the main algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    ArbdefectiveInstance,
+    OLDCInstance,
+    check_arbdefective,
+    check_oldc,
+    check_proper_coloring,
+    feasible_p_values,
+    random_arbdefective_instance,
+    random_oldc_instance,
+)
+from repro.core import solve_arbdefective_base, two_sweep
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    orient_random,
+    sequential_ids,
+)
+from repro.sim import Network
+from repro.substrates import (
+    PolynomialFamily,
+    greedy_arbdefective_sweep,
+    is_prime,
+    linial_coloring,
+    next_prime,
+    sequential_greedy_coloring,
+)
+
+import random as rnd
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw, max_nodes=24):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    p = draw(st.floats(min_value=0.05, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return gnp_graph(n, p, seed=seed)
+
+
+@st.composite
+def oriented_graphs(draw):
+    network = draw(small_graphs())
+    if draw(st.booleans()):
+        return orient_by_id(network)
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return orient_random(network, rnd.Random(seed))
+
+
+# ----------------------------------------------------------------------
+# Two-Sweep end-to-end (Theorem 1.1, eps = 0)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+@given(graph=oriented_graphs(),
+       p=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_two_sweep_always_valid_on_feasible_instances(graph, p, seed):
+    instance = random_oldc_instance(graph, p=p, seed=seed)
+    ids = sequential_ids(graph.network)
+    result = two_sweep(instance, ids, len(graph.network), p)
+    assert check_oldc(instance, result.colors) == []
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(graph=oriented_graphs(),
+       p=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_two_sweep_rounds_at_most_2q_plus_2(graph, p, seed):
+    from repro.sim import CostLedger
+
+    instance = random_oldc_instance(graph, p=p, seed=seed)
+    ids = sequential_ids(graph.network)
+    ledger = CostLedger()
+    two_sweep(instance, ids, len(graph.network), p, ledger=ledger)
+    assert ledger.rounds <= 2 * len(graph.network) + 2
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.1: the greedy sub-list satisfies Eq. (4)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+@given(graph=oriented_graphs(),
+       p=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_lemma_31_sublist_satisfies_eq4(graph, p, seed):
+    instance = random_oldc_instance(graph, p=p, seed=seed)
+    ids = sequential_ids(graph.network)
+    trace = []
+    two_sweep(instance, ids, len(graph.network), p, trace=trace)
+    order = {node: ids[node] for node in graph.nodes}
+    for event in trace:
+        if event["phase"] != 1:
+            continue
+        node = event["node"]
+        sublist = event["sublist"]
+        k = event["k"]
+        later_out = sum(
+            1
+            for neighbor in graph.out_neighbors(node)
+            if order[neighbor] > order[node]
+        )
+        left = later_out + sum(k[color] for color in sublist)
+        right = sum(
+            instance.defect(node, color) + 1 for color in sublist
+        )
+        assert left < right, "Eq. (4) must hold for the chosen S_v"
+
+
+# ----------------------------------------------------------------------
+# Feasible-p arithmetic vs. the raw inequality
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+@given(graph=oriented_graphs(),
+       p=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_feasible_p_values_agree_with_eq2(graph, p, seed):
+    instance = random_oldc_instance(graph, p=p, seed=seed)
+    values = set(feasible_p_values(instance))
+    for candidate in range(1, 9):
+        direct = all(
+            instance.satisfies_eq2(candidate, node)
+            for node in graph.nodes
+        )
+        assert (candidate in values) == direct
+
+
+# ----------------------------------------------------------------------
+# Greedy sweep solves every slack->1 arbdefective instance
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       slack=st.floats(min_value=1.05, max_value=4.0),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_greedy_sweep_valid(network, slack, seed):
+    instance = random_arbdefective_instance(
+        network, slack=slack, seed=seed,
+        color_space_size=max(8, network.raw_max_degree() + 2),
+    )
+    ids = sequential_ids(network)
+    result = greedy_arbdefective_sweep(instance, ids, len(network))
+    assert check_arbdefective(
+        instance, result.colors, result.orientation
+    ) == []
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       slack=st.floats(min_value=1.05, max_value=3.0),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_base_solver_valid(network, slack, seed):
+    instance = random_arbdefective_instance(
+        network, slack=slack, seed=seed,
+        color_space_size=max(8, network.raw_max_degree() + 2),
+    )
+    ids = sequential_ids(network)
+    result = solve_arbdefective_base(instance, ids, len(network))
+    assert check_arbdefective(
+        instance, result.colors, result.orientation
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Algebraic substrate properties
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(m_seed=st.integers(min_value=3, max_value=60),
+       k=st.integers(min_value=1, max_value=3),
+       a=st.integers(min_value=0, max_value=10 ** 6),
+       b=st.integers(min_value=0, max_value=10 ** 6))
+def test_polynomials_agree_on_at_most_k_points(m_seed, k, a, b):
+    m = next_prime(m_seed)
+    capacity = m ** (k + 1)
+    a %= capacity
+    b %= capacity
+    family = PolynomialFamily(q=capacity, m=m, k=k)
+    if a == b:
+        return
+    agreements = sum(
+        1 for x in range(m)
+        if family.evaluate(a, x) == family.evaluate(b, x)
+    )
+    assert agreements <= k
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=2, max_value=2000))
+def test_next_prime_is_prime_and_minimal(n):
+    p = next_prime(n)
+    assert is_prime(p)
+    assert all(not is_prime(x) for x in range(n, p))
+
+
+# ----------------------------------------------------------------------
+# Linial + greedy invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_linial_proper_from_random_ids(network, seed):
+    from repro.graphs import random_ids
+
+    ids = random_ids(network, seed=seed, bits=24)
+    colors, palette = linial_coloring(network, ids, 2 ** 24)
+    assert check_proper_coloring(network, colors) == []
+    assert all(0 <= colors[node] < palette for node in network)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs())
+def test_sequential_greedy_delta_plus_one(network):
+    colors = sequential_greedy_coloring(network)
+    assert check_proper_coloring(network, colors) == []
+    assert max(colors.values(), default=0) <= network.raw_max_degree()

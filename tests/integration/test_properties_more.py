@@ -1,0 +1,262 @@
+"""Second round of property-based tests: substrates and reductions."""
+
+from __future__ import annotations
+
+import math
+import random as rnd
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    check_outdegree_defective,
+    check_proper_coloring,
+    random_arbdefective_instance,
+)
+from repro.core import (
+    build_subspace_instance,
+    peel_free_color_nodes,
+    plan_oldc,
+)
+from repro.graphs import (
+    BidirectedView,
+    gnp_graph,
+    orient_by_id,
+    random_ids,
+)
+from repro.sim import CostLedger
+from repro.substrates import (
+    defective_schedule,
+    kuhn_defective_coloring,
+    lovasz_defective_partition,
+    proper_schedule,
+    randomized_delta_plus_one,
+)
+
+SUPPRESS = [HealthCheck.too_slow]
+
+
+@st.composite
+def small_graphs(draw, max_nodes=22):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    p = draw(st.floats(min_value=0.05, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    return gnp_graph(n, p, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.4 defect guarantee, oriented and bidirected
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       alpha=st.sampled_from([1.0, 0.5, 0.25]),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_kuhn_defective_bound_property(network, alpha, seed):
+    graph = orient_by_id(network)
+    ids = random_ids(network, seed=seed, bits=28)
+    colors, _ = kuhn_defective_coloring(graph, ids, 2 ** 28, alpha)
+    assert check_outdegree_defective(graph, colors, alpha) == []
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_kuhn_bidirected_bounds_all_neighbors(network, seed):
+    view = BidirectedView(network)
+    ids = random_ids(network, seed=seed, bits=28)
+    alpha = 0.5
+    colors, _ = kuhn_defective_coloring(view, ids, 2 ** 28, alpha)
+    for node in network:
+        conflicts = sum(
+            1 for neighbor in network.neighbors(node)
+            if colors[neighbor] == colors[node]
+        )
+        assert conflicts <= alpha * max(1, network.degree(node))
+
+
+# ----------------------------------------------------------------------
+# Schedules: monotone palettes, budget discipline
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(q=st.integers(min_value=2, max_value=2 ** 48),
+       avoid=st.integers(min_value=1, max_value=40))
+def test_proper_schedule_palettes_strictly_shrink(q, avoid):
+    schedule = proper_schedule(q, avoid)
+    current = q
+    for step in schedule:
+        assert step.q == current
+        assert step.palette_size < current
+        assert step.m > avoid * step.k
+        current = step.palette_size
+
+
+@settings(max_examples=50, deadline=None)
+@given(q=st.integers(min_value=2, max_value=2 ** 48),
+       alpha=st.floats(min_value=0.05, max_value=1.0))
+def test_defective_schedule_budget_property(q, alpha):
+    schedule = defective_schedule(q, alpha)
+    assert sum(step.alpha_step for step in schedule) <= alpha + 1e-9
+    for step in schedule:
+        assert step.k / step.m <= step.alpha_step + 1e-12
+
+
+# ----------------------------------------------------------------------
+# [Lov66] partition guarantee
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       k=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_lovasz_partition_property(network, k, seed):
+    colors = lovasz_defective_partition(network, k, seed=seed)
+    for node in network:
+        conflicts = sum(
+            1 for neighbor in network.neighbors(node)
+            if colors[neighbor] == colors[node]
+        )
+        assert conflicts <= network.degree(node) // k
+
+
+# ----------------------------------------------------------------------
+# Peel: output validity and slack preservation of the residual
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       slack=st.floats(min_value=1.05, max_value=3.0),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_peel_preserves_residual_slack(network, slack, seed):
+    instance = random_arbdefective_instance(
+        network, slack=slack, seed=seed,
+        color_space_size=max(8, network.raw_max_degree() + 2),
+    )
+    ledger = CostLedger()
+    colors, orientation, residual = peel_free_color_nodes(
+        instance, ledger
+    )
+    # Residual keeps slack above 1 (weight-minus-conflicts arithmetic).
+    for node in residual.network:
+        assert residual.weight(node) > residual.network.degree(node)
+    # A peeled node can absorb the worst case: every same-colored peeled
+    # neighbor plus EVERY residual neighbor later choosing its color.
+    residual_nodes = set(residual.network.nodes)
+    for node, color in colors.items():
+        mono_peeled = sum(
+            1 for neighbor in network.neighbors(node)
+            if colors.get(neighbor) == color
+        )
+        residual_neighbors = sum(
+            1 for neighbor in network.neighbors(node)
+            if neighbor in residual_nodes
+        )
+        assert instance.defects[node][color] >= (
+            mono_peeled + residual_neighbors
+        )
+
+
+# ----------------------------------------------------------------------
+# Subspace-choice construction invariants (Lemma 4.5 arithmetic)
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       p=st.integers(min_value=2, max_value=6),
+       sigma=st.floats(min_value=1.0, max_value=4.0),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_subspace_choice_instance_properties(network, p, sigma, seed):
+    instance = random_arbdefective_instance(
+        network, slack=2 * sigma + 1, seed=seed, color_space_size=24
+    )
+    choice, block_size = build_subspace_instance(instance, p, sigma)
+    assert choice.color_space_size == p
+    assert block_size == math.ceil(24 / p)
+    # P_D(sigma, p): the floor allocation still clears sigma * deg.
+    assert choice.has_slack(sigma)
+    # Allocation never exceeds the real mass share (floor direction).
+    for node in network:
+        total = instance.weight(node)
+        degree = network.degree(node)
+        for block, allocated in choice.defects[node].items():
+            mass = sum(
+                instance.defects[node][color] + 1
+                for color in instance.lists[node]
+                if color // block_size == block
+            )
+            assert allocated <= sigma * degree * mass / total
+
+
+# ----------------------------------------------------------------------
+# Planner: estimates are well-formed and feasible plans really run
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       p=st.integers(min_value=2, max_value=3),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_planner_estimates_positive_and_sorted(network, p, seed):
+    from repro.coloring import random_oldc_instance
+
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=p, seed=seed, epsilon=0.5)
+    plans = plan_oldc(instance, 2 ** 20)
+    assert plans
+    estimates = [plan.estimated_rounds for plan in plans]
+    assert estimates == sorted(estimates)
+    assert all(estimate > 0 for estimate in estimates)
+
+
+# ----------------------------------------------------------------------
+# Randomized baseline: always proper, always within palette
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_randomized_coloring_property(network, seed):
+    result = randomized_delta_plus_one(network, seed=seed)
+    assert check_proper_coloring(network, result.colors) == []
+    assert max(result.colors.values(), default=0) <= max(
+        1, network.raw_max_degree()
+    )
+
+
+# ----------------------------------------------------------------------
+# Undirected list defective coloring via the bidirected two-sweep
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(),
+       p=st.integers(min_value=2, max_value=3))
+def test_undirected_two_sweep_property(network, p):
+    """Minimal-slack bidirected instances are always solved and the
+    *all-neighbor* defect bound holds (the 3-coloring-threshold
+    machinery, generalized)."""
+    from repro.coloring import check_list_defective, ListDefectiveInstance
+    from repro.coloring import minimal_slack_oldc_instance
+    from repro.core import list_defective_two_sweep
+    from repro.graphs import orient_all_out, sequential_ids
+
+    view = orient_all_out(network)
+    oldc = minimal_slack_oldc_instance(view, p=p)
+    undirected = ListDefectiveInstance(
+        network, oldc.lists, oldc.defects, oldc.color_space_size
+    )
+    result = list_defective_two_sweep(
+        undirected, sequential_ids(network), len(network), p=p,
+        validate=False,
+    )
+    assert check_list_defective(undirected, result.colors) == []
+
+
+# ----------------------------------------------------------------------
+# Distributed [Lov66] local search guarantee
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, suppress_health_check=SUPPRESS)
+@given(network=small_graphs(max_nodes=18),
+       k=st.integers(min_value=1, max_value=4),
+       seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_distributed_local_search_property(network, k, seed):
+    from repro.substrates import distributed_lovasz_partition
+
+    colors = distributed_lovasz_partition(network, k, seed=seed)
+    for node in network:
+        conflicts = sum(
+            1 for neighbor in network.neighbors(node)
+            if colors[neighbor] == colors[node]
+        )
+        assert conflicts <= network.degree(node) // k

@@ -1,0 +1,95 @@
+"""Moderate-scale stress runs: larger graphs than the unit tests use.
+
+Kept to a few seconds total; these catch scaling bugs (quadratic
+blow-ups, recursion depth issues, ledger overflow assumptions) that tiny
+graphs cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_oldc,
+    check_proper_coloring,
+    random_arbdefective_instance,
+    random_oldc_instance,
+)
+from repro.core import (
+    solve_arbdefective_base,
+    theta_delta_plus_one_coloring,
+    two_sweep,
+)
+from repro.graphs import (
+    gnp_graph,
+    line_graph_of_network,
+    orient_by_id,
+    random_bounded_degree_graph,
+    random_ids,
+    sequential_ids,
+)
+from repro.sim import CostLedger
+from repro.substrates import (
+    kuhn_defective_coloring,
+    linial_coloring,
+    randomized_delta_plus_one,
+)
+
+
+class TestScale:
+    def test_two_sweep_500_nodes(self):
+        network = gnp_graph(500, 0.01, seed=71)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=3, seed=71)
+        ledger = CostLedger()
+        result = two_sweep(
+            instance, sequential_ids(network), 500, 3, ledger=ledger
+        )
+        assert check_oldc(instance, result.colors) == []
+        assert ledger.rounds == 2 * 500 + 1
+
+    def test_linial_400_nodes_wide_ids(self):
+        network = random_bounded_degree_graph(400, 8, seed=72)
+        ids = random_ids(network, seed=72, bits=48)
+        colors, palette = linial_coloring(network, ids, 2 ** 48)
+        assert check_proper_coloring(network, colors) == []
+        assert palette <= (4 * 8 + 2) ** 2
+
+    def test_kuhn_400_nodes(self):
+        network = random_bounded_degree_graph(400, 10, seed=73)
+        graph = orient_by_id(network)
+        ids = random_ids(network, seed=73, bits=40)
+        alpha = 0.25
+        colors, _ = kuhn_defective_coloring(graph, ids, 2 ** 40, alpha)
+        for node in graph.nodes:
+            conflicts = sum(
+                1 for u in graph.out_neighbors(node)
+                if colors[u] == colors[node]
+            )
+            assert conflicts <= alpha * graph.beta(node)
+
+    def test_base_solver_300_nodes(self):
+        network = gnp_graph(300, 0.03, seed=74)
+        instance = random_arbdefective_instance(
+            network, slack=1.2, seed=74, color_space_size=24
+        )
+        result = solve_arbdefective_base(
+            instance, sequential_ids(network), 300
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_theta_route_on_larger_line_graph(self):
+        base = gnp_graph(30, 0.15, seed=75)
+        line, _ = line_graph_of_network(base)
+        result = theta_delta_plus_one_coloring(line, theta=2)
+        assert check_proper_coloring(line, result.colors) == []
+
+    def test_randomized_1000_nodes(self):
+        network = random_bounded_degree_graph(1000, 6, seed=76)
+        ledger = CostLedger()
+        result = randomized_delta_plus_one(network, seed=76, ledger=ledger)
+        assert check_proper_coloring(network, result.colors) == []
+        assert ledger.rounds <= 60

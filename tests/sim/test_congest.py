@@ -1,0 +1,78 @@
+"""Tests for the LOCAL/CONGEST bandwidth models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import path_graph
+from repro.sim import (
+    BandwidthExceeded,
+    CongestModel,
+    LocalModel,
+    Message,
+    NodeProgram,
+    run_protocol,
+)
+
+
+class TestLocalModel:
+    def test_unbounded(self):
+        model = LocalModel()
+        model.check(Message("a", "b", "t", bits=10 ** 9))
+        assert model.budget_bits() is None
+
+
+class TestCongestModel:
+    def test_budget_formula(self):
+        model = CongestModel(n=1024, factor=2)
+        assert model.budget_bits() == 2 * 10
+
+    def test_extra_bits_widen_budget(self):
+        base = CongestModel(n=1024, factor=1)
+        wide = CongestModel(n=1024, factor=1, extra_bits=6)
+        assert wide.budget_bits() == base.budget_bits() + 6
+
+    def test_small_message_passes(self):
+        model = CongestModel(n=16, factor=8)
+        model.check(Message("a", "b", "t", bits=16))
+
+    def test_oversized_message_rejected(self):
+        model = CongestModel(n=16, factor=1)
+        with pytest.raises(BandwidthExceeded) as excinfo:
+            model.check(Message("a", "b", "t", bits=1000))
+        assert excinfo.value.bits == 1000
+        assert excinfo.value.sender == "a"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CongestModel(n=0)
+        with pytest.raises(ValueError):
+            CongestModel(n=4, factor=0)
+
+
+class TestEnforcementInScheduler:
+    def test_protocol_killed_on_violation(self):
+        class BigTalker(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("blob", None, bits=10 ** 6)
+                ctx.halt()
+
+        network = path_graph(2)
+        programs = {node: BigTalker() for node in network}
+        with pytest.raises(BandwidthExceeded):
+            run_protocol(
+                network, programs, bandwidth=CongestModel(n=2, factor=8)
+            )
+
+    def test_protocol_passes_within_budget(self):
+        class SmallTalker(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("bit", None, bits=1)
+                ctx.halt()
+
+        network = path_graph(2)
+        programs = {node: SmallTalker() for node in network}
+        _, ledger = run_protocol(
+            network, programs, bandwidth=CongestModel(n=2, factor=8)
+        )
+        assert ledger.max_message_bits == 1

@@ -1,0 +1,82 @@
+"""Tests for message envelopes and bit accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Message, color_bits, int_bits, payload_bits
+
+
+class TestIntBits:
+    def test_zero_costs_one_bit(self):
+        assert int_bits(0) == 1
+
+    def test_one_costs_one_bit(self):
+        assert int_bits(1) == 1
+
+    def test_powers_of_two(self):
+        assert int_bits(2) == 2
+        assert int_bits(255) == 8
+        assert int_bits(256) == 9
+
+    def test_negative_costs_sign_bit(self):
+        assert int_bits(-5) == int_bits(5) + 1
+
+
+class TestColorBits:
+    def test_tiny_spaces(self):
+        assert color_bits(1) == 1
+        assert color_bits(2) == 1
+
+    def test_exact_powers(self):
+        assert color_bits(4) == 2
+        assert color_bits(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert color_bits(5) == 3
+        assert color_bits(1000) == 10
+
+
+class TestPayloadBits:
+    def test_none_is_free(self):
+        assert payload_bits(None) == 0
+
+    def test_bool_is_one_bit(self):
+        assert payload_bits(True) == 1
+
+    def test_int(self):
+        assert payload_bits(7) == 3
+
+    def test_sequence_sums_plus_header(self):
+        assert payload_bits([1, 2, 4]) == 8 + 1 + 2 + 3
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_bits({1: 1}) == 8 + 1 + 1
+
+    def test_string_eight_bits_per_char(self):
+        assert payload_bits("ab") == 16
+
+    def test_unknown_object_charged_conservatively(self):
+        class Opaque:
+            pass
+
+        assert payload_bits(Opaque()) == 64
+
+    def test_nested(self):
+        nested = [(1, 2), (3,)]
+        assert payload_bits(nested) == 8 + (8 + 1 + 2) + (8 + 2)
+
+
+class TestMessage:
+    def test_declared_bits_override_estimator(self):
+        message = Message("a", "b", "tag", payload=[1] * 100, bits=5)
+        assert message.size_bits == 5
+
+    def test_estimated_bits_fallback(self):
+        message = Message("a", "b", "tag", payload=3)
+        assert message.size_bits == 2
+
+    def test_messages_are_frozen(self):
+        message = Message("a", "b", "tag")
+        with pytest.raises(AttributeError):
+            message.payload = 42

@@ -1,0 +1,96 @@
+"""Tests for the composable cost ledger."""
+
+from __future__ import annotations
+
+from repro.sim import CostLedger, ensure_ledger
+
+
+class TestCharging:
+    def test_charge_round_increments_everything(self):
+        ledger = CostLedger()
+        ledger.charge_round(messages=3, bits=12, max_message_bits=5)
+        assert ledger.rounds == 1
+        assert ledger.messages == 3
+        assert ledger.bits == 12
+        assert ledger.max_message_bits == 5
+
+    def test_max_message_bits_is_a_max(self):
+        ledger = CostLedger()
+        ledger.charge_round(max_message_bits=5)
+        ledger.charge_round(max_message_bits=3)
+        assert ledger.max_message_bits == 5
+
+    def test_charge_rounds_silent(self):
+        ledger = CostLedger()
+        ledger.charge_rounds(4)
+        assert ledger.rounds == 4
+        assert ledger.messages == 0
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        ledger = CostLedger()
+        with ledger.phase("alpha"):
+            ledger.charge_round(messages=1)
+        ledger.charge_round(messages=1)
+        assert ledger.rounds == 2
+        assert ledger.phase_rounds("alpha") == 1
+
+    def test_nested_phases_both_charged(self):
+        ledger = CostLedger()
+        with ledger.phase("outer"):
+            with ledger.phase("inner"):
+                ledger.charge_round()
+        assert ledger.phase_rounds("outer") == 1
+        assert ledger.phase_rounds("inner") == 1
+
+    def test_reentrant_phase_accumulates(self):
+        ledger = CostLedger()
+        for _ in range(3):
+            with ledger.phase("loop"):
+                ledger.charge_round()
+        assert ledger.phase_rounds("loop") == 3
+        assert ledger.phases["loop"].invocations == 3
+
+    def test_unknown_phase_reports_zero(self):
+        assert CostLedger().phase_rounds("nope") == 0
+
+
+class TestMerge:
+    def test_merge_adds_totals(self):
+        a = CostLedger()
+        b = CostLedger()
+        a.charge_round(messages=2, bits=4, max_message_bits=4)
+        b.charge_round(messages=1, bits=9, max_message_bits=9)
+        a.merge(b)
+        assert a.rounds == 2
+        assert a.messages == 3
+        assert a.bits == 13
+        assert a.max_message_bits == 9
+
+    def test_merge_unions_phases(self):
+        a = CostLedger()
+        b = CostLedger()
+        with b.phase("only-b"):
+            b.charge_round()
+        a.merge(b)
+        assert a.phase_rounds("only-b") == 1
+
+
+class TestEnsureLedger:
+    def test_passthrough(self):
+        ledger = CostLedger()
+        assert ensure_ledger(ledger) is ledger
+
+    def test_creates_fresh(self):
+        assert ensure_ledger(None).rounds == 0
+
+
+class TestSummary:
+    def test_summary_mentions_phases(self):
+        ledger = CostLedger()
+        with ledger.phase("solve"):
+            ledger.charge_round(messages=1, bits=8, max_message_bits=8)
+        text = ledger.summary()
+        assert "rounds=1" in text
+        assert "phase solve" in text

@@ -1,0 +1,108 @@
+"""Tests for the static network topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import complete_graph, path_graph, ring_graph
+from repro.sim import Network, NetworkError
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        network = Network.from_edges([1, 2, 3], [(1, 2), (2, 3)])
+        assert network.degree(2) == 2
+        assert network.degree(1) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError):
+            Network({0: [0]})
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(NetworkError):
+            Network({0: [1]})
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(NetworkError):
+            Network({0: [1], 1: []})
+
+    def test_duplicate_neighbors_deduplicated(self):
+        network = Network({0: [1, 1], 1: [0]})
+        assert network.degree(0) == 1
+
+    def test_edge_to_unknown_node_rejected(self):
+        with pytest.raises(NetworkError):
+            Network.from_edges([0], [(0, 7)])
+
+    def test_from_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        graph = networkx.cycle_graph(5)
+        network = Network.from_networkx(graph)
+        assert len(network) == 5
+        assert network.edge_count() == 5
+
+
+class TestQueries:
+    def test_len_iter_contains(self):
+        network = path_graph(4)
+        assert len(network) == 4
+        assert set(network) == {0, 1, 2, 3}
+        assert 2 in network
+        assert 9 not in network
+
+    def test_neighbors_and_sets(self):
+        network = ring_graph(5)
+        assert set(network.neighbors(0)) == {1, 4}
+        assert network.neighbor_set(0) == frozenset({1, 4})
+
+    def test_unknown_node_raises(self):
+        network = path_graph(3)
+        with pytest.raises(NetworkError):
+            network.neighbors(99)
+        with pytest.raises(NetworkError):
+            network.neighbor_set(99)
+
+    def test_has_edge(self):
+        network = path_graph(3)
+        assert network.has_edge(0, 1)
+        assert not network.has_edge(0, 2)
+
+    def test_max_degree_floored_at_two(self):
+        assert path_graph(2).max_degree() == 2
+        assert path_graph(2).raw_max_degree() == 1
+
+    def test_edges_enumerated_once(self):
+        network = complete_graph(4)
+        edges = list(network.edges())
+        assert len(edges) == 6
+        assert network.edge_count() == 6
+        as_sets = [frozenset(edge) for edge in edges]
+        assert len(set(as_sets)) == 6
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        network = ring_graph(6)
+        sub = network.subgraph([0, 1, 2])
+        assert len(sub) == 3
+        assert sub.edge_count() == 2  # 0-1, 1-2; the 0-5 edge is gone
+
+    def test_subgraph_unknown_node_rejected(self):
+        with pytest.raises(NetworkError):
+            path_graph(3).subgraph([0, 42])
+
+    def test_empty_subgraph(self):
+        sub = path_graph(3).subgraph([])
+        assert len(sub) == 0
+        assert sub.edge_count() == 0
+
+
+class TestNetworkxExport:
+    def test_roundtrip(self):
+        networkx = pytest.importorskip("networkx")
+        original = ring_graph(7)
+        exported = original.to_networkx()
+        assert exported.number_of_nodes() == 7
+        assert exported.number_of_edges() == 7
+        back = Network.from_networkx(exported)
+        assert set(back.edges()) == set(original.edges())

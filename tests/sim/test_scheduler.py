@@ -1,0 +1,176 @@
+"""Tests for the synchronous round scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import path_graph, ring_graph
+from repro.sim import (
+    CostLedger,
+    Network,
+    NetworkError,
+    NodeProgram,
+    RoundLimitExceeded,
+    Scheduler,
+    SchedulerError,
+    run_protocol,
+)
+
+
+class HaltImmediately(NodeProgram):
+    def on_round(self, ctx):
+        ctx.halt()
+
+
+class EchoOnce(NodeProgram):
+    """Broadcast own id once, record what arrives, then halt."""
+
+    def __init__(self, node):
+        self.node = node
+        self.heard = {}
+
+    def on_round(self, ctx):
+        if ctx.round_number == 1:
+            ctx.broadcast("id", self.node)
+            return
+        self.heard = ctx.received("id")
+        ctx.halt()
+
+    def output(self):
+        return dict(self.heard)
+
+
+class CountDown(NodeProgram):
+    def __init__(self, rounds):
+        self.remaining = rounds
+
+    def on_round(self, ctx):
+        self.remaining -= 1
+        if self.remaining <= 0:
+            ctx.halt()
+
+
+class TestLifecycle:
+    def test_all_halt_first_round(self, small_ring):
+        programs = {node: HaltImmediately() for node in small_ring}
+        outputs, ledger = run_protocol(small_ring, programs)
+        assert ledger.rounds == 1
+
+    def test_messages_delivered_next_round(self):
+        network = path_graph(3)
+        programs = {node: EchoOnce(node) for node in network}
+        outputs, ledger = run_protocol(network, programs)
+        assert ledger.rounds == 2
+        assert outputs[1] == {0: 0, 2: 2}
+        assert outputs[0] == {1: 1}
+
+    def test_round_counting(self, small_ring):
+        programs = {node: CountDown(5) for node in small_ring}
+        _, ledger = run_protocol(small_ring, programs)
+        assert ledger.rounds == 5
+
+    def test_heterogeneous_halting(self):
+        network = path_graph(2)
+        programs = {0: CountDown(1), 1: CountDown(7)}
+        _, ledger = run_protocol(network, programs)
+        assert ledger.rounds == 7
+
+
+class TestValidation:
+    def test_missing_program_rejected(self, small_ring):
+        with pytest.raises(SchedulerError):
+            Scheduler(small_ring, {0: HaltImmediately()})
+
+    def test_extra_program_rejected(self):
+        network = path_graph(2)
+        programs = {0: HaltImmediately(), 1: HaltImmediately(),
+                    9: HaltImmediately()}
+        with pytest.raises(SchedulerError):
+            Scheduler(network, programs)
+
+    def test_message_to_non_neighbor_rejected(self):
+        class BadSender(NodeProgram):
+            def on_round(self, ctx):
+                ctx.send(2, "tag", None)
+                ctx.halt()
+
+        network = path_graph(3)
+        programs = {
+            0: BadSender(), 1: HaltImmediately(), 2: HaltImmediately()
+        }
+        with pytest.raises(NetworkError):
+            run_protocol(network, programs)
+
+    def test_round_limit(self):
+        class Forever(NodeProgram):
+            def on_round(self, ctx):
+                pass
+
+        network = path_graph(2)
+        programs = {0: Forever(), 1: Forever()}
+        with pytest.raises(RoundLimitExceeded):
+            run_protocol(network, programs, max_rounds=10)
+
+
+class TestAccounting:
+    def test_message_and_bit_totals(self):
+        network = path_graph(2)
+
+        class SendFive(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("x", None, bits=5)
+                ctx.halt()
+
+        programs = {node: SendFive() for node in network}
+        _, ledger = run_protocol(network, programs)
+        assert ledger.messages == 2
+        assert ledger.bits == 10
+        assert ledger.max_message_bits == 5
+
+    def test_shared_ledger_accumulates_across_runs(self):
+        network = path_graph(2)
+        ledger = CostLedger()
+        for _ in range(3):
+            programs = {node: HaltImmediately() for node in network}
+            run_protocol(network, programs, ledger=ledger)
+        assert ledger.rounds == 3
+
+    def test_late_messages_to_halted_nodes_are_dropped(self):
+        # Node 0 halts in round 1; node 1 sends to it in round 1
+        # (delivered round 2).  The run must still terminate cleanly.
+        class SendThenHalt(NodeProgram):
+            def on_round(self, ctx):
+                ctx.broadcast("x", 1)
+                ctx.halt()
+
+        network = path_graph(2)
+        programs = {0: HaltImmediately(), 1: SendThenHalt()}
+        _, ledger = run_protocol(network, programs)
+        assert ledger.rounds == 2
+
+
+class TestStopWhen:
+    def test_oracle_stops_run(self):
+        class Chatter(NodeProgram):
+            def __init__(self):
+                self.rounds_seen = 0
+
+            def on_round(self, ctx):
+                self.rounds_seen += 1
+                ctx.broadcast("chat", None, bits=1)
+
+        network = path_graph(2)
+        programs = {node: Chatter() for node in network}
+        _, ledger = run_protocol(
+            network, programs,
+            stop_when=lambda progs: all(
+                p.rounds_seen >= 4 for p in progs.values()
+            ),
+        )
+        assert ledger.rounds == 4
+
+    def test_oracle_none_means_halt_based(self):
+        network = path_graph(2)
+        programs = {node: HaltImmediately() for node in network}
+        _, ledger = run_protocol(network, programs, stop_when=None)
+        assert ledger.rounds == 1

@@ -1,0 +1,83 @@
+"""Tests for round observation."""
+
+from __future__ import annotations
+
+from repro.graphs import path_graph, ring_graph
+from repro.sim import (
+    NodeProgram,
+    RoundObserver,
+    Scheduler,
+)
+
+
+class PingTwice(NodeProgram):
+    def on_round(self, ctx):
+        if ctx.round_number <= 2:
+            ctx.broadcast("ping", ctx.round_number)
+        else:
+            ctx.halt()
+
+
+class SilentCountdown(NodeProgram):
+    def __init__(self, rounds):
+        self.remaining = rounds
+
+    def on_round(self, ctx):
+        self.remaining -= 1
+        if self.remaining <= 0:
+            ctx.halt()
+
+
+class TestObserver:
+    def run_with_observer(self, network, make_program):
+        observer = RoundObserver()
+        scheduler = Scheduler(
+            network,
+            {node: make_program() for node in network},
+            observer=observer,
+        )
+        scheduler.run()
+        return observer
+
+    def test_records_every_round(self, small_ring):
+        observer = self.run_with_observer(small_ring, PingTwice)
+        assert observer.rounds() == 3
+        assert [record.round_number for record in observer.records] == [
+            1, 2, 3,
+        ]
+
+    def test_messages_by_tag(self, small_ring):
+        observer = self.run_with_observer(small_ring, PingTwice)
+        # 8 nodes x 2 neighbors x 2 rounds of pings.
+        assert observer.tag_totals() == {"ping": 32}
+        assert observer.first_round_with_tag("ping") == 1
+        assert observer.first_round_with_tag("nope") == -1
+
+    def test_halted_recorded(self):
+        network = path_graph(2)
+        observer = self.run_with_observer(network, lambda: PingTwice())
+        assert set(observer.records[-1].halted) == {0, 1}
+
+    def test_quiet_rounds(self):
+        network = path_graph(3)
+        observer = RoundObserver()
+        scheduler = Scheduler(
+            network,
+            {node: SilentCountdown(4) for node in network},
+            observer=observer,
+        )
+        scheduler.run()
+        assert observer.quiet_rounds() == 4
+
+    def test_timeline_shape(self, small_ring):
+        observer = self.run_with_observer(small_ring, PingTwice)
+        timeline = observer.timeline()
+        assert len(timeline) == 3
+        assert timeline[-1] == " "  # final round is silent
+
+    def test_timeline_empty(self):
+        assert RoundObserver().timeline() == "(no rounds)"
+
+    def test_senders_deduplicated(self, small_ring):
+        observer = self.run_with_observer(small_ring, PingTwice)
+        assert set(observer.records[0].senders) == set(small_ring.nodes)

@@ -1,0 +1,63 @@
+"""Tests for the shared algebraic recoloring runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import ring_graph, sequential_ids
+from repro.sim import AlgorithmFailure, CostLedger, InstanceError
+from repro.substrates import RecoloringStep, run_recoloring
+from repro.substrates.cover_free import choose_proper_step
+
+
+class TestRunRecoloring:
+    def test_empty_schedule_is_identity(self):
+        network = ring_graph(5)
+        ids = sequential_ids(network)
+        relevant = {node: network.neighbor_set(node) for node in network}
+        ledger = CostLedger()
+        colors, palette = run_recoloring(
+            network, ids, [], relevant, ledger=ledger
+        )
+        assert colors == ids
+        assert palette == 5
+        assert ledger.rounds == 0
+
+    def test_missing_initial_color_rejected(self):
+        network = ring_graph(4)
+        relevant = {node: network.neighbor_set(node) for node in network}
+        step = choose_proper_step(q=10 ** 6, avoid=2)
+        with pytest.raises(InstanceError):
+            run_recoloring(network, {0: 0}, [step], relevant)
+
+    def test_color_outside_declared_q_fails_loudly(self):
+        network = ring_graph(4)
+        relevant = {node: network.neighbor_set(node) for node in network}
+        step = choose_proper_step(q=100, avoid=2)
+        bad_initial = {node: 5000 for node in network}
+        with pytest.raises(AlgorithmFailure):
+            run_recoloring(network, bad_initial, [step], relevant)
+
+    def test_custom_phase_name(self):
+        network = ring_graph(5)
+        ids = {node: node * 20 for node in network}
+        relevant = {node: network.neighbor_set(node) for node in network}
+        step = choose_proper_step(q=100, avoid=2)
+        assert step is not None
+        ledger = CostLedger()
+        run_recoloring(
+            network, ids, [step], relevant, ledger=ledger, phase="custom"
+        )
+        assert ledger.phase_rounds("custom") == ledger.rounds > 0
+
+
+class TestRecoloringStep:
+    def test_family_construction(self):
+        step = RecoloringStep(q=25, m=5, k=1)
+        family = step.family()
+        assert family.palette_size == 25
+        assert step.palette_size == 25
+
+    def test_proper_step_none_alpha(self):
+        step = RecoloringStep(q=100, m=11, k=1)
+        assert step.alpha_step == 0.0

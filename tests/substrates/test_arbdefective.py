@@ -1,0 +1,66 @@
+"""Tests for the classic arbdefective coloring tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import gnp_graph, random_ids, ring_graph
+from repro.sim import CostLedger, InstanceError
+from repro.substrates import arbdefective_coloring, arbdefective_palette
+
+
+class TestPalette:
+    def test_formula(self):
+        assert arbdefective_palette(10, 0) == 11
+        assert arbdefective_palette(10, 1) == 6
+        assert arbdefective_palette(10, 10) == 1
+        assert arbdefective_palette(0, 3) == 1
+
+
+class TestColoring:
+    @pytest.mark.parametrize("defect", [0, 1, 2, 4])
+    def test_out_defect_bounded(self, defect):
+        network = gnp_graph(40, 0.2, seed=defect)
+        result = arbdefective_coloring(network, defect)
+        for node in network:
+            out = result.orientation[node]
+            assert len(out) <= defect
+            assert all(
+                result.colors[target] == result.colors[node]
+                for target in out
+            )
+
+    def test_palette_respected(self):
+        network = gnp_graph(35, 0.25, seed=5)
+        defect = 2
+        result = arbdefective_coloring(network, defect)
+        assert result.color_count() <= arbdefective_palette(
+            network.raw_max_degree(), defect
+        )
+
+    def test_zero_defect_is_proper(self):
+        network = ring_graph(9)
+        result = arbdefective_coloring(network, 0)
+        for u, v in network.edges():
+            assert result.colors[u] != result.colors[v]
+
+    def test_orientation_covers_every_monochromatic_edge(self):
+        network = gnp_graph(30, 0.3, seed=7)
+        result = arbdefective_coloring(network, 3)
+        for u, v in network.edges():
+            if result.colors[u] == result.colors[v]:
+                assert (
+                    v in result.orientation[u]
+                ) != (u in result.orientation[v])
+
+    def test_wide_id_space(self):
+        network = gnp_graph(30, 0.2, seed=8)
+        ids = random_ids(network, seed=8, bits=32)
+        ledger = CostLedger()
+        result = arbdefective_coloring(network, 2, ids=ids, ledger=ledger)
+        # Linial first: rounds ~ O(Delta^2), nowhere near 2^32.
+        assert ledger.rounds < 10_000
+
+    def test_negative_defect_rejected(self):
+        with pytest.raises(InstanceError):
+            arbdefective_coloring(ring_graph(4), -1)

@@ -1,0 +1,108 @@
+"""Tests for the prior-work baselines and resource envelopes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    random_regular_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InstanceError
+from repro.substrates import (
+    baseline_palette_size,
+    fk23_local_work,
+    fk23_required_list_size,
+    mt20_required_list_size,
+    two_sweep_defective_baseline,
+    two_sweep_local_work,
+    two_sweep_required_list_size,
+)
+
+
+class TestDefectiveTwoSweepBaseline:
+    @pytest.mark.parametrize("defect", [0, 2, 4, 8])
+    def test_defect_bound_holds(self, defect):
+        network = gnp_graph(40, 0.2, seed=17)
+        graph = orient_by_id(network)
+        ids = sequential_ids(network)
+        result = two_sweep_defective_baseline(
+            graph, ids, len(network), defect
+        )
+        for node in graph.nodes:
+            conflicts = sum(
+                1
+                for neighbor in graph.out_neighbors(node)
+                if result.colors[neighbor] == result.colors[node]
+            )
+            assert conflicts <= defect
+
+    def test_palette_size_matches_formula(self):
+        network = random_regular_graph(30, 6, seed=4)
+        graph = orient_by_id(network)
+        ids = sequential_ids(network)
+        defect = 2
+        result = two_sweep_defective_baseline(
+            graph, ids, len(network), defect
+        )
+        assert result.color_count() <= baseline_palette_size(
+            graph.max_beta(), defect
+        )
+
+    def test_zero_defect_gives_proper_on_out_edges(self):
+        network = gnp_graph(25, 0.2, seed=3)
+        graph = orient_by_id(network)
+        ids = sequential_ids(network)
+        result = two_sweep_defective_baseline(graph, ids, len(network), 0)
+        for node in graph.nodes:
+            for neighbor in graph.out_neighbors(node):
+                assert result.colors[neighbor] != result.colors[node]
+
+    def test_rounds_linear_in_q(self):
+        network = gnp_graph(20, 0.2, seed=5)
+        graph = orient_by_id(network)
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        two_sweep_defective_baseline(
+            graph, ids, len(network), 2, ledger=ledger
+        )
+        assert ledger.rounds <= 2 * len(network) + 2
+
+    def test_negative_defect_rejected(self):
+        network = gnp_graph(10, 0.3, seed=1)
+        graph = orient_by_id(network)
+        with pytest.raises(InstanceError):
+            two_sweep_defective_baseline(
+                graph, sequential_ids(network), 10, -1
+            )
+
+
+class TestResourceEnvelopes:
+    def test_ours_beats_fk23_by_log_factor(self):
+        for beta in (8, 32, 128):
+            for defect in (1, 2, 4):
+                ours = two_sweep_required_list_size(beta, defect)
+                theirs = fk23_required_list_size(beta, defect, 2 * beta, beta)
+                assert ours < theirs
+
+    def test_mt20_proper_lists(self):
+        # MT20 needs beta^2 log beta for proper (defect-0) list coloring.
+        assert mt20_required_list_size(16, 64) >= 16 * 16 * 4
+
+    def test_two_sweep_list_size_formula(self):
+        # p = ceil((beta+1)/(d+1)); defect 0 -> p = beta + 1.
+        assert two_sweep_required_list_size(4, 0) == 25
+        assert two_sweep_required_list_size(8, 3) == 9
+
+    def test_local_work_gap(self):
+        # Near-linear vs exponential: the gap must be dramatic already
+        # at moderate list sizes.
+        list_size = 40
+        ours = two_sweep_local_work(beta=16, list_size=list_size)
+        theirs = fk23_local_work(list_size)
+        assert theirs > 1000 * ours
+
+    def test_fk23_work_capped(self):
+        assert fk23_local_work(10 ** 6, cap_bits=32) == 2 ** 32

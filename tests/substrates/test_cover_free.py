@@ -1,0 +1,134 @@
+"""Tests for the polynomial set systems and recoloring schedules."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.substrates import (
+    PolynomialFamily,
+    choose_defective_step,
+    choose_proper_step,
+    defective_schedule,
+    is_prime,
+    next_prime,
+    proper_schedule,
+)
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23}
+        for n in range(25):
+            assert is_prime(n) == (n in primes)
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(8) == 11
+        assert next_prime(11) == 11
+        assert next_prime(90) == 97
+
+
+class TestPolynomialFamily:
+    def test_capacity_check(self):
+        with pytest.raises(ValueError):
+            PolynomialFamily(q=1000, m=5, k=1)  # capacity 25
+
+    def test_field_must_be_prime(self):
+        with pytest.raises(ValueError):
+            PolynomialFamily(q=10, m=4, k=2)
+
+    def test_distinct_indices_distinct_coefficients(self):
+        family = PolynomialFamily(q=25, m=5, k=1)
+        coefficient_sets = {family.coefficients(i) for i in range(25)}
+        assert len(coefficient_sets) == 25
+
+    def test_agreement_bound(self):
+        """Two distinct degree-k polynomials agree on at most k points."""
+        family = PolynomialFamily(q=49, m=7, k=2)
+        for a, b in itertools.combinations(range(20), 2):
+            agreements = sum(
+                1
+                for x in range(7)
+                if family.evaluate(a, x) == family.evaluate(b, x)
+            )
+            assert agreements <= 2
+
+    def test_pair_color_bijective_per_point(self):
+        family = PolynomialFamily(q=9, m=3, k=1)
+        colors = {family.pair_color(4, x) for x in range(3)}
+        assert len(colors) == 3
+        assert all(0 <= color < 9 for color in colors)
+
+    def test_index_range_checked(self):
+        family = PolynomialFamily(q=9, m=3, k=1)
+        with pytest.raises(ValueError):
+            family.coefficients(9)
+
+
+class TestProperStep:
+    def test_field_dodges_all_rivals(self):
+        step = choose_proper_step(q=10 ** 6, avoid=8)
+        assert step is not None
+        assert step.m > 8 * step.k
+        assert step.palette_size < 10 ** 6
+
+    def test_no_progress_returns_none(self):
+        # q already below any reachable palette.
+        assert choose_proper_step(q=10, avoid=8) is None
+
+    def test_capacity_sufficient(self):
+        step = choose_proper_step(q=10 ** 9, avoid=4)
+        assert step.m ** (step.k + 1) >= 10 ** 9
+
+
+class TestDefectiveStep:
+    def test_collision_rate_bound(self):
+        step = choose_defective_step(q=10 ** 6, alpha_step=0.25)
+        assert step is not None
+        assert step.k / step.m <= 0.25
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            choose_defective_step(q=100, alpha_step=0.0)
+
+
+class TestSchedules:
+    def test_proper_schedule_converges_to_quadratic(self):
+        for avoid in (2, 5, 16):
+            schedule = proper_schedule(q=2 ** 40, avoid=avoid)
+            assert schedule, "schedule must not be empty for huge q"
+            final = schedule[-1].palette_size
+            assert final <= (4 * avoid + 2) ** 2
+            # log*-ish length
+            assert len(schedule) <= 8
+
+    def test_proper_schedule_chains_palettes(self):
+        schedule = proper_schedule(q=2 ** 30, avoid=6)
+        current = 2 ** 30
+        for step in schedule:
+            assert step.q == current
+            assert step.palette_size < current
+            current = step.palette_size
+
+    def test_defective_schedule_budget_sums_below_alpha(self):
+        for alpha in (0.5, 0.25, 0.1):
+            schedule = defective_schedule(q=2 ** 40, alpha=alpha)
+            assert sum(step.alpha_step for step in schedule) <= alpha + 1e-9
+
+    def test_defective_schedule_final_palette(self):
+        schedule = defective_schedule(q=2 ** 40, alpha=0.5)
+        assert schedule
+        final = schedule[-1].palette_size
+        # O(1/alpha^2) with our constants.
+        assert final <= (12 / 0.5 + 4) ** 2
+
+    def test_defective_schedule_empty_when_q_small(self):
+        assert defective_schedule(q=4, alpha=0.5) == []
+
+    def test_defective_alpha_validation(self):
+        with pytest.raises(ValueError):
+            defective_schedule(q=100, alpha=0.0)
+        with pytest.raises(ValueError):
+            defective_schedule(q=100, alpha=1.5)

@@ -1,0 +1,104 @@
+"""Tests for the brute-force ground-truth solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    ListDefectiveInstance,
+    OLDCInstance,
+    check_list_defective,
+    check_oldc,
+    random_defective_instance,
+    uniform_lists,
+)
+from repro.graphs import (
+    complete_graph,
+    orient_by_id,
+    path_graph,
+    ring_graph,
+)
+from repro.substrates import (
+    solve_list_defective_bruteforce,
+    solve_oldc_bruteforce,
+)
+
+
+class TestListDefectiveBruteforce:
+    def test_finds_valid_solution(self):
+        network = ring_graph(8)
+        instance = random_defective_instance(
+            network, slack=1.5, seed=1, color_space_size=6
+        )
+        colors = solve_list_defective_bruteforce(instance)
+        assert colors is not None
+        assert check_list_defective(instance, colors) == []
+
+    def test_detects_unsolvable(self):
+        # Triangle, everyone must take the same single color, defect 0.
+        network = complete_graph(3)
+        lists, defects = uniform_lists(network.nodes, (0,), 0)
+        instance = ListDefectiveInstance(network, lists, defects)
+        assert solve_list_defective_bruteforce(instance) is None
+
+    def test_defect_makes_it_solvable(self):
+        network = complete_graph(3)
+        lists, defects = uniform_lists(network.nodes, (0,), 2)
+        instance = ListDefectiveInstance(network, lists, defects)
+        colors = solve_list_defective_bruteforce(instance)
+        assert colors is not None
+
+    def test_tight_proper_coloring(self):
+        # An odd ring needs 3 colors; 2 zero-defect colors must fail.
+        network = ring_graph(5)
+        lists, defects = uniform_lists(network.nodes, (0, 1), 0)
+        instance = ListDefectiveInstance(network, lists, defects)
+        assert solve_list_defective_bruteforce(instance) is None
+        lists3, defects3 = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance3 = ListDefectiveInstance(network, lists3, defects3)
+        assert solve_list_defective_bruteforce(instance3) is not None
+
+    def test_size_cap(self):
+        network = path_graph(80)
+        lists, defects = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance = ListDefectiveInstance(network, lists, defects)
+        with pytest.raises(ValueError):
+            solve_list_defective_bruteforce(instance)
+
+
+class TestOLDCBruteforce:
+    def test_finds_valid_solution(self):
+        network = ring_graph(7)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0, 1, 2), 0)
+        instance = OLDCInstance(graph, lists, defects)
+        colors = solve_oldc_bruteforce(instance)
+        assert colors is not None
+        assert check_oldc(instance, colors) == []
+
+    def test_orientation_makes_hard_instances_easy(self):
+        # Triangle, one shared color, defect 1: each node may have one
+        # same-colored OUT-neighbor; with an acyclic orientation the node
+        # with outdegree 2 fails, so defect 1 is NOT enough...
+        network = complete_graph(3)
+        graph = orient_by_id(network)
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = OLDCInstance(graph, lists, defects)
+        assert solve_oldc_bruteforce(instance) is None
+        # ...but defect 2 is.
+        lists2, defects2 = uniform_lists(network.nodes, (0,), 2)
+        instance2 = OLDCInstance(graph, lists2, defects2)
+        assert solve_oldc_bruteforce(instance2) is not None
+
+    def test_agrees_with_two_sweep_on_feasible_instances(self):
+        """Where Two-Sweep's precondition holds, a solution must exist --
+        brute force must never say 'unsolvable'."""
+        from repro.coloring import random_oldc_instance
+        from repro.graphs import gnp_graph
+
+        network = gnp_graph(10, 0.3, seed=5)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(
+            graph, p=2, seed=6, color_space_size=8
+        )
+        assert solve_oldc_bruteforce(instance) is not None

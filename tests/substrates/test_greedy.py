@@ -1,0 +1,169 @@
+"""Tests for greedy baselines, the greedy sweep, and color reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    check_arbdefective,
+    check_proper_coloring,
+    random_arbdefective_instance,
+    uniform_lists,
+    ArbdefectiveInstance,
+)
+from repro.graphs import (
+    complete_graph,
+    gnp_graph,
+    neighborhood_independence,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+    star_graph,
+)
+from repro.sim import CostLedger, InfeasibleInstanceError, InstanceError
+from repro.substrates import (
+    greedy_arbdefective_sweep,
+    greedy_color_reduction,
+    linial_coloring,
+    sequential_greedy_arbdefective,
+    sequential_greedy_coloring,
+    sequential_greedy_defective,
+)
+
+
+class TestSequentialGreedy:
+    def test_proper_and_delta_plus_one(self):
+        network = gnp_graph(40, 0.15, seed=12)
+        colors = sequential_greedy_coloring(network)
+        assert check_proper_coloring(network, colors) == []
+        assert max(colors.values()) <= network.raw_max_degree()
+
+    def test_clique_uses_exactly_n_colors(self):
+        colors = sequential_greedy_coloring(complete_graph(5))
+        assert sorted(colors.values()) == [0, 1, 2, 3, 4]
+
+    def test_respects_order(self):
+        network = star_graph(2)
+        colors = sequential_greedy_coloring(network, order=[1, 2, 0])
+        assert colors[1] == 0 and colors[2] == 0 and colors[0] == 1
+
+
+class TestSequentialDefective:
+    def test_earlier_conflicts_bounded(self):
+        network = gnp_graph(40, 0.2, seed=5)
+        k = 4
+        colors = sequential_greedy_defective(network, k)
+        order = list(network.nodes)
+        position = {node: i for i, node in enumerate(order)}
+        for node in network:
+            earlier_conflicts = sum(
+                1
+                for neighbor in network.neighbors(node)
+                if position[neighbor] < position[node]
+                and colors[neighbor] == colors[node]
+            )
+            assert earlier_conflicts <= network.degree(node) // k
+
+    def test_claim_41_bound_on_bounded_theta(self):
+        # Claim 4.1: at most (2d+1) * theta same-colored neighbors where
+        # d = floor(Delta / k) is the arbdefective (out-)defect.
+        from repro.graphs import line_graph_of_network
+
+        base = gnp_graph(16, 0.3, seed=9)
+        network, _ = line_graph_of_network(base)
+        theta = neighborhood_independence(network)
+        k = 3
+        colors = sequential_greedy_defective(network, k)
+        d = network.raw_max_degree() // k
+        bound = (2 * d + 1) * theta
+        for node in network:
+            conflicts = sum(
+                1
+                for neighbor in network.neighbors(node)
+                if colors[neighbor] == colors[node]
+            )
+            assert conflicts <= bound
+
+    def test_needs_a_color(self):
+        with pytest.raises(InstanceError):
+            sequential_greedy_defective(ring_graph(4), 0)
+
+
+class TestSequentialArbdefective:
+    def test_out_defect_bounded(self):
+        network = gnp_graph(40, 0.2, seed=6)
+        k = 4
+        colors, orientation = sequential_greedy_arbdefective(network, k)
+        for node in network:
+            assert len(orientation[node]) <= network.degree(node) // k
+
+    def test_orientation_is_valid_arbdefective_output(self):
+        network = gnp_graph(30, 0.2, seed=7)
+        k = 3
+        colors, orientation = sequential_greedy_arbdefective(network, k)
+        d = network.raw_max_degree() // k
+        lists, defects = uniform_lists(network.nodes, range(k), d)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        assert check_arbdefective(instance, colors, orientation) == []
+
+
+class TestGreedySweep:
+    def test_solves_random_slack_instances(self):
+        network = gnp_graph(35, 0.15, seed=3)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=4, color_space_size=12
+        )
+        ids = sequential_ids(network)
+        result = greedy_arbdefective_sweep(instance, ids, len(network))
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_rounds_linear_in_q(self):
+        network = ring_graph(15)
+        instance = random_arbdefective_instance(
+            network, slack=1.5, seed=5, color_space_size=6
+        )
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        greedy_arbdefective_sweep(instance, ids, len(network), ledger=ledger)
+        assert ledger.rounds <= len(network) + 2
+
+    def test_rejects_slack_one_instance(self):
+        # A single color with defect 0 on an edge: weight = 1 = deg.
+        network = ring_graph(4)
+        lists, defects = uniform_lists(network.nodes, (0,), 1)
+        instance = ArbdefectiveInstance(network, lists, defects)
+        ids = sequential_ids(network)
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_arbdefective_sweep(instance, ids, len(network))
+
+    def test_rejects_improper_initial_coloring(self):
+        network = ring_graph(4)
+        instance = random_arbdefective_instance(
+            network, slack=2.0, seed=1, color_space_size=6
+        )
+        bad = {node: 0 for node in network}
+        with pytest.raises(InstanceError):
+            greedy_arbdefective_sweep(instance, bad, 1)
+
+
+class TestColorReduction:
+    def test_reduces_to_delta_plus_one(self):
+        network = gnp_graph(40, 0.15, seed=2)
+        ids = random_ids(network, seed=3, bits=30)
+        colors, q = linial_coloring(network, ids, 2 ** 30)
+        target = network.raw_max_degree() + 1
+        ledger = CostLedger()
+        reduced = greedy_color_reduction(
+            network, colors, q, target, ledger=ledger
+        )
+        assert check_proper_coloring(network, reduced) == []
+        assert max(reduced.values()) < target
+        assert ledger.rounds <= q - target + 2
+
+    def test_target_validation(self):
+        network = ring_graph(5)
+        ids = sequential_ids(network)
+        with pytest.raises(InstanceError):
+            greedy_color_reduction(network, ids, 5, target=1)

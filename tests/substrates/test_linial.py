@@ -1,0 +1,87 @@
+"""Tests for Linial's coloring and its oriented variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import check_proper_coloring
+from repro.graphs import (
+    gnp_graph,
+    orient_by_id,
+    orient_low_outdegree,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InstanceError
+from repro.substrates import (
+    linial_coloring,
+    linial_oriented_coloring,
+    linial_palette_bound,
+    log_star,
+)
+
+
+class TestLinial:
+    def test_output_proper(self):
+        network = gnp_graph(50, 0.12, seed=31)
+        ids = random_ids(network, seed=1, bits=32)
+        colors, palette = linial_coloring(network, ids, 2 ** 32)
+        assert check_proper_coloring(network, colors) == []
+        assert all(0 <= colors[node] < palette for node in network)
+
+    def test_palette_quadratic_in_delta(self):
+        network = gnp_graph(60, 0.1, seed=7)
+        ids = random_ids(network, seed=2, bits=40)
+        _, palette = linial_coloring(network, ids, 2 ** 40)
+        assert palette <= linial_palette_bound(network.raw_max_degree())
+
+    def test_rounds_log_star(self):
+        network = ring_graph(32)
+        ids = random_ids(network, seed=3, bits=48)
+        ledger = CostLedger()
+        linial_coloring(network, ids, 2 ** 48, ledger=ledger)
+        # One round per schedule step plus the initial broadcast; the
+        # schedule length is O(log* q) -- generous constant here.
+        assert ledger.rounds <= 3 * log_star(2 ** 48) + 3
+
+    def test_noop_when_q_already_small(self):
+        network = ring_graph(6)
+        ids = sequential_ids(network)
+        ledger = CostLedger()
+        colors, palette = linial_coloring(network, ids, 6, ledger=ledger)
+        assert colors == ids
+        assert ledger.rounds == 0
+
+    def test_rejects_out_of_range_initial_colors(self):
+        network = ring_graph(4)
+        with pytest.raises(InstanceError):
+            linial_coloring(network, {node: node for node in network}, 2)
+
+
+class TestLinialOriented:
+    def test_output_proper(self):
+        network = gnp_graph(50, 0.15, seed=13)
+        graph = orient_low_outdegree(network)
+        ids = random_ids(network, seed=4, bits=32)
+        colors, palette = linial_oriented_coloring(graph, ids, 2 ** 32)
+        assert check_proper_coloring(network, colors) == []
+
+    def test_palette_quadratic_in_beta_not_delta(self):
+        # A dense graph with a low-outdegree orientation: the oriented
+        # palette must beat the undirected bound when beta << Delta.
+        network = gnp_graph(60, 0.4, seed=5)
+        graph = orient_low_outdegree(network)
+        beta = graph.max_outdegree()
+        delta = network.raw_max_degree()
+        assert beta < delta  # sanity of the scenario
+        ids = random_ids(network, seed=6, bits=40)
+        _, palette = linial_oriented_coloring(graph, ids, 2 ** 40)
+        assert palette <= linial_palette_bound(beta)
+
+    def test_oriented_on_id_orientation(self):
+        network = ring_graph(20)
+        graph = orient_by_id(network)
+        ids = random_ids(network, seed=9, bits=24)
+        colors, _ = linial_oriented_coloring(graph, ids, 2 ** 24)
+        assert check_proper_coloring(network, colors) == []

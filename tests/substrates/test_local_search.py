@@ -1,0 +1,97 @@
+"""Tests for the distributed local-search defective partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    gnp_graph,
+    random_ids,
+    ring_graph,
+    sequential_ids,
+)
+from repro.sim import CostLedger, InstanceError
+from repro.substrates import distributed_lovasz_partition
+
+
+def same_class_neighbors(network, colors, node):
+    return sum(
+        1 for neighbor in network.neighbors(node)
+        if colors[neighbor] == colors[node]
+    )
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_defect_at_most_deg_over_k(self, k, seed):
+        network = gnp_graph(40, 0.3, seed=seed)
+        colors = distributed_lovasz_partition(network, k, seed=seed)
+        for node in network:
+            assert same_class_neighbors(network, colors, node) <= (
+                network.degree(node) // k
+            )
+
+    def test_clique(self):
+        network = complete_graph(12)
+        colors = distributed_lovasz_partition(network, 4, seed=7)
+        for node in network:
+            assert same_class_neighbors(network, colors, node) <= 11 // 4
+
+    def test_matches_sequential_guarantee(self):
+        """Same guarantee as the sequential [Lov66] local search."""
+        from repro.substrates import lovasz_defective_partition
+
+        network = gnp_graph(30, 0.35, seed=9)
+        k = 3
+        distributed = distributed_lovasz_partition(network, k, seed=9)
+        sequential = lovasz_defective_partition(network, k, seed=9)
+        for colors in (distributed, sequential):
+            for node in network:
+                assert same_class_neighbors(network, colors, node) <= (
+                    network.degree(node) // k
+                )
+
+
+class TestProtocolProperties:
+    def test_rounds_counted(self):
+        network = gnp_graph(30, 0.3, seed=4)
+        ledger = CostLedger()
+        distributed_lovasz_partition(network, 3, seed=4, ledger=ledger)
+        assert 3 <= ledger.rounds <= 2 * network.edge_count() + 4
+
+    def test_custom_sparse_ids(self):
+        network = gnp_graph(25, 0.3, seed=5)
+        ids = random_ids(network, seed=5, bits=20)
+        colors = distributed_lovasz_partition(network, 3, ids=ids, seed=5)
+        for node in network:
+            assert same_class_neighbors(network, colors, node) <= (
+                network.degree(node) // 3
+            )
+
+    def test_deterministic(self):
+        network = ring_graph(12)
+        a = distributed_lovasz_partition(network, 2, seed=3)
+        b = distributed_lovasz_partition(network, 2, seed=3)
+        assert a == b
+
+    def test_single_class_trivial(self):
+        network = ring_graph(6)
+        colors = distributed_lovasz_partition(network, 1, seed=1)
+        assert set(colors.values()) == {0}
+
+    def test_validation(self):
+        with pytest.raises(InstanceError):
+            distributed_lovasz_partition(ring_graph(4), 0)
+        with pytest.raises(InstanceError):
+            distributed_lovasz_partition(
+                ring_graph(4), 2, ids={node: 7 for node in range(4)}
+            )
+
+    def test_messages_are_small(self):
+        network = gnp_graph(25, 0.3, seed=6)
+        ledger = CostLedger()
+        distributed_lovasz_partition(network, 4, seed=6, ledger=ledger)
+        # class (2 bits) + flag + id (<= ~10 bits at n = 25).
+        assert ledger.max_message_bits <= 16

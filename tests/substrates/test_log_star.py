@@ -1,0 +1,54 @@
+"""Tests for iterated logarithm helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.substrates import ceil_log2, log_star, tower
+
+
+class TestLogStar:
+    def test_base_cases(self):
+        assert log_star(0) == 0
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+
+    def test_known_values(self):
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2 ** 65536 if False else 65537) == 5
+
+    def test_monotone(self):
+        values = [log_star(x) for x in range(1, 1000)]
+        assert values == sorted(values)
+
+    def test_inverse_of_tower(self):
+        for height in range(5):
+            assert log_star(tower(height)) == height
+
+
+class TestTower:
+    def test_values(self):
+        assert tower(0) == 1
+        assert tower(1) == 2
+        assert tower(2) == 4
+        assert tower(3) == 16
+        assert tower(4) == 65536
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            tower(-1)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(8) == 3
+        assert ceil_log2(9) == 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)

@@ -1,0 +1,106 @@
+"""Tests for the [Lov66] local-search defective partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import complete_graph, gnp_graph, ring_graph
+from repro.sim import InstanceError
+from repro.substrates import lovasz_defective_partition
+
+
+def same_class_neighbors(network, colors, node):
+    return sum(
+        1 for neighbor in network.neighbors(node)
+        if colors[neighbor] == colors[node]
+    )
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_defect_at_most_deg_over_k(self, k):
+        network = gnp_graph(40, 0.3, seed=k)
+        colors = lovasz_defective_partition(network, k, seed=1)
+        for node in network:
+            assert same_class_neighbors(network, colors, node) <= (
+                network.degree(node) // k
+            )
+
+    def test_clique_partition(self):
+        network = complete_graph(12)
+        colors = lovasz_defective_partition(network, 3, seed=2)
+        # deg = 11, k = 3: at most 3 same-class neighbors each,
+        # i.e. classes of size at most 4.
+        for node in network:
+            assert same_class_neighbors(network, colors, node) <= 3
+
+    def test_one_class_allows_everything(self):
+        network = ring_graph(6)
+        colors = lovasz_defective_partition(network, 1, seed=3)
+        assert set(colors.values()) == {0}
+
+    def test_uses_at_most_k_classes(self):
+        network = gnp_graph(30, 0.2, seed=9)
+        colors = lovasz_defective_partition(network, 4, seed=4)
+        assert set(colors.values()) <= set(range(4))
+
+    def test_invalid_class_count(self):
+        with pytest.raises(InstanceError):
+            lovasz_defective_partition(ring_graph(4), 0)
+
+    def test_deterministic_for_seed(self):
+        network = gnp_graph(25, 0.25, seed=5)
+        a = lovasz_defective_partition(network, 3, seed=7)
+        b = lovasz_defective_partition(network, 3, seed=7)
+        assert a == b
+
+
+class TestPartitionOverrideInSlackReduction:
+    def test_valid_partition_accepted_and_used(self):
+        from repro.coloring import (
+            check_arbdefective,
+            random_arbdefective_instance,
+        )
+        from repro.core import slack_reduction, solve_arbdefective_base
+        from repro.graphs import sequential_ids
+
+        network = gnp_graph(36, 0.3, seed=11)
+        instance = random_arbdefective_instance(
+            network, slack=2.5, seed=11, color_space_size=16
+        )
+        mu = 2.0
+        partition = lovasz_defective_partition(network, 4, seed=1)
+        edges_seen = []
+
+        def inner(sub, sub_initial, sub_q, ledger):
+            edges_seen.append(sub.network.edge_count())
+            return solve_arbdefective_base(
+                sub, sub_initial, sub_q, ledger=ledger
+            )
+
+        result = slack_reduction(
+            instance, sequential_ids(network), len(network),
+            mu=mu, inner_solver=inner, partition=partition,
+        )
+        assert check_arbdefective(
+            instance, result.colors, result.orientation
+        ) == []
+
+    def test_bad_partition_rejected(self):
+        from repro.coloring import random_arbdefective_instance
+        from repro.core import slack_reduction, solve_arbdefective_base
+        from repro.graphs import sequential_ids
+        from repro.sim import InfeasibleInstanceError
+
+        network = complete_graph(8)
+        instance = random_arbdefective_instance(
+            network, slack=2.5, seed=12, color_space_size=16
+        )
+        everyone_same = {node: 0 for node in network}
+        with pytest.raises(InfeasibleInstanceError):
+            slack_reduction(
+                instance, sequential_ids(network), len(network),
+                mu=4.0,
+                inner_solver=lambda *args: None,
+                partition=everyone_same,
+            )

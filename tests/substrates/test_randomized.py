@@ -1,0 +1,81 @@
+"""Tests for the randomized trial coloring baseline."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.coloring import check_proper_coloring
+from repro.graphs import (
+    complete_graph,
+    gnp_graph,
+    random_bounded_degree_graph,
+    ring_graph,
+)
+from repro.sim import CostLedger, InstanceError
+from repro.substrates import (
+    randomized_delta_plus_one,
+    randomized_list_coloring,
+)
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_delta_plus_one(self, seed):
+        network = gnp_graph(50, 0.12, seed=seed)
+        result = randomized_delta_plus_one(network, seed=seed)
+        assert check_proper_coloring(network, result.colors) == []
+        assert max(result.colors.values()) <= network.raw_max_degree()
+
+    def test_clique(self):
+        network = complete_graph(10)
+        result = randomized_delta_plus_one(network, seed=1)
+        assert sorted(result.colors.values()) == list(range(10))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_list_variant(self, seed):
+        network = random_bounded_degree_graph(40, 5, seed=seed)
+        rng = random.Random(seed)
+        space = network.raw_max_degree() + 4
+        lists = {
+            node: tuple(
+                sorted(rng.sample(range(space), network.degree(node) + 1))
+            )
+            for node in network
+        }
+        result = randomized_list_coloring(network, lists, seed=seed)
+        assert check_proper_coloring(network, result.colors) == []
+        for node in network:
+            assert result.colors[node] in lists[node]
+
+
+class TestRounds:
+    def test_logarithmic_rounds(self):
+        """O(log n) w.h.p.; assert a generous multiple on seeded runs."""
+        for n in (30, 120, 480):
+            network = gnp_graph(n, min(0.5, 8.0 / n), seed=n)
+            ledger = CostLedger()
+            randomized_delta_plus_one(network, seed=n, ledger=ledger)
+            assert ledger.rounds <= 20 * math.log2(n) + 20
+
+    def test_reproducible(self):
+        network = gnp_graph(30, 0.15, seed=3)
+        a = randomized_delta_plus_one(network, seed=9)
+        b = randomized_delta_plus_one(network, seed=9)
+        assert a.colors == b.colors
+
+    def test_seed_changes_run(self):
+        network = gnp_graph(30, 0.15, seed=3)
+        a = randomized_delta_plus_one(network, seed=1)
+        b = randomized_delta_plus_one(network, seed=2)
+        assert a.colors != b.colors
+
+
+class TestValidation:
+    def test_short_lists_rejected(self):
+        network = ring_graph(5)
+        lists = {node: (0, 1) for node in network}
+        with pytest.raises(InstanceError):
+            randomized_list_coloring(network, lists, seed=1)

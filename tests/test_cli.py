@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestCommands:
+    def test_two_sweep(self, capsys):
+        assert main(["two-sweep", "--n", "24", "--p", "2",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "rounds" in out
+
+    def test_two_sweep_auto(self, capsys):
+        assert main(["two-sweep", "--n", "24", "--p", "2", "--auto",
+                     "--seed", "2"]) == 0
+        assert "auto plan" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "route", ["thm13", "thm15", "baseline", "random"]
+    )
+    def test_delta_plus_one_routes(self, route, capsys):
+        assert main([
+            "delta-plus-one", "--route", route, "--n", "20",
+            "--max-degree", "3", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "proper coloring verified" in out
+
+    def test_edge_coloring(self, capsys):
+        assert main(["edge-coloring", "--n", "12", "--density", "0.3",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "edge coloring" in out
+
+    def test_edge_coloring_empty_graph(self, capsys):
+        assert main(["edge-coloring", "--n", "6", "--density", "0.0",
+                     "--seed", "5"]) == 1
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2024" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "info"],
+            capture_output=True, text=True,
+        )
+        assert completed.returncode == 0
+        assert "repro" in completed.stdout
+
+
+class TestGenerateSolve:
+    def test_oldc_roundtrip(self, tmp_path, capsys):
+        instance_path = tmp_path / "inst.json"
+        solution_path = tmp_path / "sol.json"
+        assert main([
+            "generate", "--kind", "oldc", "--n", "20",
+            "--out", str(instance_path),
+        ]) == 0
+        assert main([
+            "solve", "--instance", str(instance_path),
+            "--out", str(solution_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "output validated" in out
+        assert solution_path.exists()
+
+    def test_arbdefective_roundtrip(self, tmp_path, capsys):
+        instance_path = tmp_path / "inst.json"
+        assert main([
+            "generate", "--kind", "arbdefective", "--n", "20",
+            "--out", str(instance_path),
+        ]) == 0
+        assert main(["solve", "--instance", str(instance_path)]) == 0
+        assert "output validated" in capsys.readouterr().out
+
+    def test_defective_with_enough_slack_solves(self, tmp_path, capsys):
+        instance_path = tmp_path / "inst.json"
+        assert main([
+            "generate", "--kind", "defective", "--n", "15",
+            "--slack", "400.0", "--out", str(instance_path),
+        ]) == 0
+        assert main(["solve", "--instance", str(instance_path)]) == 0
+        assert "output validated" in capsys.readouterr().out
+
+    def test_defective_without_slack_reports_failure(self, tmp_path,
+                                                     capsys):
+        instance_path = tmp_path / "inst.json"
+        assert main([
+            "generate", "--kind", "defective", "--n", "15",
+            "--slack", "1.1", "--out", str(instance_path),
+        ]) == 0
+        assert main(["solve", "--instance", str(instance_path)]) == 2
+        assert "could not solve" in capsys.readouterr().out

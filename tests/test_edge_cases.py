@@ -1,0 +1,138 @@
+"""Edge cases across modules that the mainline tests do not reach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import random_oldc_instance
+from repro.core import color_space_reduced_oldc, reduction_depth, two_sweep
+from repro.graphs import (
+    binary_tree,
+    blow_up,
+    empty_graph,
+    gnp_graph,
+    grid_graph,
+    orient_by_id,
+    path_graph,
+    sequential_ids,
+)
+from repro.sim import Message
+
+
+class TestGeneratorEdges:
+    def test_grid_single_row(self):
+        network = grid_graph(1, 6)
+        assert network.edge_count() == 5
+
+    def test_binary_tree_depth_zero(self):
+        network = binary_tree(0)
+        assert len(network) == 1
+        assert network.edge_count() == 0
+
+    def test_blow_up_of_edgeless(self):
+        blown = blow_up(empty_graph(3), 4)
+        assert len(blown) == 12
+        assert blown.edge_count() == 0
+
+    def test_blow_up_factor_one_is_isomorphic(self):
+        base = gnp_graph(10, 0.3, seed=1)
+        blown = blow_up(base, 1)
+        assert len(blown) == len(base)
+        assert blown.edge_count() == base.edge_count()
+
+
+class TestMessageSemantics:
+    def test_bits_do_not_affect_equality(self):
+        a = Message("x", "y", "t", payload=1, bits=3)
+        b = Message("x", "y", "t", payload=1, bits=99)
+        assert a == b
+
+    def test_payload_affects_equality(self):
+        a = Message("x", "y", "t", payload=1)
+        b = Message("x", "y", "t", payload=2)
+        assert a != b
+
+
+class TestReductionDepthEdges:
+    def test_trivial_color_spaces(self):
+        assert reduction_depth(1, 4) == 1
+        assert reduction_depth(2, 4) == 1
+
+    def test_lambda_two(self):
+        assert reduction_depth(8, 2) == 3  # 8 -> 4 -> 2
+
+    def test_reduction_with_lambda_two_end_to_end(self):
+        network = gnp_graph(20, 0.2, seed=2)
+        graph = orient_by_id(network)
+        kappa, lam = 2.5, 2
+        depth = reduction_depth(16, lam)
+        import random as rnd
+
+        rng = rnd.Random(0)
+        size = 8
+        need = kappa ** depth
+        lists, defects = {}, {}
+        for node in graph.nodes:
+            d = int(need * graph.beta(node) / size) + 1
+            colors = tuple(sorted(rng.sample(range(16), size)))
+            lists[node] = colors
+            defects[node] = {color: d for color in colors}
+        from repro.coloring import OLDCInstance, check_oldc
+
+        instance = OLDCInstance(graph, lists, defects, 16)
+
+        def base_solver(sub, initial, q, ledger):
+            restricted = {n: initial[n] for n in sub.graph.nodes}
+            return two_sweep(
+                sub, restricted, q, 2, ledger=ledger, check=False
+            ).colors
+
+        colors = color_space_reduced_oldc(
+            instance, sequential_ids(network), len(network),
+            base_solver, kappa, lam,
+        )
+        assert check_oldc(instance, colors) == []
+
+
+class TestTinyGraphs:
+    def test_two_sweep_on_single_edge(self):
+        network = path_graph(2)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=1, seed=1)
+        result = two_sweep(instance, sequential_ids(network), 2, 1)
+        assert len(result.colors) == 2
+
+    def test_two_sweep_on_single_node(self):
+        network = empty_graph(1)
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=1, seed=2)
+        result = two_sweep(instance, sequential_ids(network), 1, 1)
+        assert len(result.colors) == 1
+
+    def test_recursion_on_single_node(self):
+        from repro.coloring import ArbdefectiveInstance
+        from repro.core import theta_recursive_arbdefective
+
+        network = empty_graph(1)
+        instance = ArbdefectiveInstance(network, {0: (5,)}, {0: {5: 0}})
+        result = theta_recursive_arbdefective(instance, theta=1)
+        assert result.colors == {0: 5}
+
+
+class TestBaselineDefectOne:
+    def test_defect_one_uses_full_palette(self):
+        """defect = 1 gives floor(d/2) = 0 per sweep: proper per sweep."""
+        from repro.graphs import sequential_ids as ids
+        from repro.substrates import two_sweep_defective_baseline
+
+        network = gnp_graph(20, 0.25, seed=3)
+        graph = orient_by_id(network)
+        result = two_sweep_defective_baseline(
+            graph, ids(network), len(network), 1
+        )
+        for node in graph.nodes:
+            conflicts = sum(
+                1 for u in graph.out_neighbors(node)
+                if result.colors[u] == result.colors[node]
+            )
+            assert conflicts <= 1

@@ -1,0 +1,41 @@
+"""The README's code snippets must actually run."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+
+def extract_python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_snippet_runs(self):
+        readme = pathlib.Path(__file__).parent.parent / "README.md"
+        blocks = extract_python_blocks(readme.read_text())
+        assert blocks, "README must contain a python snippet"
+        for block in blocks:
+            exec(compile(block, "<README>", "exec"), {})
+
+    def test_package_docstring_snippet_runs(self):
+        import repro
+
+        match = re.search(
+            r"Quick start::\n\n((?:    .*\n)+)", repro.__doc__
+        )
+        assert match, "package docstring must contain the quick start"
+        code = "\n".join(
+            line[4:] for line in match.group(1).splitlines()
+        )
+        exec(compile(code, "<repro.__doc__>", "exec"), {})
+
+
+class TestExamplesExist:
+    def test_every_readme_example_listed_exists(self):
+        root = pathlib.Path(__file__).parent.parent
+        readme = (root / "README.md").read_text()
+        for name in re.findall(r"`(\w+\.py)`", readme):
+            if name in ("setup.py",):
+                continue
+            assert (root / "examples" / name).exists(), name

@@ -1,0 +1,30 @@
+"""The tutorial's code blocks must run, top to bottom."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+
+def python_blocks():
+    doc = pathlib.Path(__file__).parent.parent / "docs" / "tutorial.md"
+    return re.findall(r"```python\n(.*?)```", doc.read_text(), re.DOTALL)
+
+
+def test_tutorial_blocks_run_in_sequence(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # the save/load block writes files
+    blocks = python_blocks()
+    assert len(blocks) >= 6
+    namespace = {
+        # Section 6 references a user-provided measurement function.
+        "run_mine": lambda n, seed: n + seed,
+    }
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial:{index}>", "exec"), namespace)
+    # Spot-check the state the tutorial builds up.
+    assert namespace["ledger"].rounds == 2 * len(namespace["net"]) + 1
+    assert namespace["auto"].stats is not None
+    assert namespace["edge_colors"]
+    assert (tmp_path / "instance.json").exists()
