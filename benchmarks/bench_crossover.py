@@ -18,6 +18,8 @@ from repro.analysis import (
     theorem_13_rounds,
     theorem_15_rounds,
 )
+from repro.analysis import grid
+from repro.sim.parallel import parallel_sweep
 
 from _util import emit
 
@@ -38,8 +40,10 @@ def measure(log2_delta: int) -> dict:
 
 
 def test_e18_crossover(benchmark):
-    records = [measure(log2_delta) for log2_delta in
-               (8, 12, 16, 20, 24, 28, 32)]
+    # The Delta points are independent; fan them across processes.
+    records = parallel_sweep(
+        measure, grid(log2_delta=[8, 12, 16, 20, 24, 28, 32])
+    )
     emit("E18_crossover", render_records(
         records,
         ["delta", "theta_star", "exponent", "model_13",

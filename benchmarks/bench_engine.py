@@ -1,0 +1,276 @@
+"""Engine microbenchmark: the fast scheduler path vs the reference path.
+
+Fixed scheduler-stress workloads on the three topology families the
+experiment suite leans on (G(n,p), trees, cliques), each run through both
+execution engines of :class:`repro.sim.Scheduler`:
+
+* ``gnp_stragglers`` -- 2,000-node G(n,p) where most nodes halt within a
+  few rounds and a handful run for hundreds: the regime that punishes the
+  reference engine's per-round full-node scans and dict rebuilds, and the
+  headline number for the fast path's active-set scheduling;
+* ``gnp_greedy_sweep`` -- the repository's real greedy arbdefective
+  sweep (one color class decides per round), the paper's canonical
+  protocol shape;
+* ``tree_flood`` -- repeated flooding on a binary tree: every node stays
+  active and chatty, measuring per-message overhead (bit accounting,
+  bandwidth hooks);
+* ``clique_exchange`` -- all-to-all broadcast on a clique: the densest
+  message pattern per round.
+
+Every run's (rounds, messages, bits) fingerprint is compared across
+engines, so the benchmark doubles as an end-to-end equivalence check.
+Results go to ``BENCH_engine.json`` at the repository root (uploaded as a
+CI artifact) and to ``benchmarks/results/BENCH_engine.txt``.
+
+Run directly for the full sizes, or with ``--smoke`` for a seconds-long
+sanity pass::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro.coloring import random_arbdefective_instance
+from repro.graphs import binary_tree, complete_graph, gnp_graph, sequential_ids
+from repro.sim import CostLedger, Network, NodeProgram, Scheduler, use_engine
+from repro.substrates import greedy_arbdefective_sweep
+
+from _util import emit
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: Wall-clock repetitions per (workload, engine); the median is reported.
+REPEATS = 3
+
+#: The workload whose speedup is the tracked headline number.
+HEADLINE = "gnp_stragglers"
+
+
+# ----------------------------------------------------------------------
+# Synthetic scheduler-stress programs
+# ----------------------------------------------------------------------
+class _Straggler(NodeProgram):
+    """Chat for two rounds, then halt after ``lifetime`` rounds total."""
+
+    def __init__(self, node, lifetime: int):
+        self.node = node
+        self.lifetime = lifetime
+        self.seen = 0
+
+    def on_round(self, ctx):
+        self.seen += 1
+        if ctx.round_number <= 2:
+            ctx.broadcast("warm", self.node, bits=16)
+        if self.seen >= self.lifetime:
+            ctx.halt()
+
+    def output(self):
+        return self.seen
+
+
+class _Flooder(NodeProgram):
+    """Broadcast a counter every round for ``rounds`` rounds."""
+
+    def __init__(self, node, rounds: int):
+        self.node = node
+        self.rounds = rounds
+        self.heard = 0
+
+    def on_round(self, ctx):
+        self.heard += len(ctx.inbox)
+        if ctx.round_number > self.rounds:
+            ctx.halt()
+            return
+        ctx.broadcast("flood", ctx.round_number, bits=24)
+
+    def output(self):
+        return self.heard
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+Runner = Callable[[Optional[str]], Tuple[Network, CostLedger, Dict]]
+
+
+def _run_scheduler(network: Network, programs, engine: Optional[str]):
+    scheduler = Scheduler(network, programs)
+    scheduler.run(engine=engine)
+    return scheduler.outputs(), scheduler.ledger
+
+
+def workload_gnp_stragglers(n: int, engine: Optional[str]):
+    network = gnp_graph(n, 8.0 / n, seed=11)
+    long_life = max(50, n // 2)
+    stride = max(1, n // 16)
+    programs = {}
+    for i, node in enumerate(network):
+        lifetime = long_life if i % stride == 0 else 2 + (i % 8)
+        programs[node] = _Straggler(node, lifetime)
+    return _run_scheduler(network, programs, engine) + (network,)
+
+
+def workload_gnp_greedy_sweep(n: int, engine: Optional[str]):
+    network = gnp_graph(n, 6.0 / n, seed=13)
+    instance = random_arbdefective_instance(
+        network, slack=1.5, seed=13,
+        color_space_size=max(8, network.raw_max_degree() + 2),
+    )
+    ledger = CostLedger()
+    with use_engine(engine or "fast"):
+        result = greedy_arbdefective_sweep(
+            instance, sequential_ids(network), len(network), ledger=ledger
+        )
+    return result.colors, ledger, network
+
+
+def workload_tree_flood(n: int, engine: Optional[str]):
+    depth = max(2, n.bit_length() - 1)
+    network = binary_tree(depth)
+    rounds = max(20, min(200, n // 8))
+    programs = {node: _Flooder(node, rounds) for node in network}
+    return _run_scheduler(network, programs, engine) + (network,)
+
+
+def workload_clique_exchange(n: int, engine: Optional[str]):
+    size = max(8, int(n ** 0.5) * 4)
+    network = complete_graph(size)
+    rounds = max(10, n // 40)
+    programs = {node: _Flooder(node, rounds) for node in network}
+    return _run_scheduler(network, programs, engine) + (network,)
+
+
+WORKLOADS = [
+    ("gnp_stragglers", workload_gnp_stragglers),
+    ("gnp_greedy_sweep", workload_gnp_greedy_sweep),
+    ("tree_flood", workload_tree_flood),
+    ("clique_exchange", workload_clique_exchange),
+]
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _time_once(factory, n: int, engine: str):
+    start = time.perf_counter()
+    out, ledger, network = factory(n, engine)
+    elapsed = time.perf_counter() - start
+    fingerprint = (ledger.rounds, ledger.messages, ledger.bits,
+                   ledger.max_message_bits)
+    return elapsed, fingerprint, out, network
+
+
+def run_benchmark(n: int, smoke: bool) -> Dict:
+    rows: List[Dict] = []
+    for name, factory in WORKLOADS:
+        # Interleave the engines so clock drift hits both equally;
+        # best-of-REPEATS per engine.
+        ref_s = fast_s = None
+        for _ in range(REPEATS):
+            elapsed, ref_fp, ref_out, network = _time_once(
+                factory, n, "reference"
+            )
+            ref_s = elapsed if ref_s is None else min(ref_s, elapsed)
+            elapsed, fast_fp, fast_out, _ = _time_once(factory, n, "fast")
+            fast_s = elapsed if fast_s is None else min(fast_s, elapsed)
+        if ref_fp != fast_fp or ref_out != fast_out:
+            raise AssertionError(
+                f"engine mismatch on {name}: reference {ref_fp} "
+                f"vs fast {fast_fp}"
+            )
+        rows.append({
+            "workload": name,
+            "n": len(network),
+            "m": network.edge_count(),
+            "rounds": ref_fp[0],
+            "messages": ref_fp[1],
+            "bits": ref_fp[2],
+            "reference_s": round(ref_s, 6),
+            "fast_s": round(fast_s, 6),
+            "speedup": round(ref_s / fast_s, 3) if fast_s > 0 else None,
+        })
+    headline = next(row for row in rows if row["workload"] == HEADLINE)
+    return {
+        "benchmark": "bench_engine",
+        "description": "reference vs fast scheduler engine, fixed workloads",
+        "smoke": smoke,
+        "workload_scale_n": n,
+        "python": platform.python_version(),
+        "repeats": REPEATS,
+        "headline": {
+            "workload": HEADLINE,
+            "speedup": headline["speedup"],
+        },
+        "workloads": rows,
+    }
+
+
+def _render(report: Dict) -> str:
+    lines = [
+        "BENCH_engine: fast scheduler engine vs reference "
+        f"(scale n={report['workload_scale_n']}, smoke={report['smoke']})",
+        f"{'workload':<18} {'n':>6} {'m':>8} {'rounds':>7} "
+        f"{'messages':>10} {'ref_s':>9} {'fast_s':>9} {'speedup':>8}",
+    ]
+    for row in report["workloads"]:
+        lines.append(
+            f"{row['workload']:<18} {row['n']:>6} {row['m']:>8} "
+            f"{row['rounds']:>7} {row['messages']:>10} "
+            f"{row['reference_s']:>9.4f} {row['fast_s']:>9.4f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    lines.append(
+        f"headline ({report['headline']['workload']}): "
+        f"{report['headline']['speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict, json_path: pathlib.Path = JSON_PATH) -> None:
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+    emit("BENCH_engine", _render(report))
+    print(f"wrote {json_path}")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def test_engine_benchmark(benchmark):
+    """Pytest entry: smoke-scale run + fingerprint equivalence."""
+    report = run_benchmark(n=400, smoke=True)
+    for row in report["workloads"]:
+        # The fast path must never lose badly; full-scale wins are
+        # tracked in BENCH_engine.json, not asserted here (CI noise).
+        assert row["speedup"] > 0.5
+    benchmark(workload_gnp_stragglers, 400, None)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI sanity runs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="override the workload scale")
+    parser.add_argument("--out", default=str(JSON_PATH),
+                        help="path for the JSON report")
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (300 if args.smoke else 2000)
+    report = run_benchmark(n=n, smoke=args.smoke)
+    write_report(report, pathlib.Path(args.out))
+    print(_render(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

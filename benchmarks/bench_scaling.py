@@ -6,14 +6,17 @@ record: Two-Sweep vs n, Fast-Two-Sweep vs q, Lemma 3.4 and Linial vs n,
 and the randomized baseline vs n.
 
 Set ``REPRO_BIG=1`` to quadruple the sizes (a few minutes instead of
-seconds).
+seconds).  The parameter points are independent trials, so they are
+fanned across worker processes (``repro.sim.parallel``); set
+``REPRO_PARALLEL=0`` to force the serial path.
 """
 
 from __future__ import annotations
 
 import os
 
-from repro.analysis import grid, render_records, sweep
+from repro.analysis import grid, render_records
+from repro.sim.parallel import parallel_sweep
 from repro.coloring import check_oldc, check_proper_coloring, random_oldc_instance
 from repro.core import two_sweep
 from repro.graphs import (
@@ -72,7 +75,7 @@ def measure_substrates(n: int) -> dict:
 
 def test_e19_scaling(benchmark):
     sizes = [100 * SCALE, 200 * SCALE, 400 * SCALE, 800 * SCALE]
-    sweep_records = sweep(measure_two_sweep, grid(n=sizes))
+    sweep_records = parallel_sweep(measure_two_sweep, grid(n=sizes))
     emit("E19a_two_sweep_scaling", render_records(
         sweep_records,
         ["n", "rounds", "per_q"],
@@ -82,7 +85,7 @@ def test_e19_scaling(benchmark):
     for record in sweep_records:
         assert abs(record["per_q"] - 2.0) < 0.2
 
-    substrate_records = sweep(measure_substrates, grid(n=sizes))
+    substrate_records = parallel_sweep(measure_substrates, grid(n=sizes))
     emit("E19b_substrate_scaling", render_records(
         substrate_records,
         ["n", "linial_rounds", "linial_palette", "kuhn_rounds",

@@ -251,6 +251,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Distributed list defective coloring, reproduced.",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print the top 25 "
+             "entries by cumulative time",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_ts = sub.add_parser("two-sweep", help="run Algorithm 1")
@@ -318,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        status = profiler.runcall(args.func, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+        return status
     return args.func(args)
 
 

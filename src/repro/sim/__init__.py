@@ -1,5 +1,6 @@
 """Synchronous message-passing round simulator (LOCAL and CONGEST)."""
 
+from .compiled import CompiledNetwork
 from .congest import BandwidthModel, CongestModel, LocalModel
 from .errors import (
     AlgorithmFailure,
@@ -15,16 +16,27 @@ from .message import Message, color_bits, int_bits, payload_bits
 from .metrics import CostLedger, PhaseStats, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
-from .scheduler import DEFAULT_MAX_ROUNDS, Scheduler, run_protocol
+from .parallel import derive_seed, parallel_sweep, run_trials
+from .scheduler import (
+    DEFAULT_MAX_ROUNDS,
+    ENGINES,
+    Scheduler,
+    default_engine,
+    run_protocol,
+    set_default_engine,
+    use_engine,
+)
 from .tracing import RoundObserver, RoundRecord
 
 __all__ = [
     "AlgorithmFailure",
     "BandwidthExceeded",
     "BandwidthModel",
+    "CompiledNetwork",
     "CongestModel",
     "CostLedger",
     "DEFAULT_MAX_ROUNDS",
+    "ENGINES",
     "InfeasibleInstanceError",
     "InstanceError",
     "LocalModel",
@@ -41,8 +53,14 @@ __all__ = [
     "SchedulerError",
     "SimulationError",
     "color_bits",
+    "default_engine",
+    "derive_seed",
     "ensure_ledger",
     "int_bits",
+    "parallel_sweep",
     "payload_bits",
     "run_protocol",
+    "run_trials",
+    "set_default_engine",
+    "use_engine",
 ]

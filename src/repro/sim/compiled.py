@@ -1,0 +1,123 @@
+"""Compiled topologies: dense integer ids and CSR adjacency arrays.
+
+A :class:`Network` stores adjacency as hashable-keyed dicts, which is the
+right interface for protocol code but a poor substrate for the scheduler's
+hot loop: every neighbor lookup hashes a node object and every per-node
+table is a dict.  A :class:`CompiledNetwork` is the one-time "compilation"
+of a network into flat arrays:
+
+* nodes are mapped to dense integers ``0..n-1`` in the network's insertion
+  order (``order[i]`` is the node object, ``index[node]`` its integer id);
+* adjacency is stored in CSR form -- ``indices[indptr[i]:indptr[i + 1]]``
+  are the dense ids of node ``i``'s neighbors, in the same order as
+  ``Network.neighbors`` returns them;
+* per-node views the scheduler needs every round (neighbor object tuples,
+  neighbor sets, degrees) are precomputed once.
+
+Because :class:`Network` is immutable, the compilation is cached on the
+network itself: ``network.compile()`` builds it on first use and returns
+the same instance afterwards.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+Node = Hashable
+
+#: Array typecode for dense ids; ``q`` (signed 64-bit) keeps the arrays
+#: valid for any graph size we can hold in memory.
+_ID_TYPECODE = "q"
+
+
+class CompiledNetwork:
+    """Dense-integer, CSR-array view of an immutable :class:`Network`."""
+
+    __slots__ = (
+        "n",
+        "m",
+        "order",
+        "index",
+        "indptr",
+        "indices",
+        "degrees",
+        "neighbor_objects",
+        "neighbor_sets",
+    )
+
+    def __init__(self, order: Tuple[Node, ...], index: Dict[Node, int],
+                 indptr: array, indices: array,
+                 neighbor_objects: Tuple[Tuple[Node, ...], ...],
+                 neighbor_sets: Tuple[frozenset, ...]):
+        self.n = len(order)
+        self.m = len(indices) // 2
+        self.order = order
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = array(
+            _ID_TYPECODE,
+            (indptr[i + 1] - indptr[i] for i in range(self.n)),
+        )
+        self.neighbor_objects = neighbor_objects
+        self.neighbor_sets = neighbor_sets
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(cls, network) -> "CompiledNetwork":
+        """Compile ``network``; prefer :meth:`Network.compile` (cached)."""
+        order: Tuple[Node, ...] = tuple(network)
+        index: Dict[Node, int] = {node: i for i, node in enumerate(order)}
+        indptr = array(_ID_TYPECODE, [0])
+        indices = array(_ID_TYPECODE)
+        neighbor_objects: List[Tuple[Node, ...]] = []
+        for node in order:
+            neighbors = network.neighbors(node)
+            neighbor_objects.append(neighbors)
+            indices.extend(index[neighbor] for neighbor in neighbors)
+            indptr.append(len(indices))
+        neighbor_sets = tuple(
+            network.neighbor_set(node) for node in order
+        )
+        return cls(order, index, indptr, indices,
+                   tuple(neighbor_objects), neighbor_sets)
+
+    # ------------------------------------------------------------------
+    # Queries (dense-id domain)
+    # ------------------------------------------------------------------
+    def neighbor_ids(self, i: int) -> array:
+        """Dense ids of node ``i``'s neighbors (CSR slice)."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def degree(self, i: int) -> int:
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def max_degree(self) -> int:
+        """Maximum degree without the paper's floor of 2."""
+        return max(self.degrees, default=0)
+
+    def has_edge_ids(self, i: int, j: int) -> bool:
+        return self.order[j] in self.neighbor_sets[i]
+
+    def edge_ids(self) -> Iterator[Tuple[int, int]]:
+        """Each undirected edge once, as ``(i, j)`` dense-id pairs.
+
+        Emitted in the same sequence as :meth:`Network.edges` -- for every
+        node ``i`` in order, the neighbors ``j`` with ``i < j``.
+        """
+        indptr = self.indptr
+        indices = self.indices
+        for i in range(self.n):
+            for k in range(indptr[i], indptr[i + 1]):
+                j = indices[k]
+                if i < j:
+                    yield (i, j)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledNetwork(n={self.n}, m={self.m})"

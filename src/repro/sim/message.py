@@ -88,10 +88,22 @@ class Message:
     tag: str
     payload: Any = None
     bits: Optional[int] = field(default=None, compare=False)
+    #: Memoized :attr:`size_bits`; payloads are read-only by convention,
+    #: so the estimator runs at most once per message.
+    _size_cache: Optional[int] = field(
+        default=None, compare=False, repr=False, init=False
+    )
 
     @property
     def size_bits(self) -> int:
         """The size charged against the CONGEST budget for this message."""
-        if self.bits is not None:
-            return self.bits
-        return payload_bits(self.payload)
+        bits = self.bits
+        if bits is not None:
+            # Declared sizes are already O(1); caching would only add an
+            # object.__setattr__ per message.
+            return bits
+        cached = self._size_cache
+        if cached is None:
+            cached = payload_bits(self.payload)
+            object.__setattr__(self, "_size_cache", cached)
+        return cached

@@ -59,10 +59,35 @@ class CostLedger:
             if max_message_bits > stats.max_message_bits:
                 stats.max_message_bits = max_message_bits
 
+    def charge_batch(self, rounds: int, messages: int = 0, bits: int = 0,
+                     max_message_bits: int = 0) -> None:
+        """Record ``rounds`` synchronous rounds in one update.
+
+        Equivalent to ``rounds`` calls of :meth:`charge_round` whose
+        message/bit counts sum to the given totals -- the fast scheduler
+        engine accumulates whole runs locally and charges them here in
+        one O(phases) step instead of O(rounds * phases).
+        """
+        if rounds < 0:
+            raise ValueError("cannot charge a negative number of rounds")
+        if rounds == 0:
+            return
+        self.rounds += rounds
+        self.messages += messages
+        self.bits += bits
+        if max_message_bits > self.max_message_bits:
+            self.max_message_bits = max_message_bits
+        for name in self._phase_stack:
+            stats = self.phases[name]
+            stats.rounds += rounds
+            stats.messages += messages
+            stats.bits += bits
+            if max_message_bits > stats.max_message_bits:
+                stats.max_message_bits = max_message_bits
+
     def charge_rounds(self, count: int) -> None:
         """Charge ``count`` silent rounds (no messages)."""
-        for _ in range(count):
-            self.charge_round()
+        self.charge_batch(count)
 
     # ------------------------------------------------------------------
     # Phases

@@ -10,8 +10,9 @@ communication can happen in both directions").
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
 
+from .compiled import CompiledNetwork
 from .errors import NetworkError
 
 Node = Hashable
@@ -48,6 +49,10 @@ class Network:
         self._neighbor_sets = {
             node: frozenset(neighbors) for node, neighbors in adj.items()
         }
+        # Lazily computed caches; safe because the topology is immutable.
+        self._compiled: Optional[CompiledNetwork] = None
+        self._raw_max_degree: Optional[int] = None
+        self._edge_count: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -130,26 +135,45 @@ class Network:
 
     def max_degree(self) -> int:
         """Maximum degree, but at least 2 (the paper's Delta(G) convention)."""
-        raw = max((len(nbrs) for nbrs in self._adj.values()), default=0)
-        return max(2, raw)
+        return max(2, self.raw_max_degree())
 
     def raw_max_degree(self) -> int:
         """Maximum degree without the paper's floor of 2."""
-        return max((len(nbrs) for nbrs in self._adj.values()), default=0)
+        if self._raw_max_degree is None:
+            self._raw_max_degree = max(
+                (len(nbrs) for nbrs in self._adj.values()), default=0
+            )
+        return self._raw_max_degree
 
     def edges(self) -> Iterator[Tuple[Node, Node]]:
-        """Each undirected edge exactly once (u listed before v by id order)."""
-        seen = set()
+        """Each undirected edge exactly once (u listed before v by id order).
+
+        Dedup is by insertion-order position: the edge is emitted at its
+        first-seen endpoint, so no per-edge set of frozensets is built.
+        """
+        if self._compiled is not None:
+            pos = self._compiled.index
+        else:
+            pos = {node: i for i, node in enumerate(self._adj)}
         for node, neighbors in self._adj.items():
+            here = pos[node]
             for neighbor in neighbors:
-                key = frozenset((node, neighbor))
-                if key not in seen:
-                    seen.add(key)
+                if here < pos[neighbor]:
                     yield (node, neighbor)
 
     def edge_count(self) -> int:
         """The number of undirected edges."""
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        if self._edge_count is None:
+            self._edge_count = (
+                sum(len(nbrs) for nbrs in self._adj.values()) // 2
+            )
+        return self._edge_count
+
+    def compile(self) -> CompiledNetwork:
+        """The dense-id / CSR view of this network, built once and cached."""
+        if self._compiled is None:
+            self._compiled = CompiledNetwork.from_network(self)
+        return self._compiled
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,10 @@ Node = Hashable
 class RoundContext:
     """Per-node, per-round view handed to :meth:`NodeProgram.on_round`."""
 
+    # One instance per node per round -- slots keep the allocation cheap.
+    __slots__ = ("node", "neighbors", "round_number", "inbox", "outbox",
+                 "halted")
+
     def __init__(self, node: Node, neighbors: Tuple[Node, ...],
                  round_number: int, inbox: Tuple[Message, ...]):
         self.node = node

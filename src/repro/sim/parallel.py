@@ -1,0 +1,135 @@
+"""Process-parallel benchmark trials with deterministic seeding.
+
+Benchmark sweeps run many *independent* trials (one per parameter point
+or seed); nothing about the round simulator itself parallelizes, but the
+trials do, embarrassingly.  This module fans a measurement function over
+a process pool while keeping three guarantees the benchmark suite relies
+on:
+
+* **determinism** -- results are returned in submission order, and
+  :func:`derive_seed` gives every trial a seed that depends only on the
+  base seed and the trial's index, never on scheduling;
+* **picklability is the caller's only obligation** -- the measurement
+  must be a module-level function with picklable parameters (all the
+  ``benchmarks/bench_*.py`` measures already are);
+* **graceful fallback** -- on a single-core box, with ``max_workers=1``,
+  with ``REPRO_PARALLEL=0``, or when the platform cannot spawn a pool
+  (some sandboxes lack POSIX semaphores), trials run serially in-process
+  with identical results.
+
+:func:`parallel_sweep` is a drop-in for
+:func:`repro.analysis.experiments.sweep`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+Record = Dict[str, Any]
+Measure = Callable[..., Record]
+
+#: Environment switch: ``REPRO_PARALLEL=0`` forces the serial fallback,
+#: ``REPRO_PARALLEL=<k>`` caps the worker count.
+_ENV_WORKERS = "REPRO_PARALLEL"
+
+
+def derive_seed(base_seed: int, trial_index: int) -> int:
+    """A deterministic, well-mixed per-trial seed.
+
+    Hash-based (BLAKE2) rather than arithmetic so that nearby trial
+    indices do not produce correlated generator states, and stable across
+    platforms and Python versions (unlike ``hash``).
+    """
+    digest = hashlib.blake2b(
+        f"{base_seed}:{trial_index}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") & 0x7FFF_FFFF
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """The worker count to use: explicit arg, else env cap, else cores."""
+    if max_workers is not None:
+        return max(1, max_workers)
+    env = os.environ.get(_ENV_WORKERS)
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _call_measure(task):
+    """Top-level worker target (must be importable for pickling)."""
+    measure, params, timing = task
+    start = time.perf_counter()
+    record = measure(**params)
+    elapsed = time.perf_counter() - start
+    tagged: Record = dict(params)
+    tagged.update(record)
+    if timing:
+        tagged["wall_s"] = elapsed
+    return tagged
+
+
+def parallel_sweep(measure: Measure,
+                   params_list: Iterable[Mapping[str, Any]],
+                   max_workers: Optional[int] = None,
+                   timing: bool = False) -> List[Record]:
+    """Run ``measure(**params)`` for every parameter dict, across processes.
+
+    A drop-in replacement for :func:`repro.analysis.experiments.sweep`:
+    each record is the parameter dict updated with the measured record
+    (plus ``wall_s`` when ``timing``), in the order of ``params_list``.
+    """
+    tasks = [(measure, dict(params), timing) for params in params_list]
+    workers = min(resolve_workers(max_workers), max(1, len(tasks)))
+    if workers <= 1 or len(tasks) <= 1:
+        return [_call_measure(task) for task in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_call_measure, tasks))
+    except (ImportError, OSError, PermissionError):
+        # No usable process pool on this platform; results are identical
+        # either way, only wall-clock differs.
+        return [_call_measure(task) for task in tasks]
+
+
+def run_trials(measure: Callable[..., Any],
+               trials: int,
+               base_seed: int = 0,
+               max_workers: Optional[int] = None,
+               **common: Any) -> List[Any]:
+    """Run ``trials`` seeded repetitions of ``measure`` across processes.
+
+    Trial ``i`` is called as ``measure(seed=derive_seed(base_seed, i),
+    **common)``; results come back in trial order.  Use this for
+    repeated-trial benchmarks where :func:`parallel_sweep`'s grid shape
+    does not fit.
+    """
+    params_list = [
+        dict(common, seed=derive_seed(base_seed, i)) for i in range(trials)
+    ]
+    records = parallel_sweep(
+        _strip_record(measure), params_list, max_workers=max_workers
+    )
+    return [record["result"] for record in records]
+
+
+class _strip_record:
+    """Adapt an arbitrary-return measure to the record protocol.
+
+    A class (not a closure) so it pickles by reference to the wrapped
+    module-level function.
+    """
+
+    def __init__(self, measure: Callable[..., Any]):
+        self.measure = measure
+
+    def __call__(self, **params: Any) -> Record:
+        return {"result": self.measure(**params)}

@@ -15,11 +15,38 @@ The scheduler terminates when every node has halted and no messages are in
 flight, and charges the measured rounds/messages/bits to a
 :class:`~repro.sim.metrics.CostLedger` so that composed protocols share one
 meter.
+
+Two execution engines implement the same semantics:
+
+``fast`` (the default)
+    The production hot loop.  It compiles the topology once
+    (:meth:`~repro.sim.network.Network.compile`), keeps an explicit
+    active list instead of scanning every node each round, reuses a pair
+    of per-node inbox buffers instead of rebuilding ``{node: []}`` dicts,
+    skips per-message bandwidth calls entirely under
+    :class:`~repro.sim.congest.LocalModel`, and batches ledger
+    accumulation into one charge per run when no observer or stop oracle
+    needs per-round granularity.
+
+``reference``
+    The direct transcription of the model definition that the repository
+    started from.  It is kept as the executable specification: the
+    equivalence suite (``tests/sim/test_engine_equivalence.py``) runs
+    representative protocols through both engines and asserts identical
+    outputs, rounds, messages, and bit totals, and
+    ``benchmarks/bench_engine.py`` tracks the fast path's speedup over
+    it.
+
+Select an engine per call (``scheduler.run(engine="reference")``), per
+process (the ``REPRO_SIM_ENGINE`` environment variable), or temporarily
+for a whole protocol stack (:func:`use_engine`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+import os
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
 from .congest import BandwidthModel, LocalModel
 from .errors import NetworkError, RoundLimitExceeded, SchedulerError
@@ -32,6 +59,47 @@ Node = Hashable
 
 #: Safety net so buggy protocols fail loudly instead of spinning forever.
 DEFAULT_MAX_ROUNDS = 1_000_000
+
+#: The engines understood by :meth:`Scheduler.run`.
+ENGINES = ("fast", "reference")
+
+_default_engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
+
+
+def _validate_engine(name: str) -> str:
+    if name not in ENGINES:
+        raise SchedulerError(
+            f"unknown scheduler engine {name!r}; expected one of {ENGINES}"
+        )
+    return name
+
+
+def default_engine() -> str:
+    """The engine used when :meth:`Scheduler.run` gets ``engine=None``."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = _validate_engine(name)
+    return previous
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[None]:
+    """Temporarily force every scheduler run to use ``name``.
+
+    Lets benchmarks and equivalence tests push a whole protocol stack --
+    including nested :func:`run_protocol` calls deep inside compositions
+    -- onto one engine without threading a parameter everywhere.
+    """
+    previous = set_default_engine(name)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 class Scheduler:
@@ -63,14 +131,183 @@ class Scheduler:
         self.stop_when = stop_when
         self.rounds_executed = 0
 
-    def run(self, max_rounds: int = DEFAULT_MAX_ROUNDS) -> CostLedger:
-        """Run to quiescence; returns the ledger for convenience."""
+    def run(self, max_rounds: int = DEFAULT_MAX_ROUNDS,
+            engine: Optional[str] = None) -> CostLedger:
+        """Run to quiescence; returns the ledger for convenience.
+
+        ``engine`` selects the execution path (``"fast"`` or
+        ``"reference"``); ``None`` uses the process default (normally
+        ``"fast"``, overridable via ``REPRO_SIM_ENGINE`` or
+        :func:`use_engine`).  Both engines implement identical semantics.
+        """
+        name = _validate_engine(engine if engine is not None
+                                else _default_engine)
+        if name == "reference":
+            return self._run_reference(max_rounds)
+        return self._run_fast(max_rounds)
+
+    # ------------------------------------------------------------------
+    # Fast engine
+    # ------------------------------------------------------------------
+    def _run_fast(self, max_rounds: int) -> CostLedger:
+        compiled = self.network.compile()
+        n = compiled.n
+        order = compiled.order
+        index = compiled.index
+        neighbor_objects = compiled.neighbor_objects
+        neighbor_sets = compiled.neighbor_sets
+        programs = [self.programs[node] for node in order]
+        has_edge = self.network.has_edge
+
+        observer = self.observer
+        stop_when = self.stop_when
+        ledger = self.ledger
+        # LocalModel accepts everything; skip the per-message call.
+        bandwidth = self.bandwidth
+        check = None if type(bandwidth) is LocalModel else bandwidth.check
+
+        # Double-buffered per-node inboxes, allocated once.  ``touched``
+        # lists the ids whose buffer is non-empty so end-of-round cleanup
+        # is O(deliveries), not O(n).
+        inboxes: List[List[Message]] = [[] for _ in range(n)]
+        pending: List[List[Message]] = [[] for _ in range(n)]
+        inbox_touched: List[int] = []
+        pending_touched: List[int] = []
+        pending_count = 0
+
+        # Dense ids of non-halted nodes, kept in network order so message
+        # buffers fill in the same order as the reference engine.
+        active: List[int] = list(range(n))
+
+        # With no per-round consumers, whole-run totals are charged in one
+        # batch; otherwise the ledger advances round by round (an observer
+        # or oracle may read it between rounds).
+        batch = observer is None and stop_when is None
+        batch_rounds = 0
+        batch_messages = 0
+        batch_bits = 0
+        batch_max_bits = 0
+
+        round_number = 0
+        try:
+            while active or pending_count:
+                if round_number >= max_rounds:
+                    raise RoundLimitExceeded(max_rounds, len(active))
+                round_number += 1
+
+                # Last round's sends become this round's inboxes; the
+                # drained buffers are reused for this round's sends.
+                inboxes, pending = pending, inboxes
+                inbox_touched, pending_touched = pending_touched, inbox_touched
+                pending_count = 0
+
+                round_messages = 0
+                round_bits = 0
+                round_max_bits = 0
+                sent_this_round: Optional[List[Message]] = (
+                    [] if observer is not None else None
+                )
+                halted_this_round: List[Node] = []
+                next_active: List[int] = []
+
+                for i in active:
+                    node = order[i]
+                    delivered = inboxes[i]
+                    ctx = RoundContext(
+                        node=node,
+                        neighbors=neighbor_objects[i],
+                        round_number=round_number,
+                        inbox=tuple(delivered) if delivered else (),
+                    )
+                    programs[i].on_round(ctx)
+                    if not ctx.outbox:
+                        if ctx.halted:
+                            halted_this_round.append(node)
+                        else:
+                            next_active.append(i)
+                        continue
+                    sender_neighbors = neighbor_sets[i]
+                    for message in ctx.outbox:
+                        # ctx.send stamps the node itself as sender; only
+                        # hand-built envelopes take the general check.
+                        if not (message.sender is node
+                                and message.receiver in sender_neighbors) \
+                                and not has_edge(message.sender,
+                                                 message.receiver):
+                            raise NetworkError(
+                                f"{message.sender!r} tried to message "
+                                f"non-neighbor {message.receiver!r}"
+                            )
+                        if check is not None:
+                            check(message)
+                        receiver_id = index[message.receiver]
+                        box = pending[receiver_id]
+                        if not box:
+                            pending_touched.append(receiver_id)
+                        box.append(message)
+                        pending_count += 1
+                        round_messages += 1
+                        bits = message.size_bits
+                        round_bits += bits
+                        if bits > round_max_bits:
+                            round_max_bits = bits
+                        if sent_this_round is not None:
+                            sent_this_round.append(message)
+                    if ctx.halted:
+                        halted_this_round.append(node)
+                    else:
+                        next_active.append(i)
+                active = next_active
+
+                # Drop consumed inboxes (including late messages to nodes
+                # that halted; as in the reference engine they are counted,
+                # trigger one more round, and are never delivered).
+                for i in inbox_touched:
+                    inboxes[i].clear()
+                del inbox_touched[:]
+
+                if batch:
+                    batch_rounds += 1
+                    batch_messages += round_messages
+                    batch_bits += round_bits
+                    if round_max_bits > batch_max_bits:
+                        batch_max_bits = round_max_bits
+                else:
+                    ledger.charge_round(
+                        messages=round_messages,
+                        bits=round_bits,
+                        max_message_bits=round_max_bits,
+                    )
+                    if observer is not None:
+                        observer.on_round(
+                            round_number, sent_this_round, halted_this_round
+                        )
+                    if stop_when is not None and stop_when(self.programs):
+                        break
+        finally:
+            # Completed rounds are charged even when a program or check
+            # raises mid-run, exactly as the reference engine does.
+            if batch_rounds:
+                ledger.charge_batch(
+                    batch_rounds,
+                    messages=batch_messages,
+                    bits=batch_bits,
+                    max_message_bits=batch_max_bits,
+                )
+        self.rounds_executed = round_number
+        return ledger
+
+    # ------------------------------------------------------------------
+    # Reference engine
+    # ------------------------------------------------------------------
+    def _run_reference(self, max_rounds: int) -> CostLedger:
+        """The seed scheduler loop, kept as the executable specification."""
         halted: Dict[Node, bool] = {node: False for node in self.network}
         pending: Dict[Node, List[Message]] = {node: [] for node in self.network}
+        in_flight = 0
         round_number = 0
         while True:
             active = [node for node in self.network if not halted[node]]
-            in_flight = any(pending[node] for node in self.network)
             if not active and not in_flight:
                 break
             if round_number >= max_rounds:
@@ -79,6 +316,7 @@ class Scheduler:
 
             inboxes = pending
             pending = {node: [] for node in self.network}
+            in_flight = 0
             round_messages = 0
             round_bits = 0
             round_max_bits = 0
@@ -87,10 +325,8 @@ class Scheduler:
 
             for node in self.network:
                 if halted[node]:
-                    if inboxes[node]:
-                        # Late messages to a halted node are dropped; the
-                        # protocols in this repo never rely on them.
-                        continue
+                    # Late messages to a halted node are dropped; the
+                    # protocols in this repo never rely on them.
                     continue
                 ctx = RoundContext(
                     node=node,
@@ -107,6 +343,7 @@ class Scheduler:
                         )
                     self.bandwidth.check(message)
                     pending[message.receiver].append(message)
+                    in_flight += 1
                     round_messages += 1
                     bits = message.size_bits
                     round_bits += bits
@@ -142,12 +379,13 @@ def run_protocol(network: Network,
                  bandwidth: Optional[BandwidthModel] = None,
                  ledger: Optional[CostLedger] = None,
                  max_rounds: int = DEFAULT_MAX_ROUNDS,
-                 stop_when=None
+                 stop_when=None,
+                 engine: Optional[str] = None
                  ) -> Tuple[Dict[Node, object], CostLedger]:
     """Convenience wrapper: run to quiescence and return (outputs, ledger)."""
     scheduler = Scheduler(
         network, programs, bandwidth=bandwidth, ledger=ledger,
         stop_when=stop_when,
     )
-    scheduler.run(max_rounds=max_rounds)
+    scheduler.run(max_rounds=max_rounds, engine=engine)
     return scheduler.outputs(), scheduler.ledger

@@ -1,0 +1,220 @@
+"""Fast engine vs reference engine: byte-identical behavior.
+
+The fast scheduler path (compiled topology, active-set scheduling,
+buffer reuse, batched ledger charging) must be observationally identical
+to the reference transcription of the model.  These tests run
+representative protocols -- Two-Sweep (Algorithm 1), Linial's coloring,
+the greedy arbdefective sweep, and the seeded randomized baseline --
+over random topologies through both engines and assert equal node
+outputs, rounds, messages, bit totals, max message size, and per-phase
+breakdowns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring import (
+    random_arbdefective_instance,
+    random_oldc_instance,
+)
+from repro.core import two_sweep
+from repro.graphs import (
+    binary_tree,
+    complete_graph,
+    gnp_graph,
+    orient_by_id,
+    random_bounded_degree_graph,
+    sequential_ids,
+)
+from repro.sim import (
+    CongestModel,
+    CostLedger,
+    NodeProgram,
+    RoundObserver,
+    Scheduler,
+    SchedulerError,
+    default_engine,
+    run_protocol,
+    set_default_engine,
+    use_engine,
+)
+from repro.substrates import (
+    greedy_arbdefective_sweep,
+    linial_coloring,
+    randomized_delta_plus_one,
+)
+
+
+def _ledger_state(ledger: CostLedger):
+    return (
+        ledger.rounds,
+        ledger.messages,
+        ledger.bits,
+        ledger.max_message_bits,
+        {
+            name: (stats.rounds, stats.messages, stats.bits,
+                   stats.max_message_bits, stats.invocations)
+            for name, stats in ledger.phases.items()
+        },
+    )
+
+
+TOPOLOGIES = {
+    "gnp": lambda seed: gnp_graph(60, 0.1, seed=seed),
+    "tree": lambda seed: binary_tree(5),
+    "clique": lambda seed: complete_graph(12),
+    "bounded": lambda seed: random_bounded_degree_graph(70, 5, seed=seed),
+}
+
+
+def run_two_sweep(network):
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=2, seed=17)
+    ledger = CostLedger()
+    result = two_sweep(
+        instance, sequential_ids(network), len(network), 2, ledger=ledger
+    )
+    return result.colors, ledger
+
+
+def run_linial(network):
+    ledger = CostLedger()
+    colors, palette = linial_coloring(
+        network, sequential_ids(network), len(network), ledger=ledger
+    )
+    return (colors, palette), ledger
+
+
+def run_greedy_sweep(network):
+    instance = random_arbdefective_instance(
+        network, slack=1.5, seed=23,
+        color_space_size=max(8, network.raw_max_degree() + 2),
+    )
+    ledger = CostLedger()
+    result = greedy_arbdefective_sweep(
+        instance, sequential_ids(network), len(network), ledger=ledger
+    )
+    return (result.colors, result.orientation), ledger
+
+
+def run_randomized(network):
+    ledger = CostLedger()
+    result = randomized_delta_plus_one(network, seed=31, ledger=ledger)
+    return result.colors, ledger
+
+
+PROTOCOLS = {
+    "two_sweep": run_two_sweep,
+    "linial": run_linial,
+    "greedy_sweep": run_greedy_sweep,
+    "randomized": run_randomized,
+}
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_engines_agree(protocol, topology):
+    build = TOPOLOGIES[topology]
+    run = PROTOCOLS[protocol]
+    with use_engine("reference"):
+        ref_out, ref_ledger = run(build(seed=5))
+    with use_engine("fast"):
+        fast_out, fast_ledger = run(build(seed=5))
+    assert fast_out == ref_out
+    assert _ledger_state(fast_ledger) == _ledger_state(ref_ledger)
+
+
+class _EchoHalt(NodeProgram):
+    """Broadcast once, record round-2 inbox, halt."""
+
+    def __init__(self, node):
+        self.node = node
+        self.heard = ()
+
+    def on_round(self, ctx):
+        if ctx.round_number == 1:
+            ctx.broadcast("id", self.node)
+            return
+        self.heard = tuple(
+            (message.sender, message.payload) for message in ctx.inbox
+        )
+        ctx.halt()
+
+    def output(self):
+        return self.heard
+
+
+def test_inbox_order_matches_reference():
+    """Message delivery order inside an inbox is engine-independent."""
+    network = gnp_graph(40, 0.2, seed=9)
+    results = {}
+    for engine in ("reference", "fast"):
+        programs = {node: _EchoHalt(node) for node in network}
+        outputs, _ = run_protocol(network, programs, engine=engine)
+        results[engine] = outputs
+    assert results["fast"] == results["reference"]
+
+
+def test_observer_sees_identical_records():
+    network = gnp_graph(25, 0.2, seed=3)
+    records = {}
+    for engine in ("reference", "fast"):
+        programs = {node: _EchoHalt(node) for node in network}
+        observer = RoundObserver()
+        scheduler = Scheduler(network, programs, observer=observer)
+        scheduler.run(engine=engine)
+        records[engine] = observer.records
+    assert records["fast"] == records["reference"]
+
+
+def test_congest_model_equivalent():
+    network = gnp_graph(30, 0.15, seed=7)
+    states = {}
+    for engine in ("reference", "fast"):
+        programs = {node: _EchoHalt(node) for node in network}
+        ledger = CostLedger()
+        run_protocol(
+            network, programs, bandwidth=CongestModel(len(network)),
+            ledger=ledger, engine=engine,
+        )
+        states[engine] = _ledger_state(ledger)
+    assert states["fast"] == states["reference"]
+
+
+def test_late_messages_to_halted_nodes_match():
+    """Dropped-late-message semantics (and their extra round) agree."""
+
+    class SendThenHalt(NodeProgram):
+        def on_round(self, ctx):
+            ctx.broadcast("x", 1)
+            ctx.halt()
+
+    class HaltNow(NodeProgram):
+        def on_round(self, ctx):
+            ctx.halt()
+
+    rounds = {}
+    for engine in ("reference", "fast"):
+        network = complete_graph(2)
+        programs = {0: HaltNow(), 1: SendThenHalt()}
+        _, ledger = run_protocol(network, programs, engine=engine)
+        rounds[engine] = ledger.rounds
+    assert rounds["fast"] == rounds["reference"] == 2
+
+
+def test_unknown_engine_rejected():
+    network = complete_graph(2)
+    programs = {node: _EchoHalt(node) for node in network}
+    scheduler = Scheduler(network, programs)
+    with pytest.raises(SchedulerError):
+        scheduler.run(engine="warp")
+    with pytest.raises(SchedulerError):
+        set_default_engine("warp")
+
+
+def test_use_engine_restores_default():
+    before = default_engine()
+    with use_engine("reference"):
+        assert default_engine() == "reference"
+    assert default_engine() == before

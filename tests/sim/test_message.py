@@ -80,3 +80,28 @@ class TestMessage:
         message = Message("a", "b", "tag")
         with pytest.raises(AttributeError):
             message.payload = 42
+
+
+class TestSizeBitsMemoization:
+    def test_memoized_matches_fresh_estimate(self):
+        payloads = [None, True, 7, -3, "abc", [1, (2, 3)], {4: "x"},
+                    frozenset({5, 6})]
+        for payload in payloads:
+            message = Message("a", "b", "tag", payload=payload)
+            first = message.size_bits
+            assert first == payload_bits(payload)
+            # Second access serves the cache and must agree.
+            assert message.size_bits == first
+            assert message._size_cache == first
+
+    def test_declared_bits_bypass_cache(self):
+        message = Message("a", "b", "tag", payload=[1] * 50, bits=9)
+        assert message.size_bits == 9
+        assert message._size_cache is None
+
+    def test_cache_excluded_from_equality(self):
+        left = Message("a", "b", "tag", payload=11)
+        right = Message("a", "b", "tag", payload=11)
+        assert left.size_bits == right.size_bits
+        _ = left.size_bits  # populate only one cache
+        assert left == right

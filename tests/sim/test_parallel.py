@@ -1,0 +1,97 @@
+"""Tests for the process-parallel trial runner."""
+
+from __future__ import annotations
+
+from repro.analysis import grid, sweep
+from repro.sim.parallel import (
+    derive_seed,
+    parallel_sweep,
+    resolve_workers,
+    run_trials,
+)
+
+
+def measure_square(n: int, offset: int = 0) -> dict:
+    """Module-level so it pickles into worker processes."""
+    return {"square": n * n + offset}
+
+
+def measure_seeded(seed: int, scale: int = 1) -> int:
+    return seed * scale
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+
+    def test_distinct_per_trial(self):
+        seeds = {derive_seed(0, i) for i in range(200)}
+        assert len(seeds) == 200
+
+    def test_distinct_per_base(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_non_negative_31_bit(self):
+        for i in range(50):
+            assert 0 <= derive_seed(123, i) < 2 ** 31
+
+
+class TestParallelSweep:
+    def test_matches_serial_sweep(self):
+        params = grid(n=[1, 2, 3, 4], offset=[0, 10])
+        serial = sweep(measure_square, params)
+        parallel = parallel_sweep(measure_square, params, max_workers=2)
+        assert parallel == serial
+
+    def test_order_preserved(self):
+        params = [{"n": n} for n in (5, 1, 3)]
+        records = parallel_sweep(measure_square, params, max_workers=2)
+        assert [record["n"] for record in records] == [5, 1, 3]
+
+    def test_serial_fallback(self):
+        records = parallel_sweep(
+            measure_square, [{"n": 6}], max_workers=1
+        )
+        assert records == [{"n": 6, "square": 36}]
+
+    def test_timing_flag(self):
+        records = parallel_sweep(
+            measure_square, [{"n": 2}], max_workers=1, timing=True
+        )
+        assert records[0]["wall_s"] >= 0
+
+    def test_env_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        records = parallel_sweep(measure_square, grid(n=[1, 2]))
+        assert [record["square"] for record in records] == [1, 4]
+
+
+class TestRunTrials:
+    def test_deterministic_and_seeded(self):
+        first = run_trials(measure_seeded, 5, base_seed=9, max_workers=1)
+        second = run_trials(measure_seeded, 5, base_seed=9, max_workers=2)
+        assert first == second
+        assert first == [derive_seed(9, i) for i in range(5)]
+
+    def test_common_kwargs_forwarded(self):
+        results = run_trials(
+            measure_seeded, 3, base_seed=4, max_workers=1, scale=2
+        )
+        assert results == [2 * derive_seed(4, i) for i in range(3)]
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        assert resolve_workers() == 2
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        assert resolve_workers() >= 1
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1

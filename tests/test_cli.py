@@ -57,6 +57,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PODC 2024" in out
 
+    def test_profile_wraps_command(self, capsys):
+        assert main(["--profile", "two-sweep", "--n", "16", "--p", "2",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    def test_profile_preserves_exit_status(self, capsys):
+        assert main(["--profile", "edge-coloring", "--n", "6",
+                     "--density", "0.0", "--seed", "5"]) == 1
+
     def test_module_entry_point(self):
         import subprocess
         import sys
