@@ -15,7 +15,18 @@ execution engines of :class:`repro.sim.Scheduler`:
   active and chatty, measuring per-message overhead (bit accounting,
   bandwidth hooks);
 * ``clique_exchange`` -- all-to-all broadcast on a clique: the densest
-  message pattern per round.
+  message pattern per round;
+* ``linial_algebraic`` -- the repository's real Linial coloring on a
+  G(n,p), exercising the algebraic recoloring substrate (and its
+  process-level caches) end to end;
+* ``star_fanout`` -- flooding on a star: one node broadcasts to n-1
+  neighbors every round, the worst case for per-copy delivery overhead
+  and the best case for shared broadcast envelopes.
+
+Per (workload, engine) the harness reports the *best* of ``REPEATS``
+interleaved runs (the usual low-noise estimator) together with the
+population stddev of the repeats, so a noisy box is visible in the data
+instead of silently inflating a speedup.
 
 Every run's (rounds, messages, bits) fingerprint is compared across
 engines, so the benchmark doubles as an end-to-end equivalence check.
@@ -34,6 +45,7 @@ import argparse
 import json
 import pathlib
 import platform
+import statistics
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -41,9 +53,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
 from repro.coloring import random_arbdefective_instance
-from repro.graphs import binary_tree, complete_graph, gnp_graph, sequential_ids
+from repro.graphs import (
+    binary_tree,
+    complete_graph,
+    gnp_graph,
+    sequential_ids,
+    star_graph,
+)
 from repro.sim import CostLedger, Network, NodeProgram, Scheduler, use_engine
-from repro.substrates import greedy_arbdefective_sweep
+from repro.substrates import greedy_arbdefective_sweep, linial_coloring
 
 from _util import emit
 
@@ -151,11 +169,37 @@ def workload_clique_exchange(n: int, engine: Optional[str]):
     return _run_scheduler(network, programs, engine) + (network,)
 
 
+def workload_linial_algebraic(n: int, engine: Optional[str]):
+    # Linial needs q >> Delta^2 to make progress, so run it where it
+    # belongs: a bounded-degree graph colored by unique ids.  One pass is
+    # only O(log* q) rounds, so repeat it -- which is also exactly the
+    # shape the substrate caches (schedules, polynomial families) serve.
+    network = binary_tree(max(3, n.bit_length() - 1))
+    ids = sequential_ids(network)
+    reps = max(3, n // 100)
+    ledger = CostLedger()
+    with use_engine(engine or "fast"):
+        for _ in range(reps):
+            colors, _ = linial_coloring(
+                network, ids, len(network), ledger=ledger
+            )
+    return colors, ledger, network
+
+
+def workload_star_fanout(n: int, engine: Optional[str]):
+    network = star_graph(max(7, n - 1))
+    rounds = max(20, min(400, n // 4))
+    programs = {node: _Flooder(node, rounds) for node in network}
+    return _run_scheduler(network, programs, engine) + (network,)
+
+
 WORKLOADS = [
     ("gnp_stragglers", workload_gnp_stragglers),
     ("gnp_greedy_sweep", workload_gnp_greedy_sweep),
     ("tree_flood", workload_tree_flood),
     ("clique_exchange", workload_clique_exchange),
+    ("linial_algebraic", workload_linial_algebraic),
+    ("star_fanout", workload_star_fanout),
 ]
 
 
@@ -175,20 +219,23 @@ def run_benchmark(n: int, smoke: bool) -> Dict:
     rows: List[Dict] = []
     for name, factory in WORKLOADS:
         # Interleave the engines so clock drift hits both equally;
-        # best-of-REPEATS per engine.
-        ref_s = fast_s = None
+        # best-of-REPEATS per engine, stddev reported alongside.
+        ref_times: List[float] = []
+        fast_times: List[float] = []
         for _ in range(REPEATS):
             elapsed, ref_fp, ref_out, network = _time_once(
                 factory, n, "reference"
             )
-            ref_s = elapsed if ref_s is None else min(ref_s, elapsed)
+            ref_times.append(elapsed)
             elapsed, fast_fp, fast_out, _ = _time_once(factory, n, "fast")
-            fast_s = elapsed if fast_s is None else min(fast_s, elapsed)
+            fast_times.append(elapsed)
         if ref_fp != fast_fp or ref_out != fast_out:
             raise AssertionError(
                 f"engine mismatch on {name}: reference {ref_fp} "
                 f"vs fast {fast_fp}"
             )
+        ref_s = min(ref_times)
+        fast_s = min(fast_times)
         rows.append({
             "workload": name,
             "n": len(network),
@@ -197,7 +244,9 @@ def run_benchmark(n: int, smoke: bool) -> Dict:
             "messages": ref_fp[1],
             "bits": ref_fp[2],
             "reference_s": round(ref_s, 6),
+            "reference_stddev_s": round(statistics.pstdev(ref_times), 6),
             "fast_s": round(fast_s, 6),
+            "fast_stddev_s": round(statistics.pstdev(fast_times), 6),
             "speedup": round(ref_s / fast_s, 3) if fast_s > 0 else None,
         })
     headline = next(row for row in rows if row["workload"] == HEADLINE)
@@ -219,15 +268,18 @@ def run_benchmark(n: int, smoke: bool) -> Dict:
 def _render(report: Dict) -> str:
     lines = [
         "BENCH_engine: fast scheduler engine vs reference "
-        f"(scale n={report['workload_scale_n']}, smoke={report['smoke']})",
+        f"(scale n={report['workload_scale_n']}, smoke={report['smoke']}, "
+        f"best of {report['repeats']} with stddev)",
         f"{'workload':<18} {'n':>6} {'m':>8} {'rounds':>7} "
-        f"{'messages':>10} {'ref_s':>9} {'fast_s':>9} {'speedup':>8}",
+        f"{'messages':>10} {'ref_s':>9} {'±sd':>7} "
+        f"{'fast_s':>9} {'±sd':>7} {'speedup':>8}",
     ]
     for row in report["workloads"]:
         lines.append(
             f"{row['workload']:<18} {row['n']:>6} {row['m']:>8} "
             f"{row['rounds']:>7} {row['messages']:>10} "
-            f"{row['reference_s']:>9.4f} {row['fast_s']:>9.4f} "
+            f"{row['reference_s']:>9.4f} {row['reference_stddev_s']:>7.4f} "
+            f"{row['fast_s']:>9.4f} {row['fast_stddev_s']:>7.4f} "
             f"{row['speedup']:>7.2f}x"
         )
     lines.append(

@@ -12,7 +12,15 @@ from .errors import (
     SchedulerError,
     SimulationError,
 )
-from .message import Message, color_bits, int_bits, payload_bits
+from .message import (
+    Broadcast,
+    Message,
+    clear_payload_memo,
+    color_bits,
+    int_bits,
+    intern_payload,
+    payload_bits,
+)
 from .metrics import CostLedger, PhaseStats, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
@@ -32,6 +40,7 @@ __all__ = [
     "AlgorithmFailure",
     "BandwidthExceeded",
     "BandwidthModel",
+    "Broadcast",
     "CompiledNetwork",
     "CongestModel",
     "CostLedger",
@@ -52,11 +61,13 @@ __all__ = [
     "Scheduler",
     "SchedulerError",
     "SimulationError",
+    "clear_payload_memo",
     "color_bits",
     "default_engine",
     "derive_seed",
     "ensure_ledger",
     "int_bits",
+    "intern_payload",
     "parallel_sweep",
     "payload_bits",
     "run_protocol",

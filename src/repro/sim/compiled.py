@@ -44,6 +44,7 @@ class CompiledNetwork:
         "degrees",
         "neighbor_objects",
         "neighbor_sets",
+        "neighbor_id_tuples",
     )
 
     def __init__(self, order: Tuple[Node, ...], index: Dict[Node, int],
@@ -62,6 +63,13 @@ class CompiledNetwork:
         )
         self.neighbor_objects = neighbor_objects
         self.neighbor_sets = neighbor_sets
+        #: Per-node CSR rows materialized as tuples of plain ints: the
+        #: scheduler's broadcast fan-out iterates a node's full neighbor
+        #: row every time, and tuple iteration beats repeated ``array``
+        #: indexing on that hot path.
+        self.neighbor_id_tuples = tuple(
+            tuple(indices[indptr[i]:indptr[i + 1]]) for i in range(self.n)
+        )
 
     # ------------------------------------------------------------------
     # Construction

@@ -25,6 +25,18 @@ class BandwidthModel:
         """Raise :class:`BandwidthExceeded` if the message is too large."""
         raise NotImplementedError
 
+    def check_fanout(self, envelope, copies: int) -> None:
+        """Validate a broadcast envelope fanned out ``copies`` times.
+
+        Every copy of a broadcast is bit-identical, so one budget check
+        stands for all of them: this is exactly equivalent to calling
+        :meth:`check` once per copy (as the reference engine does), but
+        O(1) instead of O(degree).  ``copies == 0`` sends nothing and
+        therefore checks nothing.
+        """
+        if copies > 0:
+            self.check(envelope)
+
     def budget_bits(self) -> Optional[int]:
         """The per-edge per-round budget, or ``None`` if unbounded."""
         raise NotImplementedError

@@ -43,9 +43,11 @@ class BandwidthExceeded(SimulationError):
         self.budget = budget
         self.sender = sender
         self.receiver = receiver
+        # Broadcast envelopes have no single receiver (receiver is None).
+        target = "all neighbors" if receiver is None else repr(receiver)
         super().__init__(
             f"CONGEST violation: message of {bits} bits from {sender!r} to "
-            f"{receiver!r} exceeds the {budget}-bit per-edge round budget"
+            f"{target} exceeds the {budget}-bit per-edge round budget"
         )
 
 

@@ -15,11 +15,79 @@ fallback for payloads that do not declare a size.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 #: Bits charged per sequence for its length header.
 _LENGTH_HEADER_BITS = 8
+
+#: ``REPRO_SIM_CACHE=0`` disables every process-level memo table in the
+#: repository (this module's payload tables and the substrate caches in
+#: :mod:`repro.substrates.cache`).  Read once at import: the knob selects
+#: a process configuration, not a per-call mode.
+CACHE_ENV = "REPRO_SIM_CACHE"
+
+_memo_enabled = os.environ.get(CACHE_ENV, "1") != "0"
+
+#: Safety valve so pathological workloads (millions of distinct payloads)
+#: cannot grow the memo tables without bound.
+_MEMO_LIMIT = 1 << 16
+
+#: ``(type, value) -> bits`` for hashable payloads.  Keyed by type as
+#: well as value because ``True == 1`` but costs a different number of
+#: bits than the integer it compares equal to.
+_payload_bits_memo: Dict[Tuple[type, Any], int] = {}
+
+#: ``(type, value) -> canonical object`` interning table; see
+#: :func:`intern_payload`.
+_intern_table: Dict[Tuple[type, Any], Any] = {}
+
+
+def payload_memo_enabled() -> bool:
+    """Whether the payload memo/interning tables are active."""
+    return _memo_enabled
+
+
+def set_payload_memo_enabled(enabled: bool) -> bool:
+    """Toggle the memo tables (tests only); returns the previous state."""
+    global _memo_enabled
+    previous = _memo_enabled
+    _memo_enabled = bool(enabled)
+    if not enabled:
+        clear_payload_memo()
+    return previous
+
+
+def clear_payload_memo() -> None:
+    """Drop every memoized payload size and interned payload."""
+    _payload_bits_memo.clear()
+    _intern_table.clear()
+
+
+def intern_payload(payload: Any) -> Any:
+    """Return a canonical instance of ``payload`` when it is hashable.
+
+    Protocols send the same few payloads over and over (a color, a small
+    tuple of colors, a defect value); interning maps every structurally
+    equal payload to one shared object so downstream identity-based
+    caches -- the :func:`payload_bits` memo, envelope size caches --
+    stay warm across senders, rounds, and trials.  Unhashable payloads
+    are returned unchanged.
+    """
+    if payload is None or not _memo_enabled:
+        return payload
+    try:
+        key = (payload.__class__, payload)
+        cached = _intern_table.get(key)
+        if cached is not None:
+            return cached
+        if len(_intern_table) >= _MEMO_LIMIT:
+            _intern_table.clear()
+        _intern_table[key] = payload
+    except TypeError:  # unhashable: lists, dicts, sets
+        pass
+    return payload
 
 
 def int_bits(value: int) -> int:
@@ -46,7 +114,33 @@ def payload_bits(payload: Any) -> int:
     Supports ``None``, ``bool``, ``int``, ``str``, and (nested) sequences,
     sets and dicts of those.  Unknown objects are charged a conservative
     64 bits so forgetting to declare a size never *under*-counts by much.
+
+    Hashable payloads are memoized process-wide (disable with
+    ``REPRO_SIM_CACHE=0``): broadcast-heavy protocols re-send the same
+    colors and defect vectors every round, so each distinct payload is
+    sized exactly once.
     """
+    if payload is None:
+        return 0
+    if _memo_enabled:
+        try:
+            key = (payload.__class__, payload)
+            cached = _payload_bits_memo.get(key)
+            if cached is not None:
+                return cached
+        except TypeError:  # unhashable: estimate without the memo
+            key = None
+        bits = _estimate_payload_bits(payload)
+        if key is not None:
+            if len(_payload_bits_memo) >= _MEMO_LIMIT:
+                _payload_bits_memo.clear()
+            _payload_bits_memo[key] = bits
+        return bits
+    return _estimate_payload_bits(payload)
+
+
+def _estimate_payload_bits(payload: Any) -> int:
+    """The raw (memo-free) information-theoretic estimator."""
     if payload is None:
         return 0
     if isinstance(payload, bool):
@@ -107,3 +201,63 @@ class Message:
             cached = payload_bits(self.payload)
             object.__setattr__(self, "_size_cache", cached)
         return cached
+
+
+class Broadcast:
+    """One shared envelope for a same-payload send to every neighbor.
+
+    :meth:`RoundContext.broadcast` queues a single ``Broadcast`` instead
+    of one :class:`Message` per neighbor; the scheduler fans it out to
+    each of the sender's neighbors *by reference*.  Semantically it is
+    exactly equivalent to ``degree`` identical point-to-point messages:
+    each copy is charged to the ledger and checked against the bandwidth
+    model, and each receiver finds the envelope in its inbox with the
+    usual ``sender`` / ``tag`` / ``payload`` fields.
+
+    Because every copy is identical, accounting is analytic (``count *
+    size_bits`` bits, one bandwidth check stands for all copies) and no
+    per-edge allocation happens on the fast engine's hot path.  One
+    envelope is constructed per *broadcast call*, so construction itself
+    is on the hot path: a plain ``__slots__`` class (read-only by the
+    same convention as payloads) beats a frozen dataclass here.
+
+    ``receiver`` is ``None``: an inbox consumer is, by construction, the
+    receiver of every envelope it reads.
+    """
+
+    __slots__ = ("sender", "tag", "payload", "bits", "_size_cache")
+
+    #: Broadcast envelopes have no single receiver; kept as a class
+    #: attribute so bandwidth errors can format uniformly.
+    receiver = None
+
+    def __init__(self, sender: Hashable, tag: str, payload: Any = None,
+                 bits: Optional[int] = None):
+        self.sender = sender
+        self.tag = tag
+        self.payload = payload
+        self.bits = bits
+        self._size_cache = bits
+
+    @property
+    def size_bits(self) -> int:
+        """Per-copy size charged against the CONGEST budget."""
+        cached = self._size_cache
+        if cached is None:
+            cached = self._size_cache = payload_bits(self.payload)
+        return cached
+
+    def __eq__(self, other: Any) -> bool:
+        # Mirrors Message equality: declared bits and size caches are
+        # transport metadata, not message content.
+        if other.__class__ is not Broadcast:
+            return NotImplemented
+        return (self.sender == other.sender and self.tag == other.tag
+                and self.payload == other.payload)
+
+    def __hash__(self) -> int:
+        return hash((Broadcast, self.sender, self.tag, self.payload))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Broadcast(sender={self.sender!r}, tag={self.tag!r}, "
+                f"payload={self.payload!r}, bits={self.bits!r})")

@@ -27,6 +27,9 @@ class PhaseStats:
     bits: int = 0
     max_message_bits: int = 0
     invocations: int = 0
+    #: Broadcast envelopes fanned out (each already counted in
+    #: ``messages`` once per delivered copy).
+    broadcasts: int = 0
 
 
 class CostLedger:
@@ -37,6 +40,10 @@ class CostLedger:
         self.messages = 0
         self.bits = 0
         self.max_message_bits = 0
+        #: Broadcast envelopes fanned out; the delivered copies are part
+        #: of ``messages``/``bits``, so this tracks *how* traffic was
+        #: produced, not extra traffic.
+        self.broadcasts = 0
         self.phases: Dict[str, PhaseStats] = {}
         self._phase_stack: List[str] = []
 
@@ -44,11 +51,12 @@ class CostLedger:
     # Charging
     # ------------------------------------------------------------------
     def charge_round(self, messages: int = 0, bits: int = 0,
-                     max_message_bits: int = 0) -> None:
+                     max_message_bits: int = 0, broadcasts: int = 0) -> None:
         """Record one synchronous round with the given message totals."""
         self.rounds += 1
         self.messages += messages
         self.bits += bits
+        self.broadcasts += broadcasts
         if max_message_bits > self.max_message_bits:
             self.max_message_bits = max_message_bits
         for name in self._phase_stack:
@@ -56,11 +64,12 @@ class CostLedger:
             stats.rounds += 1
             stats.messages += messages
             stats.bits += bits
+            stats.broadcasts += broadcasts
             if max_message_bits > stats.max_message_bits:
                 stats.max_message_bits = max_message_bits
 
     def charge_batch(self, rounds: int, messages: int = 0, bits: int = 0,
-                     max_message_bits: int = 0) -> None:
+                     max_message_bits: int = 0, broadcasts: int = 0) -> None:
         """Record ``rounds`` synchronous rounds in one update.
 
         Equivalent to ``rounds`` calls of :meth:`charge_round` whose
@@ -75,6 +84,7 @@ class CostLedger:
         self.rounds += rounds
         self.messages += messages
         self.bits += bits
+        self.broadcasts += broadcasts
         if max_message_bits > self.max_message_bits:
             self.max_message_bits = max_message_bits
         for name in self._phase_stack:
@@ -82,6 +92,7 @@ class CostLedger:
             stats.rounds += rounds
             stats.messages += messages
             stats.bits += bits
+            stats.broadcasts += broadcasts
             if max_message_bits > stats.max_message_bits:
                 stats.max_message_bits = max_message_bits
 
@@ -116,6 +127,7 @@ class CostLedger:
         self.rounds += other.rounds
         self.messages += other.messages
         self.bits += other.bits
+        self.broadcasts += other.broadcasts
         if other.max_message_bits > self.max_message_bits:
             self.max_message_bits = other.max_message_bits
         for name, stats in other.phases.items():
@@ -123,6 +135,7 @@ class CostLedger:
             mine.rounds += stats.rounds
             mine.messages += stats.messages
             mine.bits += stats.bits
+            mine.broadcasts += stats.broadcasts
             mine.invocations += stats.invocations
             if stats.max_message_bits > mine.max_message_bits:
                 mine.max_message_bits = stats.max_message_bits

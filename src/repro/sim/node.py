@@ -13,27 +13,37 @@ the current round number to keep those programs simple.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
-from .message import Message
+from .message import Broadcast, Message, intern_payload
 
 Node = Hashable
 
+#: What a program may queue in one round: point-to-point messages and
+#: shared broadcast envelopes, processed by the scheduler in queue order.
+Envelope = Union[Message, Broadcast]
+
 
 class RoundContext:
-    """Per-node, per-round view handed to :meth:`NodeProgram.on_round`."""
+    """Per-node, per-round view handed to :meth:`NodeProgram.on_round`.
 
-    # One instance per node per round -- slots keep the allocation cheap.
+    A context is owned by the scheduler and **only valid for the
+    duration of the** :meth:`NodeProgram.on_round` **call it is passed
+    to**: engines may recycle one instance across nodes and rounds, so
+    programs must not store the context (or its ``outbox``) and must
+    copy anything from ``inbox`` they want to keep beyond the call.
+    """
+
     __slots__ = ("node", "neighbors", "round_number", "inbox", "outbox",
                  "halted")
 
     def __init__(self, node: Node, neighbors: Tuple[Node, ...],
-                 round_number: int, inbox: Tuple[Message, ...]):
+                 round_number: int, inbox: Tuple[Envelope, ...]):
         self.node = node
         self.neighbors = neighbors
         self.round_number = round_number
         self.inbox = inbox
-        self.outbox: List[Message] = []
+        self.outbox: List[Envelope] = []
         self.halted = False
 
     def send(self, receiver: Node, tag: str, payload: Any = None,
@@ -43,9 +53,21 @@ class RoundContext:
 
     def broadcast(self, tag: str, payload: Any = None,
                   bits: Optional[int] = None) -> None:
-        """Send the same message to every neighbor."""
-        for neighbor in self.neighbors:
-            self.send(neighbor, tag, payload, bits)
+        """Send the same message to every neighbor.
+
+        Queues **one** shared :class:`Broadcast` envelope; the scheduler
+        fans it out to every neighbor by reference and charges each copy
+        as if it were an individual :meth:`send`.  The payload is
+        interned so identical broadcasts across rounds and nodes share
+        one sized-once payload object.
+        """
+        if not self.neighbors:
+            return
+        if bits is None:
+            # Interning keeps the payload_bits memo warm; with declared
+            # bits the estimator never runs, so skip the table lookup.
+            payload = intern_payload(payload)
+        self.outbox.append(Broadcast(self.node, tag, payload, bits))
 
     def received(self, tag: str) -> Dict[Node, Any]:
         """Payloads of this round's messages with ``tag``, keyed by sender."""

@@ -17,6 +17,11 @@ on:
   (some sandboxes lack POSIX semaphores), trials run serially in-process
   with identical results.
 
+Workers additionally start with the parent's warm substrate caches
+(:mod:`repro.substrates.cache` -- schedules, prime tables, polynomial
+families), shipped once through the pool initializer; disable with
+``REPRO_SIM_CACHE=0``.
+
 :func:`parallel_sweep` is a drop-in for
 :func:`repro.analysis.experiments.sweep`.
 """
@@ -75,6 +80,33 @@ def _call_measure(task):
     return tagged
 
 
+def _substrate_snapshot():
+    """The parent's warm substrate caches, or ``None`` when empty/off.
+
+    Imported lazily: the simulator layer does not depend on the substrate
+    layer, it only ferries its (opaque, picklable) cache state across the
+    process boundary.
+    """
+    try:
+        from ..substrates import cache as substrate_cache
+    except ImportError:  # pragma: no cover - substrates always ship
+        return None
+    if not substrate_cache.cache_enabled():
+        return None
+    return substrate_cache.snapshot() or None
+
+
+def _init_worker(state):
+    """Pool initializer: seed a worker with the parent's caches."""
+    if state is None:
+        return
+    try:
+        from ..substrates import cache as substrate_cache
+    except ImportError:  # pragma: no cover - substrates always ship
+        return
+    substrate_cache.restore(state)
+
+
 def parallel_sweep(measure: Measure,
                    params_list: Iterable[Mapping[str, Any]],
                    max_workers: Optional[int] = None,
@@ -92,7 +124,14 @@ def parallel_sweep(measure: Measure,
     try:
         from concurrent.futures import ProcessPoolExecutor
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        # Warm substrate caches (schedules, polynomial families, prime
+        # tables) computed in this process are shipped to every worker
+        # once, instead of each worker re-deriving them per trial.
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(_substrate_snapshot(),),
+        ) as pool:
             return list(pool.map(_call_measure, tasks))
     except (ImportError, OSError, PermissionError):
         # No usable process pool on this platform; results are identical

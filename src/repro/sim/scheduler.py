@@ -23,7 +23,10 @@ Two execution engines implement the same semantics:
     (:meth:`~repro.sim.network.Network.compile`), keeps an explicit
     active list instead of scanning every node each round, reuses a pair
     of per-node inbox buffers instead of rebuilding ``{node: []}`` dicts,
-    skips per-message bandwidth calls entirely under
+    fans each :class:`~repro.sim.message.Broadcast` envelope out *by
+    reference* over the compiled CSR row (charging the ledger and the
+    CONGEST checker analytically as ``copies * size``), skips
+    per-message bandwidth calls entirely under
     :class:`~repro.sim.congest.LocalModel`, and batches ledger
     accumulation into one charge per run when no observer or stop oracle
     needs per-round granularity.
@@ -50,7 +53,7 @@ from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
 from .congest import BandwidthModel, LocalModel
 from .errors import NetworkError, RoundLimitExceeded, SchedulerError
-from .message import Message
+from .message import Broadcast, Message
 from .metrics import CostLedger, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
@@ -156,7 +159,9 @@ class Scheduler:
         index = compiled.index
         neighbor_objects = compiled.neighbor_objects
         neighbor_sets = compiled.neighbor_sets
+        neighbor_id_tuples = compiled.neighbor_id_tuples
         programs = [self.programs[node] for node in order]
+        on_rounds = [program.on_round for program in programs]
         has_edge = self.network.has_edge
 
         observer = self.observer
@@ -164,16 +169,32 @@ class Scheduler:
         ledger = self.ledger
         # LocalModel accepts everything; skip the per-message call.
         bandwidth = self.bandwidth
-        check = None if type(bandwidth) is LocalModel else bandwidth.check
+        local = type(bandwidth) is LocalModel
+        check = None if local else bandwidth.check
+        check_fanout = None if local else bandwidth.check_fanout
 
         # Double-buffered per-node inboxes, allocated once.  ``touched``
         # lists the ids whose buffer is non-empty so end-of-round cleanup
-        # is O(deliveries), not O(n).
+        # is O(deliveries), not O(n).  Duplicate ids are allowed (the
+        # broadcast fan-out bulk-extends them); clearing twice is free.
         inboxes: List[List[Message]] = [[] for _ in range(n)]
         pending: List[List[Message]] = [[] for _ in range(n)]
         inbox_touched: List[int] = []
         pending_touched: List[int] = []
         pending_count = 0
+
+        # Per-node tuples of the neighbors' bound ``list.append`` methods,
+        # one per buffer: a broadcast appends straight into its receivers'
+        # boxes with no per-copy indexing, emptiness test, or attribute
+        # lookup.
+        inbox_boxes = tuple(
+            tuple(inboxes[j].append for j in neighbor_id_tuples[i])
+            for i in range(n)
+        )
+        pending_boxes = tuple(
+            tuple(pending[j].append for j in neighbor_id_tuples[i])
+            for i in range(n)
+        )
 
         # Dense ids of non-halted nodes, kept in network order so message
         # buffers fill in the same order as the reference engine.
@@ -187,6 +208,14 @@ class Scheduler:
         batch_messages = 0
         batch_bits = 0
         batch_max_bits = 0
+        batch_broadcasts = 0
+
+        # One context object serves every on_round call: a RoundContext
+        # is only valid for the duration of the call it is passed to (see
+        # its docstring), so the fast engine recycles a single instance
+        # instead of allocating n of them per round.
+        ctx = RoundContext(None, (), 0, ())
+        ctx_outbox = ctx.outbox
 
         round_number = 0
         try:
@@ -198,40 +227,81 @@ class Scheduler:
                 # Last round's sends become this round's inboxes; the
                 # drained buffers are reused for this round's sends.
                 inboxes, pending = pending, inboxes
+                inbox_boxes, pending_boxes = pending_boxes, inbox_boxes
                 inbox_touched, pending_touched = pending_touched, inbox_touched
                 pending_count = 0
 
                 round_messages = 0
                 round_bits = 0
                 round_max_bits = 0
+                round_broadcasts = 0
                 sent_this_round: Optional[List[Message]] = (
                     [] if observer is not None else None
                 )
                 halted_this_round: List[Node] = []
                 next_active: List[int] = []
 
+                # Rebound once per round: these lists are either fresh or
+                # were just swapped, and attribute lookups inside the node
+                # loop are measurable at this scale.
+                touched_extend = pending_touched.extend
+                touched_append = pending_touched.append
+                halted_append = halted_this_round.append
+                next_active_append = next_active.append
+
+                ctx.round_number = round_number
                 for i in active:
                     node = order[i]
-                    delivered = inboxes[i]
-                    ctx = RoundContext(
-                        node=node,
-                        neighbors=neighbor_objects[i],
-                        round_number=round_number,
-                        inbox=tuple(delivered) if delivered else (),
-                    )
-                    programs[i].on_round(ctx)
-                    if not ctx.outbox:
+                    ctx.node = node
+                    ctx.neighbors = neighbor_objects[i]
+                    # The live buffer is handed over uncopied: it is not
+                    # mutated until end-of-round cleanup, and the context
+                    # contract forbids keeping it past the call.
+                    ctx.inbox = inboxes[i]
+                    ctx.halted = False
+                    on_rounds[i](ctx)
+                    if not ctx_outbox:
                         if ctx.halted:
-                            halted_this_round.append(node)
+                            halted_append(node)
                         else:
-                            next_active.append(i)
+                            next_active_append(i)
                         continue
-                    sender_neighbors = neighbor_sets[i]
-                    for message in ctx.outbox:
+                    for message in ctx_outbox:
+                        if message.__class__ is Broadcast:
+                            # One shared envelope fans out by reference
+                            # over the CSR row; accounting is analytic
+                            # (count * size), bit-identical to charging
+                            # each copy as the reference engine does.
+                            if message.sender is not node \
+                                    and message.sender != node:
+                                raise NetworkError(
+                                    f"{message.sender!r} queued a broadcast "
+                                    f"from {node!r}'s outbox"
+                                )
+                            round_broadcasts += 1
+                            receivers = neighbor_id_tuples[i]
+                            copies = len(receivers)
+                            if not copies:
+                                continue
+                            if check_fanout is not None:
+                                check_fanout(message, copies)
+                            for deliver in pending_boxes[i]:
+                                deliver(message)
+                            touched_extend(receivers)
+                            round_messages += copies
+                            bits = message._size_cache
+                            if bits is None:
+                                bits = message.size_bits
+                            round_bits += copies * bits
+                            if bits > round_max_bits:
+                                round_max_bits = bits
+                            if sent_this_round is not None:
+                                sent_this_round.extend([message] * copies)
+                            continue
                         # ctx.send stamps the node itself as sender; only
                         # hand-built envelopes take the general check.
                         if not (message.sender is node
-                                and message.receiver in sender_neighbors) \
+                                and message.receiver in neighbor_sets[i]) \
                                 and not has_edge(message.sender,
                                                  message.receiver):
                             raise NetworkError(
@@ -243,9 +313,8 @@ class Scheduler:
                         receiver_id = index[message.receiver]
                         box = pending[receiver_id]
                         if not box:
-                            pending_touched.append(receiver_id)
+                            touched_append(receiver_id)
                         box.append(message)
-                        pending_count += 1
                         round_messages += 1
                         bits = message.size_bits
                         round_bits += bits
@@ -253,23 +322,35 @@ class Scheduler:
                             round_max_bits = bits
                         if sent_this_round is not None:
                             sent_this_round.append(message)
+                    ctx_outbox.clear()
                     if ctx.halted:
-                        halted_this_round.append(node)
+                        halted_append(node)
                     else:
-                        next_active.append(i)
+                        next_active_append(i)
                 active = next_active
+                # Every send this round landed in a pending buffer, so the
+                # in-flight count *is* the round's message count.
+                pending_count = round_messages
 
                 # Drop consumed inboxes (including late messages to nodes
                 # that halted; as in the reference engine they are counted,
                 # trigger one more round, and are never delivered).
-                for i in inbox_touched:
-                    inboxes[i].clear()
+                # Broadcast fan-out records one touched id per copy, so in
+                # dense rounds the touched list (duplicates included) can
+                # exceed n -- then sweeping every buffer is cheaper.
+                if len(inbox_touched) > n:
+                    for box in inboxes:
+                        box.clear()
+                else:
+                    for i in inbox_touched:
+                        inboxes[i].clear()
                 del inbox_touched[:]
 
                 if batch:
                     batch_rounds += 1
                     batch_messages += round_messages
                     batch_bits += round_bits
+                    batch_broadcasts += round_broadcasts
                     if round_max_bits > batch_max_bits:
                         batch_max_bits = round_max_bits
                 else:
@@ -277,6 +358,7 @@ class Scheduler:
                         messages=round_messages,
                         bits=round_bits,
                         max_message_bits=round_max_bits,
+                        broadcasts=round_broadcasts,
                     )
                     if observer is not None:
                         observer.on_round(
@@ -293,6 +375,7 @@ class Scheduler:
                     messages=batch_messages,
                     bits=batch_bits,
                     max_message_bits=batch_max_bits,
+                    broadcasts=batch_broadcasts,
                 )
         self.rounds_executed = round_number
         return ledger
@@ -320,6 +403,7 @@ class Scheduler:
             round_messages = 0
             round_bits = 0
             round_max_bits = 0
+            round_broadcasts = 0
             sent_this_round: List[Message] = []
             halted_this_round: List[Node] = []
 
@@ -336,6 +420,30 @@ class Scheduler:
                 )
                 self.programs[node].on_round(ctx)
                 for message in ctx.outbox:
+                    if message.__class__ is Broadcast:
+                        # The model definition of a broadcast: the same
+                        # envelope is sent to each neighbor in neighbor
+                        # order, each copy checked and charged like an
+                        # individual point-to-point message.
+                        if message.sender is not node \
+                                and message.sender != node:
+                            raise NetworkError(
+                                f"{message.sender!r} queued a broadcast "
+                                f"from {node!r}'s outbox"
+                            )
+                        round_broadcasts += 1
+                        for neighbor in self.network.neighbors(node):
+                            self.bandwidth.check(message)
+                            pending[neighbor].append(message)
+                            in_flight += 1
+                            round_messages += 1
+                            bits = message.size_bits
+                            round_bits += bits
+                            if bits > round_max_bits:
+                                round_max_bits = bits
+                            if self.observer is not None:
+                                sent_this_round.append(message)
+                        continue
                     if not self.network.has_edge(message.sender, message.receiver):
                         raise NetworkError(
                             f"{message.sender!r} tried to message non-neighbor "
@@ -359,6 +467,7 @@ class Scheduler:
                 messages=round_messages,
                 bits=round_bits,
                 max_message_bits=round_max_bits,
+                broadcasts=round_broadcasts,
             )
             if self.observer is not None:
                 self.observer.on_round(

@@ -15,6 +15,11 @@ from .exhaustive import (
     solve_list_defective_bruteforce,
     solve_oldc_bruteforce,
 )
+from .cache import (
+    cache_enabled,
+    clear_substrate_cache,
+    set_cache_enabled,
+)
 from .cover_free import (
     PolynomialFamily,
     RecoloringStep,
@@ -24,6 +29,7 @@ from .cover_free import (
     is_prime,
     next_prime,
     proper_schedule,
+    shared_family,
 )
 from .greedy import (
     greedy_arbdefective_sweep,
@@ -55,7 +61,9 @@ __all__ = [
     "PolynomialFamily",
     "RecoloringStep",
     "baseline_palette_size",
+    "cache_enabled",
     "ceil_log2",
+    "clear_substrate_cache",
     "choose_defective_step",
     "choose_proper_step",
     "defective_palette_bound",
@@ -78,6 +86,8 @@ __all__ = [
     "randomized_delta_plus_one",
     "randomized_list_coloring",
     "run_recoloring",
+    "set_cache_enabled",
+    "shared_family",
     "TrialColoringProgram",
     "sequential_greedy_arbdefective",
     "sequential_greedy_coloring",

@@ -1,0 +1,103 @@
+"""Process-level substrate caches shared across trials and workers.
+
+Benchmark sweeps and repeated trials re-derive the same small objects
+over and over: primality of the same field sizes, the same recoloring
+schedules for the same ``(q, avoid)`` / ``(q, alpha)`` parameters, and
+polynomial evaluation tables for the same ``(q, m, k)`` families.  All of
+these are *pure* -- they depend only on their arguments -- so this module
+keeps one named registry per kind of derived object for the lifetime of
+the process.
+
+Two consumers build on the registries:
+
+* :mod:`repro.substrates.cover_free` memoizes ``is_prime`` /
+  ``next_prime`` / schedule construction and hands out shared
+  :class:`~repro.substrates.cover_free.PolynomialFamily` instances whose
+  evaluation memos stay warm across trials;
+* :mod:`repro.sim.parallel` ships a :func:`snapshot` of the parent's
+  registries to every process-pool worker so warm caches survive the
+  process boundary instead of being rebuilt per worker.
+
+Like the payload memo tables in :mod:`repro.sim.message`, everything here
+is disabled by ``REPRO_SIM_CACHE=0`` (one knob for every process-level
+memo in the repository).  Caching never changes results -- only how often
+the pure derivations run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+from ..sim.message import CACHE_ENV
+
+#: Safety valve mirroring the payload memo tables: a registry that hits
+#: this size is cleared rather than growing without bound.
+REGISTRY_LIMIT = 1 << 16
+
+_enabled = os.environ.get(CACHE_ENV, "1") != "0"
+
+#: ``registry name -> {key -> derived object}``.  Registries are created
+#: on first use so this module stays agnostic of what is cached.
+_registries: Dict[str, Dict[Any, Any]] = {}
+
+
+def cache_enabled() -> bool:
+    """Whether the substrate registries are active."""
+    return _enabled
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Toggle the registries (tests only); returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    if not enabled:
+        clear_substrate_cache()
+    return previous
+
+
+def registry(name: str) -> Dict[Any, Any]:
+    """The named memo table (created empty on first use).
+
+    Callers own the key/value convention of their registry; this module
+    only provides the shared lifecycle (clear / snapshot / restore) and
+    the ``REPRO_SIM_CACHE`` switch.  Callers should check
+    :func:`cache_enabled` before reading or writing.
+    """
+    table = _registries.get(name)
+    if table is None:
+        table = _registries[name] = {}
+    elif len(table) >= REGISTRY_LIMIT:
+        table.clear()
+    return table
+
+
+def clear_substrate_cache() -> None:
+    """Drop every cached derivation (all registries, kept registered)."""
+    for table in _registries.values():
+        table.clear()
+
+
+def snapshot() -> Dict[str, Dict[Any, Any]]:
+    """A picklable copy of every registry's current contents.
+
+    Values are shared, not deep-copied: cached objects are immutable by
+    convention (schedules, families whose memos only ever grow), and the
+    pickling boundary of a process pool deep-copies anyway.
+    """
+    return {name: dict(table) for name, table in _registries.items() if table}
+
+
+def restore(state: Dict[str, Dict[Any, Any]]) -> None:
+    """Merge a :func:`snapshot` into this process's registries.
+
+    Used by process-pool workers to start from the parent's warm caches.
+    Existing entries are kept (the union is taken, snapshot entries win);
+    a ``None`` or empty state is a no-op, and restoring while caching is
+    disabled is also a no-op.
+    """
+    if not state or not _enabled:
+        return
+    for name, table in state.items():
+        registry(name).update(table)

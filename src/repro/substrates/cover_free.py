@@ -20,9 +20,10 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .cache import cache_enabled, registry
 
-def is_prime(n: int) -> bool:
-    """Deterministic trial-division primality (fields here are small)."""
+
+def _is_prime_raw(n: int) -> bool:
     if n < 2:
         return False
     if n < 4:
@@ -37,12 +38,36 @@ def is_prime(n: int) -> bool:
     return True
 
 
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality (fields here are small).
+
+    Memoized process-wide (``REPRO_SIM_CACHE=0`` disables): schedule
+    construction probes the same field sizes for every trial of a sweep.
+    """
+    if not cache_enabled():
+        return _is_prime_raw(n)
+    memo = registry("is_prime")
+    cached = memo.get(n)
+    if cached is None:
+        cached = memo[n] = _is_prime_raw(n)
+    return cached
+
+
 def next_prime(n: int) -> int:
-    """The smallest prime >= n."""
-    candidate = max(2, n)
-    while not is_prime(candidate):
-        candidate += 1
-    return candidate
+    """The smallest prime >= n (memoized like :func:`is_prime`)."""
+    if not cache_enabled():
+        candidate = max(2, n)
+        while not _is_prime_raw(candidate):
+            candidate += 1
+        return candidate
+    memo = registry("next_prime")
+    cached = memo.get(n)
+    if cached is None:
+        candidate = max(2, n)
+        while not is_prime(candidate):
+            candidate += 1
+        cached = memo[n] = candidate
+    return cached
 
 
 class PolynomialFamily:
@@ -66,9 +91,19 @@ class PolynomialFamily:
         self.q = q
         self.m = m
         self.k = k
+        # Per-instance memo tables.  A family is immutable apart from
+        # these (they only ever grow), so a shared instance (see
+        # :func:`shared_family`) keeps its evaluation table warm across
+        # nodes, trials, and -- via :func:`repro.substrates.cache.snapshot`
+        # -- process-pool workers.
+        self._coeff_memo: dict = {}
+        self._eval_memo: dict = {}
 
     def coefficients(self, index: int) -> Tuple[int, ...]:
         """Base-``m`` digits of ``index`` (constant coefficient first)."""
+        cached = self._coeff_memo.get(index)
+        if cached is not None:
+            return cached
         if not 0 <= index < self.q:
             raise ValueError(f"index {index} out of range [0, {self.q})")
         digits = []
@@ -76,14 +111,22 @@ class PolynomialFamily:
         for _ in range(self.k + 1):
             digits.append(value % self.m)
             value //= self.m
-        return tuple(digits)
+        result = tuple(digits)
+        self._coeff_memo[index] = result
+        return result
 
     def evaluate(self, index: int, x: int) -> int:
         """Evaluate polynomial ``index`` at point ``x`` (Horner over F_m)."""
-        coeffs = self.coefficients(index)
+        # Horner over F_m only sees x mod m, so normalizing keeps the
+        # flat integer key collision-free for out-of-field points.
+        key = index * self.m + x % self.m
+        cached = self._eval_memo.get(key)
+        if cached is not None:
+            return cached
         acc = 0
-        for coefficient in reversed(coeffs):
+        for coefficient in reversed(self.coefficients(index)):
             acc = (acc * x + coefficient) % self.m
+        self._eval_memo[key] = acc
         return acc
 
     def pair_color(self, index: int, x: int) -> int:
@@ -93,6 +136,24 @@ class PolynomialFamily:
     @property
     def palette_size(self) -> int:
         return self.m * self.m
+
+
+def shared_family(q: int, m: int, k: int) -> PolynomialFamily:
+    """The process-wide :class:`PolynomialFamily` for ``(q, m, k)``.
+
+    Families are pure functions of their parameters, so every trial of a
+    sweep can share one instance -- and with it the coefficient and
+    evaluation memos, which dominate recoloring cost.  Falls back to a
+    fresh instance when caching is disabled.
+    """
+    if not cache_enabled():
+        return PolynomialFamily(q, m, k)
+    memo = registry("families")
+    key = (q, m, k)
+    family = memo.get(key)
+    if family is None:
+        family = memo[key] = PolynomialFamily(q, m, k)
+    return family
 
 
 @dataclass(frozen=True)
@@ -106,7 +167,7 @@ class RecoloringStep:
     alpha_step: float = 0.0
 
     def family(self) -> PolynomialFamily:
-        return PolynomialFamily(self.q, self.m, self.k)
+        return shared_family(self.q, self.m, self.k)
 
     @property
     def palette_size(self) -> int:
@@ -177,7 +238,23 @@ def choose_defective_step(q: int, alpha_step: float) -> Optional[RecoloringStep]
 
 
 def proper_schedule(q: int, avoid: int) -> List[RecoloringStep]:
-    """The full Linial schedule: steps until the palette stops shrinking."""
+    """The full Linial schedule: steps until the palette stops shrinking.
+
+    Memoized on ``(q, avoid)`` process-wide; a fresh list of the
+    (immutable) steps is returned so callers may slice or mutate it.
+    """
+    memo = registry("proper_schedule") if cache_enabled() else None
+    if memo is not None:
+        cached = memo.get((q, avoid))
+        if cached is not None:
+            return list(cached)
+    steps = _proper_schedule_raw(q, avoid)
+    if memo is not None:
+        memo[(q, avoid)] = tuple(steps)
+    return steps
+
+
+def _proper_schedule_raw(q: int, avoid: int) -> List[RecoloringStep]:
     steps: List[RecoloringStep] = []
     current = q
     while True:
@@ -205,6 +282,18 @@ def defective_schedule(q: int, alpha: float) -> List[RecoloringStep]:
     if not 0.0 < alpha <= 1.0:
         raise ValueError("alpha must lie in (0, 1]")
 
+    memo = registry("defective_schedule") if cache_enabled() else None
+    if memo is not None:
+        cached = memo.get((q, alpha))
+        if cached is not None:
+            return list(cached)
+    steps = _defective_schedule_raw(q, alpha)
+    if memo is not None:
+        memo[(q, alpha)] = tuple(steps)
+    return steps
+
+
+def _defective_schedule_raw(q: int, alpha: float) -> List[RecoloringStep]:
     t_hat = max(2, _count_equal_split_steps(q, alpha / 2.0))
     for _ in range(8):
         steps: List[RecoloringStep] = []

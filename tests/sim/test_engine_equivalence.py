@@ -52,9 +52,11 @@ def _ledger_state(ledger: CostLedger):
         ledger.messages,
         ledger.bits,
         ledger.max_message_bits,
+        ledger.broadcasts,
         {
             name: (stats.rounds, stats.messages, stats.bits,
-                   stats.max_message_bits, stats.invocations)
+                   stats.max_message_bits, stats.broadcasts,
+                   stats.invocations)
             for name, stats in ledger.phases.items()
         },
     )
@@ -180,6 +182,61 @@ def test_congest_model_equivalent():
         )
         states[engine] = _ledger_state(ledger)
     assert states["fast"] == states["reference"]
+
+
+class _Storm(NodeProgram):
+    """Broadcast every round; keep a transcript of every inbox."""
+
+    def __init__(self, node, rounds):
+        self.node = node
+        self.rounds = rounds
+        self.transcript = []
+
+    def on_round(self, ctx):
+        self.transcript.append(tuple(
+            (message.sender, message.tag, message.payload)
+            for message in ctx.inbox
+        ))
+        if ctx.round_number > self.rounds:
+            ctx.halt()
+            return
+        ctx.broadcast("storm", (self.node, ctx.round_number))
+
+    def output(self):
+        return tuple(self.transcript)
+
+
+@pytest.mark.parametrize("congest", [False, True])
+def test_broadcast_storm_on_clique_matches(congest):
+    """Every node broadcasts every round: the dense fan-out fast path.
+
+    The shared-envelope delivery and its analytic accounting (count *
+    size, one bandwidth check per fan-out) must be indistinguishable
+    from the reference engine's per-copy transcription: same inbox
+    contents and order every round, same ledger down to the broadcast
+    counter, with and without the CONGEST checker.
+    """
+    size, rounds = 12, 7
+    outputs = {}
+    states = {}
+    for engine in ("reference", "fast"):
+        network = complete_graph(size)
+        programs = {node: _Storm(node, rounds) for node in network}
+        ledger = CostLedger()
+        bandwidth = CongestModel(4 * size) if congest else None
+        outs, _ = run_protocol(
+            network, programs, bandwidth=bandwidth,
+            ledger=ledger, engine=engine,
+        )
+        outputs[engine] = outs
+        states[engine] = _ledger_state(ledger)
+    assert outputs["fast"] == outputs["reference"]
+    assert states["fast"] == states["reference"]
+    # Sanity: the totals are what a clique storm analytically produces.
+    rounds_run, messages, _, _, broadcasts, _ = states["fast"]
+    assert broadcasts == size * rounds
+    assert messages == size * (size - 1) * rounds
+    assert rounds_run == rounds + 1
 
 
 def test_late_messages_to_halted_nodes_match():

@@ -1,0 +1,137 @@
+"""Tests for the process-level substrate caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.substrates import (
+    PolynomialFamily,
+    cache_enabled,
+    clear_substrate_cache,
+    defective_schedule,
+    is_prime,
+    next_prime,
+    proper_schedule,
+    set_cache_enabled,
+    shared_family,
+)
+from repro.substrates.cache import registry, restore, snapshot
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_substrate_cache()
+    yield
+    set_cache_enabled(True)
+    clear_substrate_cache()
+
+
+class TestPrimeMemo:
+    def test_memoized_matches_raw(self):
+        values = list(range(0, 60)) + [97, 98, 121, 7919]
+        warm = [is_prime(v) for v in values]
+        set_cache_enabled(False)
+        raw = [is_prime(v) for v in values]
+        assert warm == raw
+
+    def test_next_prime_memoized_matches_raw(self):
+        values = [0, 1, 2, 3, 14, 24, 90, 7907]
+        warm = [next_prime(v) for v in values]
+        again = [next_prime(v) for v in values]
+        set_cache_enabled(False)
+        raw = [next_prime(v) for v in values]
+        assert warm == again == raw
+
+
+class TestSharedFamily:
+    def test_same_parameters_share_one_instance(self):
+        assert shared_family(100, 11, 2) is shared_family(100, 11, 2)
+
+    def test_distinct_parameters_get_distinct_instances(self):
+        assert shared_family(100, 11, 2) is not shared_family(99, 11, 2)
+
+    def test_disabled_cache_returns_fresh_instances(self):
+        set_cache_enabled(False)
+        assert shared_family(100, 11, 2) is not shared_family(100, 11, 2)
+
+    def test_shared_instance_evaluates_like_a_fresh_one(self):
+        shared = shared_family(50, 7, 2)
+        fresh = PolynomialFamily(50, 7, 2)
+        for index in range(50):
+            assert shared.coefficients(index) == fresh.coefficients(index)
+            for x in range(7):
+                assert shared.evaluate(index, x) == fresh.evaluate(index, x)
+
+    def test_evaluation_memo_handles_out_of_field_points(self):
+        family = PolynomialFamily(50, 7, 2)
+        # x and x + m evaluate identically over F_m; the memo key must
+        # not collide them with other polynomial indices.
+        assert family.evaluate(1, 9) == family.evaluate(1, 2)
+        assert family.evaluate(2, 0) == PolynomialFamily(50, 7, 2).evaluate(2, 0)
+
+    def test_step_family_is_shared_when_enabled(self):
+        schedule = proper_schedule(2047, 3)
+        assert schedule
+        assert schedule[0].family() is schedule[0].family()
+
+
+class TestScheduleMemo:
+    def test_proper_schedule_memo_returns_equal_fresh_lists(self):
+        first = proper_schedule(2047, 3)
+        second = proper_schedule(2047, 3)
+        assert first == second
+        assert first is not second
+        second.append("sentinel")
+        assert proper_schedule(2047, 3) == first
+
+    def test_defective_schedule_memo_matches_raw(self):
+        warm = defective_schedule(5000, 0.25)
+        again = defective_schedule(5000, 0.25)
+        set_cache_enabled(False)
+        raw = defective_schedule(5000, 0.25)
+        assert warm == again == raw
+
+    def test_invalid_alpha_rejected_before_memo(self):
+        with pytest.raises(ValueError):
+            defective_schedule(100, 0.0)
+        with pytest.raises(ValueError):
+            defective_schedule(100, 1.5)
+
+
+class TestSnapshotRestore:
+    def test_snapshot_roundtrip_restores_shared_objects(self):
+        schedule = proper_schedule(2047, 3)
+        family = schedule[0].family()
+        family.evaluate(5, 2)
+        state = snapshot()
+        assert "proper_schedule" in state and "families" in state
+        clear_substrate_cache()
+        assert schedule[0].family() is not family
+        restore(state)
+        assert schedule[0].family() is family
+
+    def test_snapshot_is_picklable(self):
+        import pickle
+
+        proper_schedule(2047, 3)[0].family().evaluate(3, 1)
+        state = pickle.loads(pickle.dumps(snapshot()))
+        clear_substrate_cache()
+        restore(state)
+        assert proper_schedule(2047, 3)
+
+    def test_restore_none_or_empty_is_noop(self):
+        restore(None)
+        restore({})
+
+    def test_restore_while_disabled_is_noop(self):
+        proper_schedule(2047, 3)
+        state = snapshot()
+        set_cache_enabled(False)
+        restore(state)
+        assert not registry("proper_schedule")
+
+    def test_set_cache_enabled_reports_previous_state(self):
+        assert cache_enabled()
+        assert set_cache_enabled(False) is True
+        assert not cache_enabled()
+        assert set_cache_enabled(True) is False
