@@ -256,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the command under cProfile and print the top 25 "
              "entries by cumulative time",
     )
+    parser.add_argument(
+        "--engine", default=None,
+        choices=["fast", "reference", "vectorized"],
+        help="scheduler execution engine for every simulated round "
+             "(default: fast, or the REPRO_SIM_ENGINE environment "
+             "variable; vectorized batches homogeneous node programs "
+             "and falls back to fast otherwise)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_ts = sub.add_parser("two-sweep", help="run Algorithm 1")
@@ -323,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        from .sim import set_default_engine
+
+        set_default_engine(args.engine)
     if args.profile:
         import cProfile
         import pstats

@@ -12,12 +12,21 @@ from .errors import (
     SchedulerError,
     SimulationError,
 )
+from .kernels import (
+    KernelRound,
+    RoundKernel,
+    kernel_for,
+    register_kernel,
+    registered_kernels,
+    unregister_kernel,
+)
 from .message import (
     Broadcast,
     Message,
     clear_payload_memo,
     color_bits,
     int_bits,
+    intern_broadcast,
     intern_payload,
     payload_bits,
 )
@@ -34,7 +43,7 @@ from .scheduler import (
     set_default_engine,
     use_engine,
 )
-from .tracing import RoundObserver, RoundRecord
+from .tracing import RoundObserver, RoundRecord, expand_pairs
 
 __all__ = [
     "AlgorithmFailure",
@@ -48,6 +57,7 @@ __all__ = [
     "ENGINES",
     "InfeasibleInstanceError",
     "InstanceError",
+    "KernelRound",
     "LocalModel",
     "Message",
     "Network",
@@ -55,6 +65,7 @@ __all__ = [
     "NodeProgram",
     "PhaseStats",
     "RoundContext",
+    "RoundKernel",
     "RoundLimitExceeded",
     "RoundObserver",
     "RoundRecord",
@@ -66,12 +77,18 @@ __all__ = [
     "default_engine",
     "derive_seed",
     "ensure_ledger",
+    "expand_pairs",
     "int_bits",
+    "intern_broadcast",
     "intern_payload",
+    "kernel_for",
     "parallel_sweep",
     "payload_bits",
+    "register_kernel",
+    "registered_kernels",
     "run_protocol",
     "run_trials",
     "set_default_engine",
+    "unregister_kernel",
     "use_engine",
 ]

@@ -43,6 +43,10 @@ _payload_bits_memo: Dict[Tuple[type, Any], int] = {}
 #: :func:`intern_payload`.
 _intern_table: Dict[Tuple[type, Any], Any] = {}
 
+#: ``(sender, tag, payload type, payload, bits) -> Broadcast`` envelope
+#: interning table; see :func:`intern_broadcast`.
+_broadcast_table: Dict[Tuple[Any, ...], "Broadcast"] = {}
+
 
 def payload_memo_enabled() -> bool:
     """Whether the payload memo/interning tables are active."""
@@ -60,9 +64,10 @@ def set_payload_memo_enabled(enabled: bool) -> bool:
 
 
 def clear_payload_memo() -> None:
-    """Drop every memoized payload size and interned payload."""
+    """Drop every memoized payload size and interned payload/envelope."""
     _payload_bits_memo.clear()
     _intern_table.clear()
+    _broadcast_table.clear()
 
 
 def intern_payload(payload: Any) -> Any:
@@ -261,3 +266,38 @@ class Broadcast:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Broadcast(sender={self.sender!r}, tag={self.tag!r}, "
                 f"payload={self.payload!r}, bits={self.bits!r})")
+
+
+def intern_broadcast(sender: Hashable, tag: str, payload: Any = None,
+                     bits: Optional[int] = None) -> Broadcast:
+    """A canonical :class:`Broadcast` for ``(sender, tag, payload, bits)``.
+
+    Protocols that re-broadcast an identical message every round (keep-
+    alives, repeated color announcements) get the *same* envelope object
+    back, eliding even the one-per-call construction and keeping its
+    ``_size_cache`` warm across rounds.  Envelopes are read-only by the
+    same convention as payloads, so sharing across rounds is safe.
+
+    The key includes the payload's type (``True == 1`` but encodes
+    differently) and the declared ``bits`` (the same payload may be sent
+    under different declared sizes).  Unhashable payloads, and runs with
+    ``REPRO_SIM_CACHE=0``, get a fresh envelope per call.
+    """
+    if _memo_enabled:
+        try:
+            key = (sender, tag, payload.__class__, payload, bits)
+            envelope = _broadcast_table.get(key)
+            if envelope is not None:
+                return envelope
+            if len(_broadcast_table) >= _MEMO_LIMIT:
+                _broadcast_table.clear()
+            if bits is None:
+                payload = intern_payload(payload)
+            envelope = Broadcast(sender, tag, payload, bits)
+            _broadcast_table[key] = envelope
+            return envelope
+        except TypeError:  # unhashable payload (or sender)
+            pass
+    if bits is None:
+        payload = intern_payload(payload)
+    return Broadcast(sender, tag, payload, bits)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
-from .message import Broadcast, Message, intern_payload
+from .message import Broadcast, Message, intern_broadcast
 
 Node = Hashable
 
@@ -57,17 +57,14 @@ class RoundContext:
 
         Queues **one** shared :class:`Broadcast` envelope; the scheduler
         fans it out to every neighbor by reference and charges each copy
-        as if it were an individual :meth:`send`.  The payload is
-        interned so identical broadcasts across rounds and nodes share
-        one sized-once payload object.
+        as if it were an individual :meth:`send`.  The envelope itself is
+        interned: re-broadcasting the same ``(tag, payload, bits)`` in a
+        later round reuses one canonical, sized-once envelope (disable
+        with ``REPRO_SIM_CACHE=0``).
         """
         if not self.neighbors:
             return
-        if bits is None:
-            # Interning keeps the payload_bits memo warm; with declared
-            # bits the estimator never runs, so skip the table lookup.
-            payload = intern_payload(payload)
-        self.outbox.append(Broadcast(self.node, tag, payload, bits))
+        self.outbox.append(intern_broadcast(self.node, tag, payload, bits))
 
     def received(self, tag: str) -> Dict[Node, Any]:
         """Payloads of this round's messages with ``tag``, keyed by sender."""

@@ -96,8 +96,20 @@ def _substrate_snapshot():
     return substrate_cache.snapshot() or None
 
 
-def _init_worker(state):
-    """Pool initializer: seed a worker with the parent's caches."""
+def _init_worker(state, engine=None):
+    """Pool initializer: seed a worker with the parent's caches and
+    scheduler engine.
+
+    Workers inherit ``REPRO_SIM_ENGINE`` through the environment, but a
+    parent that selected an engine programmatically (``use_engine`` /
+    ``set_default_engine`` -- e.g. the benchmark runner measuring the
+    vectorized path) must ship that choice explicitly or every worker
+    would silently measure the default.
+    """
+    if engine is not None:
+        from .scheduler import set_default_engine
+
+        set_default_engine(engine)
     if state is None:
         return
     try:
@@ -124,13 +136,16 @@ def parallel_sweep(measure: Measure,
     try:
         from concurrent.futures import ProcessPoolExecutor
 
+        from .scheduler import default_engine
+
         # Warm substrate caches (schedules, polynomial families, prime
         # tables) computed in this process are shipped to every worker
-        # once, instead of each worker re-deriving them per trial.
+        # once, instead of each worker re-deriving them per trial; the
+        # parent's engine selection rides along.
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(_substrate_snapshot(),),
+            initargs=(_substrate_snapshot(), default_engine()),
         ) as pool:
             return list(pool.map(_call_measure, tasks))
     except (ImportError, OSError, PermissionError):

@@ -16,7 +16,7 @@ flight, and charges the measured rounds/messages/bits to a
 :class:`~repro.sim.metrics.CostLedger` so that composed protocols share one
 meter.
 
-Two execution engines implement the same semantics:
+Three execution engines implement the same semantics:
 
 ``fast`` (the default)
     The production hot loop.  It compiles the topology once
@@ -31,14 +31,25 @@ Two execution engines implement the same semantics:
     accumulation into one charge per run when no observer or stop oracle
     needs per-round granularity.
 
+``vectorized``
+    The batched-dispatch path for *homogeneous* populations.  When every
+    program is exactly the same class and that class has a registered
+    :class:`~repro.sim.kernels.RoundKernel`, the whole population is
+    executed array-at-a-time over the compiled CSR rows -- one kernel
+    ``step`` per round instead of one ``on_round`` call per node -- with
+    the ledger charged in bulk.  Mixed or unregistered populations (and
+    runs that need per-round observer/oracle granularity) transparently
+    fall back to the fast engine, so ``engine="vectorized"`` is always
+    safe to request.
+
 ``reference``
     The direct transcription of the model definition that the repository
     started from.  It is kept as the executable specification: the
     equivalence suite (``tests/sim/test_engine_equivalence.py``) runs
-    representative protocols through both engines and asserts identical
+    representative protocols through all engines and asserts identical
     outputs, rounds, messages, and bit totals, and
-    ``benchmarks/bench_engine.py`` tracks the fast path's speedup over
-    it.
+    ``benchmarks/bench_engine.py`` tracks the fast and vectorized paths'
+    speedups over it.
 
 Select an engine per call (``scheduler.run(engine="reference")``), per
 process (the ``REPRO_SIM_ENGINE`` environment variable), or temporarily
@@ -64,7 +75,7 @@ Node = Hashable
 DEFAULT_MAX_ROUNDS = 1_000_000
 
 #: The engines understood by :meth:`Scheduler.run`.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "reference", "vectorized")
 
 _default_engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
 
@@ -138,15 +149,19 @@ class Scheduler:
             engine: Optional[str] = None) -> CostLedger:
         """Run to quiescence; returns the ledger for convenience.
 
-        ``engine`` selects the execution path (``"fast"`` or
-        ``"reference"``); ``None`` uses the process default (normally
-        ``"fast"``, overridable via ``REPRO_SIM_ENGINE`` or
-        :func:`use_engine`).  Both engines implement identical semantics.
+        ``engine`` selects the execution path (``"fast"``,
+        ``"reference"``, or ``"vectorized"``); ``None`` uses the process
+        default (normally ``"fast"``, overridable via
+        ``REPRO_SIM_ENGINE`` or :func:`use_engine`).  All engines
+        implement identical semantics; ``"vectorized"`` falls back to
+        ``"fast"`` for populations it cannot batch.
         """
         name = _validate_engine(engine if engine is not None
                                 else _default_engine)
         if name == "reference":
             return self._run_reference(max_rounds)
+        if name == "vectorized":
+            return self._run_vectorized(max_rounds)
         return self._run_fast(max_rounds)
 
     # ------------------------------------------------------------------
@@ -160,6 +175,7 @@ class Scheduler:
         neighbor_objects = compiled.neighbor_objects
         neighbor_sets = compiled.neighbor_sets
         neighbor_id_tuples = compiled.neighbor_id_tuples
+        degrees = compiled.degrees
         programs = [self.programs[node] for node in order]
         on_rounds = [program.on_round for program in programs]
         has_edge = self.network.has_edge
@@ -235,7 +251,10 @@ class Scheduler:
                 round_bits = 0
                 round_max_bits = 0
                 round_broadcasts = 0
-                sent_this_round: Optional[List[Message]] = (
+                # Observer feed: ``(envelope, copies)`` pairs, expanded
+                # lazily by the observer instead of materializing one
+                # list entry per delivered broadcast copy.
+                sent_this_round: Optional[List[Tuple[Message, int]]] = (
                     [] if observer is not None else None
                 )
                 halted_this_round: List[Node] = []
@@ -279,15 +298,14 @@ class Scheduler:
                                     f"from {node!r}'s outbox"
                                 )
                             round_broadcasts += 1
-                            receivers = neighbor_id_tuples[i]
-                            copies = len(receivers)
+                            copies = degrees[i]
                             if not copies:
                                 continue
                             if check_fanout is not None:
                                 check_fanout(message, copies)
                             for deliver in pending_boxes[i]:
                                 deliver(message)
-                            touched_extend(receivers)
+                            touched_extend(neighbor_id_tuples[i])
                             round_messages += copies
                             bits = message._size_cache
                             if bits is None:
@@ -296,7 +314,7 @@ class Scheduler:
                             if bits > round_max_bits:
                                 round_max_bits = bits
                             if sent_this_round is not None:
-                                sent_this_round.extend([message] * copies)
+                                sent_this_round.append((message, copies))
                             continue
                         # ctx.send stamps the node itself as sender; only
                         # hand-built envelopes take the general check.
@@ -321,7 +339,7 @@ class Scheduler:
                         if bits > round_max_bits:
                             round_max_bits = bits
                         if sent_this_round is not None:
-                            sent_this_round.append(message)
+                            sent_this_round.append((message, 1))
                     ctx_outbox.clear()
                     if ctx.halted:
                         halted_append(node)
@@ -377,6 +395,85 @@ class Scheduler:
                     max_message_bits=batch_max_bits,
                     broadcasts=batch_broadcasts,
                 )
+        self.rounds_executed = round_number
+        return ledger
+
+    # ------------------------------------------------------------------
+    # Vectorized engine
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, max_rounds: int) -> CostLedger:
+        """Batched array-at-a-time execution for homogeneous populations.
+
+        Eligibility is checked here, once per run: a uniform program
+        class with a registered :class:`~repro.sim.kernels.RoundKernel`
+        whose ``prepare`` accepts the population.  Everything else --
+        mixed classes, unregistered programs, kernels that decline,
+        observers and stop oracles (which need per-node, per-round
+        granularity) -- falls back to :meth:`_run_fast`, which handles
+        any population with identical semantics.
+        """
+        from .kernels import kernel_for  # local: avoid import cycle
+
+        if self.observer is not None or self.stop_when is not None:
+            return self._run_fast(max_rounds)
+        programs_map = self.programs
+        if not programs_map:
+            return self._run_fast(max_rounds)
+        iterator = iter(programs_map.values())
+        cls = next(iterator).__class__
+        for program in iterator:
+            if program.__class__ is not cls:
+                return self._run_fast(max_rounds)
+        factory = kernel_for(cls)
+        if factory is None:
+            return self._run_fast(max_rounds)
+
+        compiled = self.network.compile()
+        programs = [programs_map[node] for node in compiled.order]
+        kernel = factory()
+        columns = kernel.prepare(compiled, programs, self.bandwidth)
+        if columns is None:
+            return self._run_fast(max_rounds)
+
+        ledger = self.ledger
+        step = kernel.step
+        rounds = 0
+        messages = 0
+        bits = 0
+        max_bits = 0
+        broadcasts = 0
+        inboxes = None
+        active = len(programs)
+        round_number = 0
+        try:
+            while True:
+                if round_number >= max_rounds:
+                    raise RoundLimitExceeded(max_rounds, active)
+                round_number += 1
+                result = step(round_number, columns, inboxes)
+                rounds += 1
+                messages += result.messages
+                bits += result.bits
+                broadcasts += result.broadcasts
+                if result.max_message_bits > max_bits:
+                    max_bits = result.max_message_bits
+                active = result.active
+                inboxes = result.outboxes
+                if not active and not result.messages:
+                    break
+        finally:
+            # Completed rounds are charged even when a kernel step
+            # raises mid-run, exactly as the per-node engines do (a
+            # raising step leaves its own round uncharged).
+            if rounds:
+                ledger.charge_batch(
+                    rounds,
+                    messages=messages,
+                    bits=bits,
+                    max_message_bits=max_bits,
+                    broadcasts=broadcasts,
+                )
+        kernel.finalize(columns, programs)
         self.rounds_executed = round_number
         return ledger
 

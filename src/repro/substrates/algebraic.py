@@ -17,9 +17,10 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
-from ..sim.congest import BandwidthModel
+from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import AlgorithmFailure, InstanceError
-from ..sim.message import color_bits
+from ..sim.kernels import KernelRound, RoundKernel, fanout_totals, register_kernel
+from ..sim.message import color_bits, intern_broadcast
 from ..sim.metrics import CostLedger, ensure_ledger
 from ..sim.network import Network
 from ..sim.node import NodeProgram, RoundContext
@@ -117,6 +118,188 @@ class AlgebraicRecoloringProgram(NodeProgram):
 
     def output(self) -> Color:
         return self.color
+
+
+class AlgebraicRecoloringKernel(RoundKernel):
+    """Array-at-a-time execution of a uniform algebraic recoloring run.
+
+    One run of :class:`AlgebraicRecoloringProgram` over all nodes is a
+    textbook homogeneous workload: every node broadcasts its color,
+    evaluates the *same* polynomial family over the *same* schedule, and
+    halts together after the last step.  The kernel keeps the colors as
+    one column, pre-filters each node's relevant-neighbor dense ids
+    once, and memoizes each color's evaluation row ``(P_c(0), ...,
+    P_c(m-1))`` per step so the inner scan is pure list/tuple work --
+    no contexts, envelopes, or ``received()`` dict builds.
+
+    Declines populations with differing schedules or mid-run state.
+    ``finalize`` restores ``color`` and ``_step_index``; the transient
+    per-round inbox views have no program-side counterpart to restore.
+    """
+
+    def prepare(self, compiled, programs, bandwidth):
+        first = programs[0]
+        schedule = first.schedule
+        for program in programs:
+            if program._step_index != 0 or program.schedule != schedule:
+                return None
+        order = compiled.order
+        indptr = compiled.indptr
+        indices = compiled.indices
+        relevant_ids = []
+        for i, program in enumerate(programs):
+            relevant = program.relevant
+            relevant_ids.append([
+                j for j in indices[indptr[i]:indptr[i + 1]]
+                if order[j] in relevant
+            ])
+        total_copies, envelopes = fanout_totals(compiled)
+        return {
+            "programs": programs,
+            "order": order,
+            "degrees": compiled.degrees,
+            "schedule": schedule,
+            "families": first._families,
+            "relevant_ids": relevant_ids,
+            "colors": [program.color for program in programs],
+            "total_copies": total_copies,
+            "envelopes": envelopes,
+            # One evaluation-row memo per step: color -> tuple of the
+            # polynomial's values at x = 0..m-1.
+            "rows": [{} for _ in schedule],
+            "check_fanout": (None if type(bandwidth) is LocalModel
+                             else bandwidth.check_fanout),
+        }
+
+    def _broadcast_round(self, columns, bits) -> KernelRound:
+        """Charge one all-node color broadcast (rounds 1..len(schedule))."""
+        check_fanout = columns["check_fanout"]
+        if check_fanout is not None:
+            order = columns["order"]
+            degrees = columns["degrees"]
+            colors = columns["colors"]
+            for i, degree in enumerate(degrees):
+                if degree:
+                    check_fanout(
+                        intern_broadcast(order[i], _TAG, colors[i], bits),
+                        degree,
+                    )
+        copies = columns["total_copies"]
+        return KernelRound(
+            active=len(columns["colors"]),
+            messages=copies,
+            bits=copies * bits,
+            max_message_bits=bits if copies else 0,
+            broadcasts=columns["envelopes"],
+        )
+
+    def step(self, round_number, columns, inboxes) -> KernelRound:
+        schedule = columns["schedule"]
+        if round_number == 1:
+            if not schedule:
+                return KernelRound(active=0)
+            return self._broadcast_round(columns, color_bits(schedule[0].q))
+        step_index = round_number - 2
+        step = schedule[step_index]
+        q = step.q
+        m = step.m
+        defective = step.alpha_step != 0.0
+        evaluate = columns["families"][step_index].evaluate
+        rows = columns["rows"][step_index]
+        programs = columns["programs"]
+        relevant_ids = columns["relevant_ids"]
+        colors = columns["colors"]
+        old = list(colors)
+        last = step_index + 1 >= len(schedule)
+        check_fanout = None if last else columns["check_fanout"]
+        next_bits = 0 if last else color_bits(schedule[step_index + 1].q)
+        order = columns["order"]
+        degrees = columns["degrees"]
+
+        for i, own in enumerate(old):
+            if own >= q:
+                raise AlgorithmFailure(
+                    f"node {programs[i].node!r}: color {own} outside the "
+                    f"declared {q}-coloring"
+                )
+            # Rival colors as a multiset: counts drive the defective
+            # scan, distinct keys the proper scan, the total the proper
+            # failure message -- exactly what the per-node lists yield.
+            rival_counts: Dict[int, int] = {}
+            for j in relevant_ids[i]:
+                color = old[j]
+                if color != own:
+                    rival_counts[color] = rival_counts.get(color, 0) + 1
+            own_row = rows.get(own)
+            if own_row is None:
+                own_row = rows[own] = tuple(
+                    evaluate(own, x) for x in range(m)
+                )
+            rival_rows = []
+            for color, weight in rival_counts.items():
+                row = rows.get(color)
+                if row is None:
+                    row = rows[color] = tuple(
+                        evaluate(color, x) for x in range(m)
+                    )
+                rival_rows.append((row, weight))
+            if not defective:
+                for x in range(m):
+                    own_value = own_row[x]
+                    if all(row[x] != own_value for row, _ in rival_rows):
+                        colors[i] = x * m + own_value
+                        break
+                else:
+                    raise AlgorithmFailure(
+                        f"node {programs[i].node!r}: no collision-free "
+                        f"point over F_{m} with "
+                        f"{sum(rival_counts.values())} rivals of degree "
+                        f"{step.k} -- the step parameters violate "
+                        f"m > avoid * k"
+                    )
+            else:
+                best_x = 0
+                best_conflicts = None
+                for x in range(m):
+                    own_value = own_row[x]
+                    conflicts = 0
+                    for row, weight in rival_rows:
+                        if row[x] == own_value:
+                            conflicts += weight
+                    if best_conflicts is None or conflicts < best_conflicts:
+                        best_x = x
+                        best_conflicts = conflicts
+                        if conflicts == 0:
+                            break
+                colors[i] = best_x * m + own_row[best_x]
+            if check_fanout is not None and degrees[i]:
+                check_fanout(
+                    intern_broadcast(order[i], _TAG, colors[i], next_bits),
+                    degrees[i],
+                )
+        if last:
+            return KernelRound(active=0)
+        # The fan-out checks already ran interleaved above (a node's
+        # recoloring failure must surface before a later node's
+        # bandwidth failure, as in the per-node engines).
+        copies = columns["total_copies"]
+        return KernelRound(
+            active=len(colors),
+            messages=copies,
+            bits=copies * next_bits,
+            max_message_bits=next_bits if copies else 0,
+            broadcasts=columns["envelopes"],
+        )
+
+    def finalize(self, columns, programs) -> None:
+        colors = columns["colors"]
+        steps = len(columns["schedule"])
+        for program, color in zip(programs, colors):
+            program.color = color
+            program._step_index = steps
+
+
+register_kernel(AlgebraicRecoloringProgram, AlgebraicRecoloringKernel)
 
 
 def run_recoloring(network: Network,

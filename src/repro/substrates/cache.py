@@ -27,13 +27,24 @@ the pure derivations run.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
 
 from ..sim.message import CACHE_ENV
 
 #: Safety valve mirroring the payload memo tables: a registry that hits
 #: this size is cleared rather than growing without bound.
 REGISTRY_LIMIT = 1 << 16
+
+#: Directory for the persistent spill file; unset means "no disk cache".
+CACHE_DIR_ENV = "REPRO_SIM_CACHE_DIR"
+
+#: Bumped whenever the registry key/value conventions change shape; a
+#: file with a different version is ignored (cold start), never migrated.
+CACHE_FILE_VERSION = 1
+
+_CACHE_FILE_NAME = "substrate_cache.pkl"
 
 _enabled = os.environ.get(CACHE_ENV, "1") != "0"
 
@@ -101,3 +112,93 @@ def restore(state: Dict[str, Dict[Any, Any]]) -> None:
         return
     for name, table in state.items():
         registry(name).update(table)
+
+
+# ----------------------------------------------------------------------
+# Persistent on-disk spill
+# ----------------------------------------------------------------------
+def cache_file_path(path: Optional[str] = None) -> Optional[str]:
+    """The spill file location: explicit ``path``, else
+    ``$REPRO_SIM_CACHE_DIR/substrate_cache.pkl``, else ``None`` (off).
+    """
+    if path is not None:
+        return path
+    directory = os.environ.get(CACHE_DIR_ENV)
+    if not directory:
+        return None
+    return os.path.join(directory, _CACHE_FILE_NAME)
+
+
+def save_to_disk(path: Optional[str] = None) -> Optional[str]:
+    """Spill the current registries to the versioned cache file.
+
+    Lets *cold processes* -- not just pool workers -- start with warm
+    schedules, prime tables, and polynomial families across benchmark
+    invocations.  Returns the file path, or ``None`` when nothing was
+    written (caching disabled, no directory configured, empty
+    registries, or an unwritable destination -- the cache is an
+    optimization, so I/O failures degrade to a cold start, silently).
+
+    The write is atomic (temp file + ``os.replace``): a concurrent
+    benchmark reading the file mid-save sees the old complete state,
+    never a torn one.
+    """
+    destination = cache_file_path(path)
+    if destination is None or not _enabled:
+        return None
+    state = snapshot()
+    if not state:
+        return None
+    payload = {"version": CACHE_FILE_VERSION, "registries": state}
+    try:
+        os.makedirs(os.path.dirname(destination) or ".", exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(destination) or ".",
+            prefix=_CACHE_FILE_NAME + ".",
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, destination)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PicklingError):
+        return None
+    return destination
+
+
+def load_from_disk(path: Optional[str] = None) -> bool:
+    """Warm the registries from the cache file; True when anything loaded.
+
+    Missing, corrupt, wrong-version, or wrong-shape files are treated as
+    a cold start (False) -- a stale spill from an older code revision
+    must never poison a run.  Loaded entries merge like :func:`restore`
+    (union, file entries win); disabled caching is a no-op.
+    """
+    source = cache_file_path(path)
+    if source is None or not _enabled:
+        return False
+    try:
+        with open(source, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError, TypeError):
+        return False
+    if not isinstance(payload, dict):
+        return False
+    if payload.get("version") != CACHE_FILE_VERSION:
+        return False
+    state = payload.get("registries")
+    if not isinstance(state, dict):
+        return False
+    for name, table in state.items():
+        if not isinstance(name, str) or not isinstance(table, dict):
+            return False
+    if not state:
+        return False
+    restore(state)
+    return True

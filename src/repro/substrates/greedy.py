@@ -21,13 +21,14 @@ from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from ..coloring.instance import ArbdefectiveInstance
 from ..coloring.result import ColoringResult
-from ..sim.congest import BandwidthModel
+from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import (
     AlgorithmFailure,
     InfeasibleInstanceError,
     InstanceError,
 )
-from ..sim.message import color_bits
+from ..sim.kernels import KernelRound, RoundKernel, fanout_totals, register_kernel
+from ..sim.message import Message, color_bits, intern_broadcast
 from ..sim.metrics import CostLedger, ensure_ledger
 from ..sim.network import Network
 from ..sim.node import NodeProgram, RoundContext
@@ -225,6 +226,165 @@ class _GreedySweepProgram(NodeProgram):
         return (self.final_color, self.mono_out)
 
 
+class _GreedySweepKernel(RoundKernel):
+    """Array-at-a-time greedy sweep: one column pass per color class.
+
+    The sweep is homogeneous in everything but each node's list/defect
+    data: round 1 is one uniform broadcast, and in round ``c + 2``
+    exactly the class-``c`` nodes decide from their lower-class
+    neighbors' finals.  The kernel buckets nodes by class once, sorts
+    each node's lower neighbors into the order the per-node ``decided``
+    dict would acquire them (class ascending, then sender processing
+    order), and then each round touches only that round's deciders --
+    idle "waiting" classes cost nothing, where the per-node engines
+    still dispatch an ``on_round`` no-op for every active node.
+
+    Declines non-uniform ``q``/``color_space_size``, mid-run state, and
+    negative classes (which never decide; the fast engine reproduces
+    the reference's run-forever semantics).  ``finalize`` restores
+    ``final_color`` and ``mono_out``; the transient ``neighbor_initial``
+    / ``decided`` ingest dicts are not reconstructed.
+    """
+
+    def prepare(self, compiled, programs, bandwidth):
+        first = programs[0]
+        q = first.q
+        color_space_size = first.color_space_size
+        for program in programs:
+            if (program.q != q
+                    or program.color_space_size != color_space_size
+                    or program.final_color is not None
+                    or program.neighbor_initial or program.decided
+                    or program.initial_color < 0):
+                return None
+        order = compiled.order
+        indptr = compiled.indptr
+        indices = compiled.indices
+        initial = [program.initial_color for program in programs]
+        lower = []
+        higher = []
+        by_class: Dict[int, list] = {}
+        for i, own in enumerate(initial):
+            row = indices[indptr[i]:indptr[i + 1]]
+            # ``decided`` fills class-ascending (class c's finals arrive
+            # in round c + 3), then in sender processing order within a
+            # round -- i.e. dense-id ascending.
+            lower.append(sorted(
+                (j for j in row if initial[j] < own),
+                key=lambda j: (initial[j], j),
+            ))
+            higher.append(tuple(j for j in row if initial[j] > own))
+            by_class.setdefault(own, []).append(i)
+        total_copies, envelopes = fanout_totals(compiled)
+        return {
+            "programs": programs,
+            "order": order,
+            "initial": initial,
+            "sorted_lists": [sorted(p.color_list) for p in programs],
+            "lower": lower,
+            "higher": higher,
+            "by_class": by_class,
+            "finals": [None] * len(programs),
+            "mono": [()] * len(programs),
+            "remaining": len(programs),
+            "total_copies": total_copies,
+            "envelopes": envelopes,
+            "bits_initial": color_bits(q),
+            "bits_final": color_bits(color_space_size),
+            "check": (None if type(bandwidth) is LocalModel
+                      else bandwidth.check),
+            "check_fanout": (None if type(bandwidth) is LocalModel
+                             else bandwidth.check_fanout),
+            "degrees": compiled.degrees,
+        }
+
+    def step(self, round_number, columns, inboxes) -> KernelRound:
+        if round_number == 1:
+            bits = columns["bits_initial"]
+            check_fanout = columns["check_fanout"]
+            if check_fanout is not None:
+                order = columns["order"]
+                initial = columns["initial"]
+                for i, degree in enumerate(columns["degrees"]):
+                    if degree:
+                        check_fanout(
+                            intern_broadcast(
+                                order[i], _GreedySweepProgram._TAG_INITIAL,
+                                initial[i], bits,
+                            ),
+                            degree,
+                        )
+            copies = columns["total_copies"]
+            return KernelRound(
+                active=columns["remaining"],
+                messages=copies,
+                bits=copies * bits,
+                max_message_bits=bits if copies else 0,
+                broadcasts=columns["envelopes"],
+            )
+        deciders = columns["by_class"].get(round_number - 2, ())
+        finals = columns["finals"]
+        if deciders:
+            programs = columns["programs"]
+            order = columns["order"]
+            lower = columns["lower"]
+            higher = columns["higher"]
+            sorted_lists = columns["sorted_lists"]
+            mono = columns["mono"]
+            check = columns["check"]
+            bits_final = columns["bits_final"]
+        messages = 0
+        for i in deciders:
+            program = programs[i]
+            counts = {color: 0 for color in program.color_list}
+            for j in lower[i]:
+                neighbor_final = finals[j]
+                if neighbor_final in counts:
+                    counts[neighbor_final] += 1
+            chosen = None
+            for color in sorted_lists[i]:
+                if counts[color] <= program.defect_fn[color]:
+                    chosen = color
+                    break
+            if chosen is None:
+                raise AlgorithmFailure(
+                    f"node {program.node!r}: greedy sweep found no "
+                    f"feasible color; the instance's slack must be at "
+                    f"most 1"
+                )
+            finals[i] = chosen
+            mono[i] = tuple(
+                order[j] for j in lower[i] if finals[j] == chosen
+            )
+            if check is not None:
+                sender = order[i]
+                for j in higher[i]:
+                    check(Message(
+                        sender, order[j],
+                        _GreedySweepProgram._TAG_FINAL, chosen, bits_final,
+                    ))
+            messages += len(higher[i])
+        remaining = columns["remaining"] - len(deciders)
+        columns["remaining"] = remaining
+        bits_final = columns["bits_final"]
+        return KernelRound(
+            active=remaining,
+            messages=messages,
+            bits=messages * bits_final,
+            max_message_bits=bits_final if messages else 0,
+        )
+
+    def finalize(self, columns, programs) -> None:
+        finals = columns["finals"]
+        mono = columns["mono"]
+        for i, program in enumerate(programs):
+            program.final_color = finals[i]
+            program.mono_out = mono[i]
+
+
+register_kernel(_GreedySweepProgram, _GreedySweepKernel)
+
+
 def greedy_arbdefective_sweep(instance: ArbdefectiveInstance,
                               initial_colors: Mapping[Node, Color],
                               q: int,
@@ -317,6 +477,134 @@ class _ColorReductionProgram(NodeProgram):
 
     def output(self) -> Color:
         return self.color
+
+
+class _ColorReductionKernel(RoundKernel):
+    """Array-at-a-time one-color-per-round reduction.
+
+    Round ``t`` retires old color ``q - t + 1``: only nodes *of that
+    color* act, so the kernel buckets nodes by color once and each
+    round touches one bucket -- the per-node engines dispatch an
+    ``on_round`` ingest no-op to every other node, which on a
+    ``q``-round reduction is almost all of the work.
+
+    Recolorings computed this round are applied to the shared color
+    column only at the round boundary: a node's broadcast is ingested
+    by its neighbors one round later, so same-round deciders must read
+    each other's *old* colors (the reference's stale-view semantics,
+    observable on improper inputs).  Declines non-uniform
+    ``q``/``target`` and mid-run state; ``finalize`` restores ``color``,
+    the transient ``neighbor_colors`` view is not reconstructed.
+    """
+
+    def prepare(self, compiled, programs, bandwidth):
+        first = programs[0]
+        q = first.q
+        target = first.target
+        for program in programs:
+            if (program.q != q or program.target != target
+                    or program.neighbor_colors):
+                return None
+        indptr = compiled.indptr
+        indices = compiled.indices
+        colors = [program.color for program in programs]
+        by_color: Dict[int, list] = {}
+        for i, color in enumerate(colors):
+            by_color.setdefault(color, []).append(i)
+        total_copies, envelopes = fanout_totals(compiled)
+        return {
+            "programs": programs,
+            "order": compiled.order,
+            "degrees": compiled.degrees,
+            "rows": [indices[indptr[i]:indptr[i + 1]]
+                     for i in range(compiled.n)],
+            "colors": colors,
+            "by_color": by_color,
+            "q": q,
+            "target": target,
+            "bits": color_bits(q),
+            "total_copies": total_copies,
+            "envelopes": envelopes,
+            "check_fanout": (None if type(bandwidth) is LocalModel
+                             else bandwidth.check_fanout),
+        }
+
+    def step(self, round_number, columns, inboxes) -> KernelRound:
+        colors = columns["colors"]
+        bits = columns["bits"]
+        if round_number == 1:
+            check_fanout = columns["check_fanout"]
+            if check_fanout is not None:
+                order = columns["order"]
+                for i, degree in enumerate(columns["degrees"]):
+                    if degree:
+                        check_fanout(
+                            intern_broadcast(
+                                order[i], _ColorReductionProgram._TAG,
+                                colors[i], bits,
+                            ),
+                            degree,
+                        )
+            copies = columns["total_copies"]
+            return KernelRound(
+                active=len(colors),
+                messages=copies,
+                bits=copies * bits,
+                max_message_bits=bits if copies else 0,
+                broadcasts=columns["envelopes"],
+            )
+        target = columns["target"]
+        active_color = columns["q"] - round_number + 1
+        if active_color < target:
+            return KernelRound(active=0)
+        deciders = columns["by_color"].get(active_color, ())
+        messages = 0
+        broadcasts = 0
+        updates = []
+        if deciders:
+            order = columns["order"]
+            degrees = columns["degrees"]
+            rows = columns["rows"]
+            check_fanout = columns["check_fanout"]
+        for i in deciders:
+            used = {colors[j] for j in rows[i]}
+            new_color = 0
+            while new_color in used:
+                new_color += 1
+            if new_color >= target:
+                raise AlgorithmFailure(
+                    f"node {columns['programs'][i].node!r}: no free color "
+                    f"below {target}; target must be at least Delta + 1"
+                )
+            updates.append((i, new_color))
+            degree = degrees[i]
+            if degree:
+                if check_fanout is not None:
+                    check_fanout(
+                        intern_broadcast(
+                            order[i], _ColorReductionProgram._TAG,
+                            new_color, bits,
+                        ),
+                        degree,
+                    )
+                messages += degree
+                broadcasts += 1
+        for i, new_color in updates:
+            colors[i] = new_color
+        return KernelRound(
+            active=len(colors),
+            messages=messages,
+            bits=messages * bits,
+            max_message_bits=bits if messages else 0,
+            broadcasts=broadcasts,
+        )
+
+    def finalize(self, columns, programs) -> None:
+        for program, color in zip(programs, columns["colors"]):
+            program.color = color
+
+
+register_kernel(_ColorReductionProgram, _ColorReductionKernel)
 
 
 def greedy_color_reduction(network: Network,

@@ -15,7 +15,16 @@ from repro.substrates import (
     set_cache_enabled,
     shared_family,
 )
-from repro.substrates.cache import registry, restore, snapshot
+from repro.substrates.cache import (
+    CACHE_DIR_ENV,
+    CACHE_FILE_VERSION,
+    cache_file_path,
+    load_from_disk,
+    registry,
+    restore,
+    save_to_disk,
+    snapshot,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -135,3 +144,101 @@ class TestSnapshotRestore:
         assert set_cache_enabled(False) is True
         assert not cache_enabled()
         assert set_cache_enabled(True) is False
+
+
+class TestDiskSpill:
+    def test_path_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert cache_file_path() is None
+        assert cache_file_path("/explicit/file.pkl") == "/explicit/file.pkl"
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        resolved = cache_file_path()
+        assert resolved == str(tmp_path / "substrate_cache.pkl")
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        target = str(tmp_path / "spill" / "substrate_cache.pkl")
+        schedule = proper_schedule(2047, 3)
+        assert save_to_disk(target) == target
+        clear_substrate_cache()
+        assert not registry("proper_schedule")
+        assert load_from_disk(target)
+        assert proper_schedule(2047, 3) == schedule
+        assert registry("proper_schedule")
+
+    def test_roundtrip_via_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        proper_schedule(2047, 3)
+        written = save_to_disk()
+        assert written == str(tmp_path / "substrate_cache.pkl")
+        clear_substrate_cache()
+        assert load_from_disk()
+
+    def test_save_without_configuration_is_noop(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        proper_schedule(2047, 3)
+        assert save_to_disk() is None
+
+    def test_save_empty_registries_writes_nothing(self, tmp_path):
+        target = str(tmp_path / "substrate_cache.pkl")
+        assert save_to_disk(target) is None
+        assert not (tmp_path / "substrate_cache.pkl").exists()
+
+    def test_save_unwritable_destination_degrades(self, tmp_path):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_bytes(b"")
+        proper_schedule(2047, 3)
+        assert save_to_disk(str(blocker / "substrate_cache.pkl")) is None
+
+    def test_load_missing_file_is_cold_start(self, tmp_path):
+        assert not load_from_disk(str(tmp_path / "absent.pkl"))
+
+    def test_load_corrupt_file_is_cold_start(self, tmp_path):
+        target = tmp_path / "substrate_cache.pkl"
+        target.write_bytes(b"definitely not a pickle")
+        assert not load_from_disk(str(target))
+        assert not registry("proper_schedule")
+
+    def test_load_truncated_file_is_cold_start(self, tmp_path):
+        source = str(tmp_path / "substrate_cache.pkl")
+        proper_schedule(2047, 3)
+        assert save_to_disk(source)
+        data = (tmp_path / "substrate_cache.pkl").read_bytes()
+        (tmp_path / "substrate_cache.pkl").write_bytes(data[: len(data) // 2])
+        clear_substrate_cache()
+        assert not load_from_disk(source)
+
+    def test_load_wrong_version_is_cold_start(self, tmp_path):
+        import pickle
+
+        target = tmp_path / "substrate_cache.pkl"
+        payload = {
+            "version": CACHE_FILE_VERSION + 1,
+            "registries": {"proper_schedule": {(2047, 3): []}},
+        }
+        target.write_bytes(pickle.dumps(payload))
+        assert not load_from_disk(str(target))
+        assert not registry("proper_schedule")
+
+    def test_load_wrong_shape_is_cold_start(self, tmp_path):
+        import pickle
+
+        target = tmp_path / "substrate_cache.pkl"
+        for payload in (
+            ["not", "a", "dict"],
+            {"version": CACHE_FILE_VERSION},  # registries missing
+            {"version": CACHE_FILE_VERSION, "registries": "nope"},
+            {"version": CACHE_FILE_VERSION, "registries": {1: {}}},
+            {"version": CACHE_FILE_VERSION,
+             "registries": {"families": "nope"}},
+            {"version": CACHE_FILE_VERSION, "registries": {}},
+        ):
+            target.write_bytes(pickle.dumps(payload))
+            assert not load_from_disk(str(target))
+
+    def test_disk_spill_disabled_with_cache(self, tmp_path):
+        source = str(tmp_path / "substrate_cache.pkl")
+        proper_schedule(2047, 3)
+        assert save_to_disk(source)
+        set_cache_enabled(False)
+        assert not load_from_disk(source)
+        assert save_to_disk(source) is None
