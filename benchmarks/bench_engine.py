@@ -21,7 +21,13 @@ three execution engines of :class:`repro.sim.Scheduler`:
   process-level caches) end to end;
 * ``star_fanout`` -- flooding on a star: one node broadcasts to n-1
   neighbors every round, the worst case for per-copy delivery overhead
-  and the best case for shared broadcast envelopes.
+  and the best case for shared broadcast envelopes;
+* ``two_sweep`` -- the paper's Algorithm 1 (Theorem 1.1, eps = 0) at
+  E1's density with q = n color classes: one class acts per round, the
+  regime where per-node dispatch dominates and the Two-Sweep kernel
+  touches only the acting class;
+* ``fast_two_sweep`` -- Algorithm 2 end to end (Lemma 3.4 defective
+  coloring + inner sweep) with 40-bit identifiers, the E2 regime.
 
 The synthetic stress programs come with *bench-local*
 :class:`~repro.sim.kernels.RoundKernel` registrations (the registry is
@@ -62,11 +68,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from repro.coloring import random_arbdefective_instance
+from repro.coloring import random_arbdefective_instance, random_oldc_instance
+from repro.core import fast_two_sweep, two_sweep
 from repro.graphs import (
     binary_tree,
     complete_graph,
     gnp_graph,
+    orient_by_id,
+    random_ids,
     sequential_ids,
     star_graph,
 )
@@ -324,6 +333,39 @@ def workload_star_fanout(n: int, engine: Optional[str]):
     return _run_scheduler(network, programs, engine) + (network,)
 
 
+def workload_two_sweep(n: int, engine: Optional[str]):
+    # The paper's Algorithm 1 at E1's density, scaled up: q = n color
+    # classes, 2q + 1 rounds, at most one class acting per round -- the
+    # exact shape where per-node dispatch costs O(n) no-ops per round
+    # and the Two-Sweep kernel touches only the acting class.
+    network = gnp_graph(n, min(0.9, 6.0 / n), seed=17)
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=3, seed=17)
+    ids = sequential_ids(network)
+    ledger = CostLedger()
+    with use_engine(engine or "fast"):
+        result = two_sweep(
+            instance, ids, len(network), 3, ledger=ledger, check=False
+        )
+    return result.colors, ledger, network
+
+
+def workload_fast_two_sweep(n: int, engine: Optional[str]):
+    # Algorithm 2 end to end (Lemma 3.4 defective coloring + inner
+    # sweep) with 40-bit identifiers, the E2 regime: rounds are O((p /
+    # eps)^2 + log* q), so the per-round cost is all that scales with n.
+    network = gnp_graph(n, 6.0 / n, seed=19)
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=2, seed=19, epsilon=0.5)
+    ids = random_ids(network, seed=19, bits=40)
+    ledger = CostLedger()
+    with use_engine(engine or "fast"):
+        result = fast_two_sweep(
+            instance, ids, 2 ** 40, 2, 0.5, ledger=ledger, check=False
+        )
+    return result.colors, ledger, network
+
+
 WORKLOADS = [
     ("gnp_stragglers", workload_gnp_stragglers),
     ("gnp_greedy_sweep", workload_gnp_greedy_sweep),
@@ -331,6 +373,8 @@ WORKLOADS = [
     ("clique_exchange", workload_clique_exchange),
     ("linial_algebraic", workload_linial_algebraic),
     ("star_fanout", workload_star_fanout),
+    ("two_sweep", workload_two_sweep),
+    ("fast_two_sweep", workload_fast_two_sweep),
 ]
 
 

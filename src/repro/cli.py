@@ -50,21 +50,35 @@ def _print_ledger(ledger: CostLedger, extra_rows=()) -> None:
 def cmd_two_sweep(args: argparse.Namespace) -> int:
     network = gnp_graph(args.n, args.density, seed=args.seed)
     graph = orient_by_id(network)
-    instance = random_oldc_instance(graph, p=args.p, seed=args.seed)
-    ids = sequential_ids(network)
+    instance = random_oldc_instance(
+        graph, p=args.p, seed=args.seed, epsilon=args.epsilon
+    )
+    if args.id_bits > 0:
+        ids = random_ids(network, seed=args.seed, bits=args.id_bits)
+        q = 2 ** args.id_bits
+    else:
+        ids = sequential_ids(network)
+        q = args.n
     ledger = CostLedger()
     if args.auto:
-        result = solve_oldc_auto(instance, ids, args.n, ledger=ledger)
+        result = solve_oldc_auto(instance, ids, q, ledger=ledger)
         print(f"auto plan: {result.stats}")
+    elif args.epsilon > 0.0:
+        from .core import fast_two_sweep
+
+        result = fast_two_sweep(
+            instance, ids, q, args.p, args.epsilon, ledger=ledger
+        )
     else:
-        result = two_sweep(instance, ids, args.n, args.p, ledger=ledger)
+        result = two_sweep(instance, ids, q, args.p, ledger=ledger)
     violations = check_oldc(instance, result.colors)
     if violations:
         print("INVALID:", violations[:3])
         return 1
+    algorithm = "fast-two-sweep" if args.epsilon > 0.0 else "two-sweep"
     print(
-        f"two-sweep: n={args.n} Delta={network.raw_max_degree()} "
-        f"p={args.p} -- oriented list defective coloring verified"
+        f"{algorithm}: n={args.n} Delta={network.raw_max_degree()} "
+        f"p={args.p} q={q} -- oriented list defective coloring verified"
     )
     _print_ledger(ledger, [["colors used", result.color_count()]])
     return 0
@@ -264,13 +278,30 @@ def build_parser() -> argparse.ArgumentParser:
              "variable; vectorized batches homogeneous node programs "
              "and falls back to fast otherwise)",
     )
+    parser.add_argument(
+        "--kernel-stats", action="store_true",
+        help="after the command, print the vectorized engine's kernel "
+             "hit/fallback/warmup counters (shows whether runs actually "
+             "went through a kernel)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_ts = sub.add_parser("two-sweep", help="run Algorithm 1")
+    p_ts = sub.add_parser("two-sweep", help="run Algorithm 1 / 2")
     p_ts.add_argument("--n", type=int, default=80)
     p_ts.add_argument("--density", type=float, default=0.08)
     p_ts.add_argument("--p", type=int, default=3)
     p_ts.add_argument("--seed", type=int, default=7)
+    p_ts.add_argument(
+        "--epsilon", type=float, default=0.0,
+        help="run Algorithm 2 (Fast-Two-Sweep) with this epsilon > 0 "
+             "instead of the plain sweep",
+    )
+    p_ts.add_argument(
+        "--id-bits", type=int, default=0,
+        help="color initially by random IDs with this many bits "
+             "(q = 2^bits, Algorithm 2's regime); 0 means sequential "
+             "IDs with q = n",
+    )
     p_ts.add_argument("--auto", action="store_true",
                       help="choose (p, eps) automatically")
     p_ts.set_defaults(func=cmd_two_sweep)
@@ -343,8 +374,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         status = profiler.runcall(args.func, args)
         stats = pstats.Stats(profiler, stream=sys.stdout)
         stats.sort_stats("cumulative").print_stats(25)
-        return status
-    return args.func(args)
+    else:
+        status = args.func(args)
+    if args.kernel_stats:
+        from .sim import kernel_stats
+
+        counters = kernel_stats()
+        print(render_table(
+            ["kernel stat", "value"],
+            [
+                ["runs", counters["runs"]],
+                ["hits", counters["hits"]],
+                ["fallbacks", counters["fallbacks"]],
+                ["warmup_s", f"{counters['warmup_s']:.6f}"],
+                ["by kernel", ", ".join(
+                    f"{name} x{count}"
+                    for name, count in sorted(counters["by_kernel"].items())
+                ) or "-"],
+                ["by reason", ", ".join(
+                    f"{name} x{count}"
+                    for name, count in sorted(counters["by_reason"].items())
+                ) or "-"],
+            ],
+        ))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ bounded by ``alpha * beta_v``), and the reduced instance keeps
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Optional
+from typing import Dict, Hashable, List, Mapping, Optional
 
 from ..coloring.defects import drop_negative_defects
 from ..coloring.instance import OLDCInstance
@@ -66,12 +66,21 @@ def fast_two_sweep(instance: OLDCInstance,
                    epsilon: float,
                    ledger: Optional[CostLedger] = None,
                    bandwidth: Optional[BandwidthModel] = None,
-                   check: bool = True) -> ColoringResult:
+                   check: bool = True,
+                   trace: Optional[List[dict]] = None) -> ColoringResult:
     """Run Algorithm 2: OLDC in O(min{q, (p/eps)^2 + log* q}) rounds.
 
     With ``epsilon = 0`` this is exactly Algorithm 1.  The instance must
     satisfy Eq. (7); ``initial_colors`` must be a proper ``q``-coloring
-    with colors ``0..q-1``.
+    with colors ``0..q-1``.  ``trace`` collects the inner sweep's
+    per-node phase events (and, like every trace, pins that sweep to the
+    per-node engines -- the vectorized kernels decline traced runs).
+
+    Both phases of the composition are kernelized: under
+    ``engine="vectorized"`` the Lemma 3.4 recoloring runs through
+    ``AlgebraicRecoloringKernel`` and the final sweep through
+    :class:`~repro.core.two_sweep.TwoSweepKernel`, bit-identical to the
+    reference engine.
     """
     ledger = ensure_ledger(ledger)
     if check:
@@ -79,13 +88,13 @@ def fast_two_sweep(instance: OLDCInstance,
     if epsilon == 0.0:
         return two_sweep(
             instance, initial_colors, q, p,
-            ledger=ledger, bandwidth=bandwidth, check=check,
+            ledger=ledger, bandwidth=bandwidth, check=check, trace=trace,
         )
     # Line 1 of Algorithm 2: with few initial colors the plain sweep wins.
     if q <= (p / epsilon) ** 2 + log_star(q):
         return two_sweep(
             instance, initial_colors, q, p,
-            ledger=ledger, bandwidth=bandwidth, check=check,
+            ledger=ledger, bandwidth=bandwidth, check=check, trace=trace,
         )
 
     graph = instance.graph
@@ -132,7 +141,7 @@ def fast_two_sweep(instance: OLDCInstance,
             )
     result = two_sweep(
         inner, psi, palette, p,
-        ledger=ledger, bandwidth=bandwidth, check=False,
+        ledger=ledger, bandwidth=bandwidth, check=False, trace=trace,
     )
     return ColoringResult(
         colors=result.colors, orientation=None, ledger=ledger,

@@ -36,13 +36,19 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..coloring.instance import OLDCInstance
 from ..coloring.result import ColoringResult
-from ..sim.congest import BandwidthModel
+from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import (
     AlgorithmFailure,
     InfeasibleInstanceError,
     InstanceError,
 )
-from ..sim.message import color_bits
+from ..sim.kernels import (
+    KernelRound,
+    RoundKernel,
+    fanout_totals,
+    register_kernel,
+)
+from ..sim.message import Message, color_bits, intern_broadcast
 from ..sim.metrics import CostLedger, ensure_ledger
 from ..sim.node import NodeProgram, RoundContext
 from ..sim.scheduler import run_protocol
@@ -283,3 +289,280 @@ def two_sweep(instance: OLDCInstance,
             "total_local_work": sum(work),
         },
     )
+
+
+class TwoSweepKernel(RoundKernel):
+    """Array-at-a-time Two-Sweep: one column pass per sweep step.
+
+    The round layout makes the population embarrassingly bucketable: at
+    most one color class acts per round (Phase I windows ``[2, q + 1]``
+    and Phase II windows ``[q + 2, 2q + 1]`` are disjoint), so each step
+    touches only that round's deciders while the per-node engines still
+    dispatch an ``on_round`` no-op for every waiting node.  Two facts
+    make the event-driven rewrite exact:
+
+    * ``k_v`` is *final* at ``v``'s Phase I turn -- an earlier
+      out-neighbor of class ``c' < c`` broadcasts its sub-list in round
+      ``2 + c'`` and it is ingested no later than round ``2 + c``, so
+      the kernel can fold all earlier sub-lists at decision time instead
+      of at delivery time;
+    * ``r_v`` is final at ``v``'s Phase II turn -- every later
+      out-neighbor decided in a strictly earlier round -- so it is
+      derived from the finals column on the spot.
+
+    ``local_work`` accrues identically in total (per sub-list entry and
+    final received, plus the sort and probe costs), just attributed to
+    the owner's turn instead of the delivery rounds.  The last Phase II
+    round sends nothing (no neighbor of the minimum present class has a
+    smaller initial color), giving the same clean quiescence round as
+    the reference engine.
+
+    Declines traces (per-round events cannot be replayed from a bucketed
+    pass), mid-run state, non-uniform ``q``/``color_space_size``, and
+    initial colors outside ``[0, q)``.  ``finalize`` restores
+    ``final_color``, ``sublist``, ``k``, ``r`` and ``local_work``; the
+    ``neighbor_initial`` ingest dict is not reconstructed (same
+    convention as the greedy-sweep kernel), and on a ``max_rounds``-
+    truncated run nodes that never reached a turn keep zeroed ``k`` /
+    ``r`` / ``local_work`` rather than partially-delivered counts.
+    """
+
+    def prepare(self, compiled, programs, bandwidth):
+        first = programs[0]
+        q = first.q
+        color_space_size = first.color_space_size
+        for program in programs:
+            if (program.q != q
+                    or program.color_space_size != color_space_size
+                    or program.trace is not None
+                    or program.final_color is not None
+                    or program.sublist or program.neighbor_initial
+                    or program.local_work
+                    or any(program.k.values()) or any(program.r.values())
+                    or not 0 <= program.initial_color < q):
+                return None
+        order = compiled.order
+        indptr = compiled.indptr
+        indices = compiled.indices
+        initial = [program.initial_color for program in programs]
+        out_earlier: List[list] = []
+        out_later: List[list] = []
+        recv_earlier: List[list] = []
+        by_class: Dict[int, list] = {}
+        for i, own in enumerate(initial):
+            outs = programs[i].out_neighbors
+            earlier: List[int] = []
+            later: List[int] = []
+            receivers: List[int] = []
+            # Row order is ``ctx.neighbors`` order, which fixes the
+            # CONGEST per-message check order for the Phase II sends.
+            for j in indices[indptr[i]:indptr[i + 1]]:
+                other = initial[j]
+                if other < own:
+                    receivers.append(j)
+                    if order[j] in outs:
+                        earlier.append(j)
+                elif other > own and order[j] in outs:
+                    later.append(j)
+            out_earlier.append(earlier)
+            out_later.append(later)
+            recv_earlier.append(receivers)
+            by_class.setdefault(own, []).append(i)
+        total_copies, envelopes = fanout_totals(compiled)
+        n = len(programs)
+        return {
+            "programs": programs,
+            "order": order,
+            "initial": initial,
+            "out_earlier": out_earlier,
+            "out_later": out_later,
+            "recv_earlier": recv_earlier,
+            "by_class": by_class,
+            "sublists": [()] * n,
+            "kdicts": [None] * n,
+            "rcounts": [None] * n,
+            "finals": [None] * n,
+            "work": [0] * n,
+            "remaining": n,
+            "q": q,
+            "total_copies": total_copies,
+            "envelopes": envelopes,
+            "bits_initial": color_bits(q),
+            "bits_color": color_bits(color_space_size),
+            "check": (None if type(bandwidth) is LocalModel
+                      else bandwidth.check),
+            "check_fanout": (None if type(bandwidth) is LocalModel
+                             else bandwidth.check_fanout),
+            "degrees": compiled.degrees,
+        }
+
+    def step(self, round_number, columns, inboxes) -> KernelRound:
+        if round_number == 1:
+            bits = columns["bits_initial"]
+            check_fanout = columns["check_fanout"]
+            if check_fanout is not None:
+                order = columns["order"]
+                initial = columns["initial"]
+                for i, degree in enumerate(columns["degrees"]):
+                    if degree:
+                        check_fanout(
+                            intern_broadcast(
+                                order[i], _TAG_INITIAL, initial[i], bits
+                            ),
+                            degree,
+                        )
+            copies = columns["total_copies"]
+            return KernelRound(
+                active=columns["remaining"],
+                messages=copies,
+                bits=copies * bits,
+                max_message_bits=bits if copies else 0,
+                broadcasts=columns["envelopes"],
+            )
+        q = columns["q"]
+        if round_number <= q + 1:
+            return self._step_phase1(round_number - 2, columns)
+        return self._step_phase2(2 * q + 1 - round_number, columns)
+
+    def _step_phase1(self, color_class: int, columns) -> KernelRound:
+        deciders = columns["by_class"].get(color_class, ())
+        messages = 0
+        bits = 0
+        max_bits = 0
+        envelopes = 0
+        if deciders:
+            programs = columns["programs"]
+            order = columns["order"]
+            out_earlier = columns["out_earlier"]
+            sublists = columns["sublists"]
+            kdicts = columns["kdicts"]
+            work = columns["work"]
+            degrees = columns["degrees"]
+            bits_color = columns["bits_color"]
+            check_fanout = columns["check_fanout"]
+        for i in deciders:
+            program = programs[i]
+            defect = program.defect_fn
+            k = {color: 0 for color in program.color_list}
+            lw = 0
+            for j in out_earlier[i]:
+                for color in sublists[j]:
+                    lw += 1
+                    if color in k:
+                        k[color] += 1
+            ranked = sorted(
+                program.color_list,
+                key=lambda color: (-(defect[color] - k[color]), color),
+            )
+            size = len(program.color_list)
+            lw += size * max(1, (size - 1).bit_length())
+            sub = tuple(ranked[:program.p])
+            sublists[i] = sub
+            kdicts[i] = k
+            work[i] += lw
+            degree = degrees[i]
+            if degree:
+                payload_bits = len(sub) * bits_color
+                if check_fanout is not None:
+                    check_fanout(
+                        intern_broadcast(
+                            order[i], _TAG_SUBLIST, sub, payload_bits
+                        ),
+                        degree,
+                    )
+                messages += degree
+                bits += degree * payload_bits
+                if payload_bits > max_bits:
+                    max_bits = payload_bits
+                envelopes += 1
+        return KernelRound(
+            active=columns["remaining"],
+            messages=messages,
+            bits=bits,
+            max_message_bits=max_bits,
+            broadcasts=envelopes,
+        )
+
+    def _step_phase2(self, color_class: int, columns) -> KernelRound:
+        deciders = columns["by_class"].get(color_class, ())
+        messages = 0
+        if deciders:
+            programs = columns["programs"]
+            order = columns["order"]
+            out_later = columns["out_later"]
+            recv_earlier = columns["recv_earlier"]
+            sublists = columns["sublists"]
+            kdicts = columns["kdicts"]
+            rcounts = columns["rcounts"]
+            finals = columns["finals"]
+            work = columns["work"]
+            bits_color = columns["bits_color"]
+            check = columns["check"]
+        for i in deciders:
+            program = programs[i]
+            k = kdicts[i]
+            defect = program.defect_fn
+            rc: Dict[Color, int] = {}
+            lw = 0
+            for j in out_later[i]:
+                lw += 1
+                neighbor_final = finals[j]
+                if neighbor_final in k:
+                    rc[neighbor_final] = rc.get(neighbor_final, 0) + 1
+            chosen = None
+            for color in sorted(sublists[i]):
+                lw += 1
+                if k[color] + rc.get(color, 0) <= defect[color]:
+                    chosen = color
+                    break
+            if chosen is None:
+                r = {color: 0 for color in program.color_list}
+                r.update(rc)
+                raise AlgorithmFailure(
+                    f"node {program.node!r}: no color in S_v = "
+                    f"{sublists[i]} satisfies Eq. (5); k={k} r={r} -- "
+                    f"Eq. (2) must have been violated"
+                )
+            finals[i] = chosen
+            rcounts[i] = rc
+            work[i] += lw
+            receivers = recv_earlier[i]
+            if receivers:
+                if check is not None:
+                    sender = order[i]
+                    for j in receivers:
+                        check(Message(
+                            sender, order[j], _TAG_FINAL, chosen, bits_color
+                        ))
+                messages += len(receivers)
+        remaining = columns["remaining"] - len(deciders)
+        columns["remaining"] = remaining
+        bits_color = columns["bits_color"]
+        return KernelRound(
+            active=remaining,
+            messages=messages,
+            bits=messages * bits_color,
+            max_message_bits=bits_color if messages else 0,
+        )
+
+    def finalize(self, columns, programs) -> None:
+        sublists = columns["sublists"]
+        kdicts = columns["kdicts"]
+        rcounts = columns["rcounts"]
+        finals = columns["finals"]
+        work = columns["work"]
+        for i, program in enumerate(programs):
+            program.sublist = sublists[i]
+            program.final_color = finals[i]
+            program.local_work = work[i]
+            k = kdicts[i]
+            if k is not None:
+                program.k = k
+            r = {color: 0 for color in program.color_list}
+            rc = rcounts[i]
+            if rc:
+                r.update(rc)
+            program.r = r
+
+
+register_kernel(TwoSweepProgram, TwoSweepKernel)

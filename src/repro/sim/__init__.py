@@ -14,10 +14,13 @@ from .errors import (
 )
 from .kernels import (
     KernelRound,
+    KernelStats,
     RoundKernel,
     kernel_for,
+    kernel_stats,
     register_kernel,
     registered_kernels,
+    reset_kernel_stats,
     unregister_kernel,
 )
 from .message import (
@@ -33,7 +36,7 @@ from .message import (
 from .metrics import CostLedger, PhaseStats, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
-from .parallel import derive_seed, parallel_sweep, run_trials
+from .parallel import SweepReport, derive_seed, parallel_sweep, run_trials
 from .scheduler import (
     DEFAULT_MAX_ROUNDS,
     ENGINES,
@@ -58,6 +61,7 @@ __all__ = [
     "InfeasibleInstanceError",
     "InstanceError",
     "KernelRound",
+    "KernelStats",
     "LocalModel",
     "Message",
     "Network",
@@ -72,6 +76,7 @@ __all__ = [
     "Scheduler",
     "SchedulerError",
     "SimulationError",
+    "SweepReport",
     "clear_payload_memo",
     "color_bits",
     "default_engine",
@@ -82,10 +87,12 @@ __all__ = [
     "intern_broadcast",
     "intern_payload",
     "kernel_for",
+    "kernel_stats",
     "parallel_sweep",
     "payload_bits",
     "register_kernel",
     "registered_kernels",
+    "reset_kernel_stats",
     "run_protocol",
     "run_trials",
     "set_default_engine",

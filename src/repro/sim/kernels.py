@@ -173,6 +173,77 @@ def registered_kernels() -> Tuple[type, ...]:
 
 
 # ----------------------------------------------------------------------
+# Process-level kernel statistics
+#
+# The vectorized engine falls back to the fast engine *silently* -- by
+# design (the results are identical), but silently is exactly how a
+# benchmark ends up measuring the wrong code path.  The scheduler
+# records every eligibility decision here so sweep reports and the CLI
+# can surface whether runs actually went through a kernel, which kernel,
+# how long ``prepare`` (the warmup) took, and why any run fell back.
+# ----------------------------------------------------------------------
+class KernelStats:
+    """Cumulative counters for vectorized-engine dispatch decisions.
+
+    ``runs = hits + fallbacks``; ``warmup_s`` accumulates the wall-clock
+    spent in ``prepare`` (including declined prepares, which also pay
+    it); ``by_kernel`` maps kernel class names to hit counts and
+    ``by_reason`` maps fallback reasons (``observer`` / ``stop_when`` /
+    ``empty`` / ``mixed`` / ``unregistered`` / ``declined``) to counts.
+    """
+
+    __slots__ = ("runs", "hits", "fallbacks", "warmup_s", "by_kernel",
+                 "by_reason")
+
+    def __init__(self):
+        self.runs = 0
+        self.hits = 0
+        self.fallbacks = 0
+        self.warmup_s = 0.0
+        self.by_kernel: Dict[str, int] = {}
+        self.by_reason: Dict[str, int] = {}
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A picklable snapshot (ships across process-pool boundaries)."""
+        return {
+            "runs": self.runs,
+            "hits": self.hits,
+            "fallbacks": self.fallbacks,
+            "warmup_s": self.warmup_s,
+            "by_kernel": dict(self.by_kernel),
+            "by_reason": dict(self.by_reason),
+        }
+
+
+_stats = KernelStats()
+
+
+def kernel_stats() -> Dict[str, Any]:
+    """A snapshot of this process's cumulative kernel statistics."""
+    return _stats.as_dict()
+
+
+def reset_kernel_stats() -> None:
+    """Zero the counters (benchmark harnesses, tests)."""
+    global _stats
+    _stats = KernelStats()
+
+
+def _record_hit(kernel_name: str, warmup_s: float) -> None:
+    _stats.runs += 1
+    _stats.hits += 1
+    _stats.warmup_s += warmup_s
+    _stats.by_kernel[kernel_name] = _stats.by_kernel.get(kernel_name, 0) + 1
+
+
+def _record_fallback(reason: str, warmup_s: float = 0.0) -> None:
+    _stats.runs += 1
+    _stats.fallbacks += 1
+    _stats.warmup_s += warmup_s
+    _stats.by_reason[reason] = _stats.by_reason.get(reason, 0) + 1
+
+
+# ----------------------------------------------------------------------
 # Shared helpers for kernel implementations
 # ----------------------------------------------------------------------
 def fanout_totals(compiled: CompiledNetwork) -> Tuple[int, int]:

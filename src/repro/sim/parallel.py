@@ -69,7 +69,7 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
 
 def _call_measure(task):
     """Top-level worker target (must be importable for pickling)."""
-    measure, params, timing = task
+    measure, params, timing, collect = task
     start = time.perf_counter()
     record = measure(**params)
     elapsed = time.perf_counter() - start
@@ -77,6 +77,17 @@ def _call_measure(task):
     tagged.update(record)
     if timing:
         tagged["wall_s"] = elapsed
+    if collect:
+        # Piggy-back this worker's cumulative kernel counters on the
+        # record; the parent pops them off and keeps, per pid, the
+        # snapshot with the most runs (counters are monotonic, so that
+        # is the worker's final state regardless of completion order).
+        from .kernels import kernel_stats
+        from .scheduler import default_engine
+
+        tagged["__worker__"] = dict(
+            kernel_stats(), pid=os.getpid(), engine=default_engine()
+        )
     return tagged
 
 
@@ -100,16 +111,22 @@ def _init_worker(state, engine=None):
     """Pool initializer: seed a worker with the parent's caches and
     scheduler engine.
 
-    Workers inherit ``REPRO_SIM_ENGINE`` through the environment, but a
-    parent that selected an engine programmatically (``use_engine`` /
-    ``set_default_engine`` -- e.g. the benchmark runner measuring the
-    vectorized path) must ship that choice explicitly or every worker
-    would silently measure the default.
+    The engine is resolved *once in the parent* (explicit argument, else
+    the parent's ``default_engine()`` -- which reads ``use_engine`` /
+    ``set_default_engine`` overrides and the parent's current
+    ``REPRO_SIM_ENGINE``) and shipped explicitly: a forked worker's
+    environment is frozen at spawn time, so without this an engine
+    selected after the pool exists would be silently ignored.  Kernel
+    counters are zeroed so per-worker stats describe this sweep only
+    (``fork`` otherwise inherits the parent's cumulative counters).
     """
     if engine is not None:
         from .scheduler import set_default_engine
 
         set_default_engine(engine)
+    from .kernels import reset_kernel_stats
+
+    reset_kernel_stats()
     if state is None:
         return
     try:
@@ -119,58 +136,175 @@ def _init_worker(state, engine=None):
     substrate_cache.restore(state)
 
 
+class SweepReport(list):
+    """The records of a sweep plus per-worker engine/kernel telemetry.
+
+    A ``list`` subclass so ``parallel_sweep(..., report=True)`` stays a
+    drop-in for the plain record list; ``workers`` holds one dict per
+    pool worker (or one for the in-process serial run) with ``pid``,
+    ``engine``, and that worker's :func:`~repro.sim.kernels.kernel_stats`
+    counters -- the visibility knob for the vectorized engine's *silent*
+    fallback-to-fast: a sweep that meant to measure kernels but shows
+    ``hits == 0`` is measuring the wrong code path.
+    """
+
+    def __init__(self, records: Iterable[Record], engine: str,
+                 workers: List[Dict[str, Any]], wall_s: float):
+        super().__init__(records)
+        self.engine = engine
+        self.workers = workers
+        self.wall_s = wall_s
+
+    @property
+    def records(self) -> List[Record]:
+        return list(self)
+
+    def describe(self) -> str:
+        """A human-readable multi-line summary (benchmark stdout)."""
+        lines = [
+            f"sweep: {len(self)} trials, engine={self.engine}, "
+            f"{len(self.workers)} worker(s), wall {self.wall_s:.2f}s"
+        ]
+        for worker in self.workers:
+            kernels = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(worker["by_kernel"].items())
+            ) or "none"
+            reasons = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(worker["by_reason"].items())
+            ) or "none"
+            lines.append(
+                f"  worker pid={worker['pid']} engine={worker['engine']}: "
+                f"{worker['hits']}/{worker['runs']} kernel hits "
+                f"[{kernels}], fallbacks [{reasons}], "
+                f"warmup {worker['warmup_s'] * 1e3:.2f} ms"
+            )
+        return "\n".join(lines)
+
+
+def _pop_worker_stats(records: List[Record]) -> List[Dict[str, Any]]:
+    """Strip the piggy-backed ``__worker__`` snapshots off the records
+    and reduce them to one final snapshot per worker pid."""
+    by_pid: Dict[int, Dict[str, Any]] = {}
+    for record in records:
+        snap = record.pop("__worker__", None)
+        if snap is None:
+            continue
+        prev = by_pid.get(snap["pid"])
+        if prev is None or snap["runs"] >= prev["runs"]:
+            by_pid[snap["pid"]] = snap
+    return [by_pid[pid] for pid in sorted(by_pid)]
+
+
+def _stats_delta(before: Dict[str, Any], after: Dict[str, Any],
+                 engine: str) -> Dict[str, Any]:
+    """Kernel-counter delta for the serial path (the in-process counters
+    are cumulative and may predate the sweep)."""
+
+    def sub(field: str) -> Dict[str, int]:
+        return {
+            name: count - before[field].get(name, 0)
+            for name, count in after[field].items()
+            if count - before[field].get(name, 0)
+        }
+
+    return {
+        "pid": os.getpid(),
+        "engine": engine,
+        "runs": after["runs"] - before["runs"],
+        "hits": after["hits"] - before["hits"],
+        "fallbacks": after["fallbacks"] - before["fallbacks"],
+        "warmup_s": after["warmup_s"] - before["warmup_s"],
+        "by_kernel": sub("by_kernel"),
+        "by_reason": sub("by_reason"),
+    }
+
+
 def parallel_sweep(measure: Measure,
                    params_list: Iterable[Mapping[str, Any]],
                    max_workers: Optional[int] = None,
-                   timing: bool = False) -> List[Record]:
+                   timing: bool = False,
+                   engine: Optional[str] = None,
+                   report: bool = False) -> List[Record]:
     """Run ``measure(**params)`` for every parameter dict, across processes.
 
     A drop-in replacement for :func:`repro.analysis.experiments.sweep`:
     each record is the parameter dict updated with the measured record
     (plus ``wall_s`` when ``timing``), in the order of ``params_list``.
+
+    ``engine`` pins the scheduler engine for every trial (validated in
+    the parent, applied in each worker -- and via ``use_engine`` on the
+    serial path); ``None`` means the parent's current default, resolved
+    once at call time.  With ``report=True`` the returned list is a
+    :class:`SweepReport` carrying per-worker kernel hit/fallback/warmup
+    stats.
     """
-    tasks = [(measure, dict(params), timing) for params in params_list]
+    from .scheduler import _validate_engine, default_engine, use_engine
+
+    resolved = (_validate_engine(engine) if engine is not None
+                else default_engine())
+    start = time.perf_counter()
+    tasks = [(measure, dict(params), timing, report) for params in params_list]
     workers = min(resolve_workers(max_workers), max(1, len(tasks)))
-    if workers <= 1 or len(tasks) <= 1:
-        return [_call_measure(task) for task in tasks]
-    try:
-        from concurrent.futures import ProcessPoolExecutor
+    records: Optional[List[Record]] = None
+    worker_stats: List[Dict[str, Any]] = []
+    if workers > 1 and len(tasks) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
 
-        from .scheduler import default_engine
+            # Warm substrate caches (schedules, polynomial families,
+            # prime tables, interned networks with their compiled CSR
+            # topologies) computed in this process are shipped to every
+            # worker once, instead of each worker re-deriving them per
+            # trial; the resolved engine choice rides along.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(_substrate_snapshot(), resolved),
+            ) as pool:
+                records = list(pool.map(_call_measure, tasks))
+            worker_stats = _pop_worker_stats(records)
+        except (ImportError, OSError, PermissionError):
+            # No usable process pool on this platform; results are
+            # identical either way, only wall-clock differs.
+            records = None
+    if records is None:
+        from .kernels import kernel_stats
 
-        # Warm substrate caches (schedules, polynomial families, prime
-        # tables) computed in this process are shipped to every worker
-        # once, instead of each worker re-deriving them per trial; the
-        # parent's engine selection rides along.
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(_substrate_snapshot(), default_engine()),
-        ) as pool:
-            return list(pool.map(_call_measure, tasks))
-    except (ImportError, OSError, PermissionError):
-        # No usable process pool on this platform; results are identical
-        # either way, only wall-clock differs.
-        return [_call_measure(task) for task in tasks]
+        serial_tasks = [(m, p, t, False) for (m, p, t, _) in tasks]
+        before = kernel_stats() if report else None
+        with use_engine(resolved):
+            records = [_call_measure(task) for task in serial_tasks]
+        if report:
+            worker_stats = [_stats_delta(before, kernel_stats(), resolved)]
+    if not report:
+        return records
+    return SweepReport(
+        records, resolved, worker_stats, time.perf_counter() - start
+    )
 
 
 def run_trials(measure: Callable[..., Any],
                trials: int,
                base_seed: int = 0,
                max_workers: Optional[int] = None,
+               engine: Optional[str] = None,
                **common: Any) -> List[Any]:
     """Run ``trials`` seeded repetitions of ``measure`` across processes.
 
     Trial ``i`` is called as ``measure(seed=derive_seed(base_seed, i),
     **common)``; results come back in trial order.  Use this for
     repeated-trial benchmarks where :func:`parallel_sweep`'s grid shape
-    does not fit.
+    does not fit.  ``engine`` is resolved in the parent exactly as in
+    :func:`parallel_sweep`.
     """
     params_list = [
         dict(common, seed=derive_seed(base_seed, i)) for i in range(trials)
     ]
     records = parallel_sweep(
-        _strip_record(measure), params_list, max_workers=max_workers
+        _strip_record(measure), params_list, max_workers=max_workers,
+        engine=engine,
     )
     return [record["result"] for record in records]
 

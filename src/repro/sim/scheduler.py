@@ -59,6 +59,7 @@ for a whole protocol stack (:func:`use_engine`).
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
@@ -77,7 +78,17 @@ DEFAULT_MAX_ROUNDS = 1_000_000
 #: The engines understood by :meth:`Scheduler.run`.
 ENGINES = ("fast", "reference", "vectorized")
 
-_default_engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
+#: Environment variable naming the process-default engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: A programmatic engine selection (``set_default_engine`` /
+#: :func:`use_engine`); ``None`` means "defer to the environment".  Kept
+#: separate from the environment read so that ``REPRO_SIM_ENGINE`` is
+#: honored *dynamically* -- setting it after import (or after a process
+#: pool's parent imported this module) still takes effect, which the
+#: parallel trial runner relies on to resolve the engine once in the
+#: parent and ship it to every worker.
+_engine_override: Optional[str] = None
 
 
 def _validate_engine(name: str) -> str:
@@ -89,15 +100,22 @@ def _validate_engine(name: str) -> str:
 
 
 def default_engine() -> str:
-    """The engine used when :meth:`Scheduler.run` gets ``engine=None``."""
-    return _default_engine
+    """The engine used when :meth:`Scheduler.run` gets ``engine=None``.
+
+    A programmatic selection wins; otherwise the *current* value of
+    ``REPRO_SIM_ENGINE`` (re-read on every call, so late environment
+    changes are honored), falling back to ``"fast"``.
+    """
+    if _engine_override is not None:
+        return _engine_override
+    return os.environ.get(ENGINE_ENV, "fast")
 
 
 def set_default_engine(name: str) -> str:
     """Set the process-wide default engine; returns the previous one."""
-    global _default_engine
-    previous = _default_engine
-    _default_engine = _validate_engine(name)
+    global _engine_override
+    previous = default_engine()
+    _engine_override = _validate_engine(name)
     return previous
 
 
@@ -107,13 +125,17 @@ def use_engine(name: str) -> Iterator[None]:
 
     Lets benchmarks and equivalence tests push a whole protocol stack --
     including nested :func:`run_protocol` calls deep inside compositions
-    -- onto one engine without threading a parameter everywhere.
+    -- onto one engine without threading a parameter everywhere.  On exit
+    the previous override state is restored exactly (including the
+    "no override, defer to the environment" state).
     """
-    previous = set_default_engine(name)
+    global _engine_override
+    saved = _engine_override
+    set_default_engine(name)
     try:
         yield
     finally:
-        set_default_engine(previous)
+        _engine_override = saved
 
 
 class Scheduler:
@@ -157,7 +179,7 @@ class Scheduler:
         ``"fast"`` for populations it cannot batch.
         """
         name = _validate_engine(engine if engine is not None
-                                else _default_engine)
+                                else default_engine())
         if name == "reference":
             return self._run_reference(max_rounds)
         if name == "vectorized":
@@ -412,28 +434,39 @@ class Scheduler:
         granularity) -- falls back to :meth:`_run_fast`, which handles
         any population with identical semantics.
         """
-        from .kernels import kernel_for  # local: avoid import cycle
+        # Local imports: avoid an import cycle with the kernel layer.
+        from .kernels import _record_fallback, _record_hit, kernel_for
 
         if self.observer is not None or self.stop_when is not None:
+            _record_fallback(
+                "observer" if self.observer is not None else "stop_when"
+            )
             return self._run_fast(max_rounds)
         programs_map = self.programs
         if not programs_map:
+            _record_fallback("empty")
             return self._run_fast(max_rounds)
         iterator = iter(programs_map.values())
         cls = next(iterator).__class__
         for program in iterator:
             if program.__class__ is not cls:
+                _record_fallback("mixed")
                 return self._run_fast(max_rounds)
         factory = kernel_for(cls)
         if factory is None:
+            _record_fallback("unregistered")
             return self._run_fast(max_rounds)
 
         compiled = self.network.compile()
         programs = [programs_map[node] for node in compiled.order]
         kernel = factory()
+        warmup_start = time.perf_counter()
         columns = kernel.prepare(compiled, programs, self.bandwidth)
+        warmup_s = time.perf_counter() - warmup_start
         if columns is None:
+            _record_fallback("declined", warmup_s)
             return self._run_fast(max_rounds)
+        _record_hit(type(kernel).__name__, warmup_s)
 
         ledger = self.ledger
         step = kernel.step

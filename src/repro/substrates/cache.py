@@ -68,18 +68,22 @@ def set_cache_enabled(enabled: bool) -> bool:
     return previous
 
 
-def registry(name: str) -> Dict[Any, Any]:
+def registry(name: str, limit: int = REGISTRY_LIMIT) -> Dict[Any, Any]:
     """The named memo table (created empty on first use).
 
     Callers own the key/value convention of their registry; this module
     only provides the shared lifecycle (clear / snapshot / restore) and
     the ``REPRO_SIM_CACHE`` switch.  Callers should check
-    :func:`cache_enabled` before reading or writing.
+    :func:`cache_enabled` before reading or writing.  ``limit`` caps the
+    table size before it is cleared rather than growing without bound --
+    registries holding heavy values (e.g. the interned networks with
+    their compiled CSR topologies) pass a much smaller cap than the
+    default, which is sized for scalar derivations.
     """
     table = _registries.get(name)
     if table is None:
         table = _registries[name] = {}
-    elif len(table) >= REGISTRY_LIMIT:
+    elif len(table) >= limit:
         table.clear()
     return table
 

@@ -22,13 +22,14 @@ from repro.coloring import (
     random_arbdefective_instance,
     random_oldc_instance,
 )
-from repro.core import two_sweep
+from repro.core import fast_two_sweep, two_sweep
 from repro.graphs import (
     binary_tree,
     complete_graph,
     gnp_graph,
     orient_by_id,
     random_bounded_degree_graph,
+    random_ids,
     sequential_ids,
 )
 from repro.sim import (
@@ -88,6 +89,20 @@ def run_two_sweep(network):
     return result.colors, ledger
 
 
+def run_fast_two_sweep(network):
+    # 18-bit random identifiers put q far above (p / eps)^2 + log* q,
+    # so this takes Algorithm 2's defective-coloring route: the
+    # AlgebraicRecoloringKernel feeds the TwoSweepKernel end to end.
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=2, seed=29, epsilon=0.5)
+    ledger = CostLedger()
+    result = fast_two_sweep(
+        instance, random_ids(network, seed=29, bits=18),
+        2 ** 18, 2, 0.5, ledger=ledger,
+    )
+    return result.colors, ledger
+
+
 def run_linial(network):
     ledger = CostLedger()
     colors, palette = linial_coloring(
@@ -126,6 +141,7 @@ def run_color_reduction(network):
 
 PROTOCOLS = {
     "two_sweep": run_two_sweep,
+    "fast_two_sweep": run_fast_two_sweep,
     "linial": run_linial,
     "color_reduction": run_color_reduction,
     "greedy_sweep": run_greedy_sweep,
@@ -214,14 +230,18 @@ def test_congest_model_equivalent():
 
 
 @pytest.mark.parametrize(
-    "protocol", ["linial", "color_reduction", "greedy_sweep"]
+    "protocol",
+    ["linial", "color_reduction", "greedy_sweep", "two_sweep",
+     "fast_two_sweep"],
 )
 def test_congest_on_kernelized_protocols(protocol):
     """CONGEST accounting through the actual round kernels.
 
-    These three protocols have registered kernels, so the vectorized
-    engine runs them array-at-a-time -- including the per-fan-out
-    bandwidth checks -- and must reproduce the reference ledger exactly.
+    These protocols have registered kernels (the Two-Sweep family runs
+    through ``TwoSweepKernel``, Fast-Two-Sweep additionally through
+    ``AlgebraicRecoloringKernel``), so the vectorized engine runs them
+    array-at-a-time -- including the per-fan-out bandwidth checks -- and
+    must reproduce the reference ledger exactly.
     """
     run = PROTOCOLS[protocol]
     states = {}
@@ -245,6 +265,24 @@ def _with_congest(run, network):
     protocols (generous budget: the checks must pass, not trip).
     """
     bandwidth = CongestModel(len(network), factor=64)
+    if run is run_two_sweep:
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=17)
+        ledger = CostLedger()
+        result = two_sweep(
+            instance, sequential_ids(network), len(network), 2,
+            ledger=ledger, bandwidth=bandwidth,
+        )
+        return result.colors, ledger
+    if run is run_fast_two_sweep:
+        graph = orient_by_id(network)
+        instance = random_oldc_instance(graph, p=2, seed=29, epsilon=0.5)
+        ledger = CostLedger()
+        result = fast_two_sweep(
+            instance, random_ids(network, seed=29, bits=18),
+            2 ** 18, 2, 0.5, ledger=ledger, bandwidth=bandwidth,
+        )
+        return result.colors, ledger
     if run is run_linial:
         ledger = CostLedger()
         colors, palette = linial_coloring(

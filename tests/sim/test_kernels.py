@@ -18,6 +18,7 @@ from repro.sim import (
     CongestModel,
     CostLedger,
     KernelRound,
+    Network,
     NodeProgram,
     RoundKernel,
     RoundLimitExceeded,
@@ -26,10 +27,13 @@ from repro.sim import (
     expand_pairs,
     intern_broadcast,
     kernel_for,
+    kernel_stats,
     register_kernel,
     registered_kernels,
+    reset_kernel_stats,
     run_protocol,
     unregister_kernel,
+    use_engine,
 )
 from repro.sim.kernels import fanout_totals
 from repro.sim.message import set_payload_memo_enabled
@@ -307,3 +311,103 @@ def test_intern_broadcast_honors_cache_switch():
     finally:
         set_payload_memo_enabled(previous)
         clear_payload_memo()
+
+
+# ----------------------------------------------------------------------
+# Two-Sweep populations: mixed-class fallback and dispatch stats
+# ----------------------------------------------------------------------
+def _two_sweep_path_programs():
+    """A 4-node properly colored path of ``TwoSweepProgram``s plus one
+    isolated foreign-class node (``_DummyProgram`` halts immediately and
+    exchanges nothing, so the run's totals stay engine-checkable)."""
+    from repro.core.two_sweep import TwoSweepProgram
+
+    network = Network({0: [1], 1: [0, 2], 2: [1, 3], 3: [2], 4: []})
+    programs = {}
+    for node in range(4):
+        out = frozenset(
+            v for v in network.neighbors(node) if v > node
+        )
+        programs[node] = TwoSweepProgram(
+            node=node, initial_color=node, q=5, p=2,
+            color_list=(0, 1), defect_fn={0: 2, 1: 2},
+            out_neighbors=out, color_space_size=4,
+        )
+    programs[4] = _DummyProgram()
+    return network, programs
+
+
+def test_two_sweep_mixed_population_falls_back():
+    """A Two-Sweep population mixed with another program class must be
+    detected as non-uniform: the vectorized engine falls back to fast
+    (recorded as a ``mixed`` fallback) with identical results."""
+    outputs = {}
+    ledgers = {}
+    for engine in ("reference", "fast", "vectorized"):
+        network, programs = _two_sweep_path_programs()
+        ledger = CostLedger()
+        if engine == "vectorized":
+            reset_kernel_stats()
+        outs, _ = run_protocol(
+            network, programs, ledger=ledger, engine=engine
+        )
+        outputs[engine] = outs
+        ledgers[engine] = (
+            ledger.rounds, ledger.messages, ledger.bits,
+            ledger.max_message_bits, ledger.broadcasts,
+        )
+    stats = kernel_stats()
+    assert stats["fallbacks"] == 1
+    assert stats["by_reason"] == {"mixed": 1}
+    for engine in ("fast", "vectorized"):
+        assert outputs[engine] == outputs["reference"]
+        assert ledgers[engine] == ledgers["reference"]
+
+
+def test_two_sweep_trace_declines_kernel():
+    """A traced Two-Sweep run cannot be replayed from a bucketed pass:
+    the kernel must decline (recorded as ``declined``) and the fast
+    fallback must produce the same trace as the reference engine."""
+    from repro.coloring import random_oldc_instance
+    from repro.core import two_sweep
+    from repro.graphs import orient_by_id, sequential_ids
+
+    traces = {}
+    for engine in ("reference", "vectorized"):
+        network = gnp_graph(20, 0.2, seed=11)
+        instance = random_oldc_instance(orient_by_id(network), p=2, seed=11)
+        trace = []
+        if engine == "vectorized":
+            reset_kernel_stats()
+        with use_engine(engine):
+            two_sweep(
+                instance, sequential_ids(network), len(network), 2,
+                trace=trace,
+            )
+        traces[engine] = trace
+    stats = kernel_stats()
+    assert stats["by_reason"] == {"declined": 1}
+    assert stats["warmup_s"] >= 0.0
+    assert traces["vectorized"] == traces["reference"]
+
+
+def test_kernel_stats_counters_track_hits():
+    """A clean vectorized Two-Sweep run is recorded as one hit under the
+    kernel's class name, and ``reset_kernel_stats`` zeroes everything."""
+    from repro.coloring import random_oldc_instance
+    from repro.core import two_sweep
+    from repro.graphs import orient_by_id, sequential_ids
+
+    network = gnp_graph(20, 0.2, seed=11)
+    instance = random_oldc_instance(orient_by_id(network), p=2, seed=11)
+    reset_kernel_stats()
+    with use_engine("vectorized"):
+        two_sweep(instance, sequential_ids(network), len(network), 2)
+    stats = kernel_stats()
+    assert stats["runs"] == stats["hits"] == 1
+    assert stats["fallbacks"] == 0
+    assert stats["by_kernel"] == {"TwoSweepKernel": 1}
+    assert stats["warmup_s"] > 0.0
+    reset_kernel_stats()
+    zeroed = kernel_stats()
+    assert zeroed["runs"] == 0 and not zeroed["by_kernel"]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis import grid, sweep
+from repro.sim import SweepReport, default_engine, use_engine
 from repro.sim.parallel import (
     derive_seed,
     parallel_sweep,
@@ -18,6 +19,34 @@ def measure_square(n: int, offset: int = 0) -> dict:
 
 def measure_seeded(seed: int, scale: int = 1) -> int:
     return seed * scale
+
+
+def measure_engine(n: int) -> dict:
+    """Report the engine the trial actually ran under (in the worker)."""
+    return {"engine": default_engine()}
+
+
+def measure_engine_result(seed: int) -> str:
+    return default_engine()
+
+
+def measure_two_sweep(n: int) -> dict:
+    """A real protocol trial: Two-Sweep on a small random graph."""
+    from repro.coloring import random_oldc_instance
+    from repro.core import two_sweep
+    from repro.graphs import gnp_graph, orient_by_id, sequential_ids
+    from repro.sim import CostLedger
+
+    network = gnp_graph(n, 0.3, seed=11)
+    graph = orient_by_id(network)
+    instance = random_oldc_instance(graph, p=2, seed=11)
+    ids = sequential_ids(network)
+    ledger = CostLedger()
+    result = two_sweep(instance, ids, n, 2, ledger=ledger, check=False)
+    return {
+        "rounds": ledger.rounds,
+        "colors": tuple(sorted(result.colors.items())),
+    }
 
 
 class TestDeriveSeed:
@@ -66,6 +95,88 @@ class TestParallelSweep:
         assert [record["square"] for record in records] == [1, 4]
 
 
+class TestEngineResolution:
+    def test_env_set_after_import_reaches_workers(self, monkeypatch):
+        # Regression: the engine is resolved in the parent at *call* time
+        # and shipped to every worker explicitly, so REPRO_SIM_ENGINE set
+        # after the module (or a previous pool) came up still wins --
+        # forked workers freeze their environment at spawn.
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        records = parallel_sweep(
+            measure_engine, grid(n=[1, 2]), max_workers=2
+        )
+        assert [r["engine"] for r in records] == ["reference", "reference"]
+
+    def test_explicit_engine_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        records = parallel_sweep(
+            measure_engine, [{"n": 1}], max_workers=1, engine="fast"
+        )
+        assert records[0]["engine"] == "fast"
+
+    def test_serial_path_honors_engine(self):
+        records = parallel_sweep(
+            measure_engine, grid(n=[1, 2]), max_workers=1,
+            engine="vectorized",
+        )
+        assert [r["engine"] for r in records] == ["vectorized", "vectorized"]
+
+    def test_invalid_engine_rejected_in_parent(self):
+        import pytest
+
+        from repro.sim import SchedulerError
+
+        with pytest.raises(SchedulerError, match="unknown scheduler engine"):
+            parallel_sweep(measure_engine, [{"n": 1}], engine="warp")
+
+    def test_vectorized_pool_matches_serial_reference(self):
+        params = grid(n=[8, 12, 16])
+        with use_engine("reference"):
+            baseline = sweep(measure_two_sweep, params)
+        records = parallel_sweep(
+            measure_two_sweep, params, max_workers=2, engine="vectorized"
+        )
+        assert records == baseline
+
+
+class TestSweepReport:
+    def test_report_type_and_attributes(self):
+        report = parallel_sweep(
+            measure_two_sweep, grid(n=[8, 12]), max_workers=2,
+            engine="vectorized", report=True,
+        )
+        assert isinstance(report, SweepReport)
+        assert report.engine == "vectorized"
+        assert report.wall_s >= 0
+        assert report.workers
+        for worker in report.workers:
+            assert worker["engine"] == "vectorized"
+            assert worker["runs"] == worker["hits"] + worker["fallbacks"]
+        # Every trial kernelizes, so the pool saw only hits.
+        assert sum(w["hits"] for w in report.workers) == 2
+        assert sum(
+            w["by_kernel"].get("TwoSweepKernel", 0) for w in report.workers
+        ) == 2
+
+    def test_report_is_a_record_list(self):
+        report = parallel_sweep(
+            measure_square, grid(n=[2, 3]), max_workers=1, report=True
+        )
+        assert list(report) == sweep(measure_square, grid(n=[2, 3]))
+        assert report.records == list(report)
+        assert all("__worker__" not in record for record in report)
+
+    def test_describe_mentions_engine_and_workers(self):
+        report = parallel_sweep(
+            measure_two_sweep, [{"n": 8}], max_workers=1,
+            engine="vectorized", report=True,
+        )
+        text = report.describe()
+        assert "engine=vectorized" in text
+        assert "worker pid=" in text
+        assert "TwoSweepKernel x1" in text
+
+
 class TestRunTrials:
     def test_deterministic_and_seeded(self):
         first = run_trials(measure_seeded, 5, base_seed=9, max_workers=1)
@@ -78,6 +189,14 @@ class TestRunTrials:
             measure_seeded, 3, base_seed=4, max_workers=1, scale=2
         )
         assert results == [2 * derive_seed(4, i) for i in range(3)]
+
+    def test_engine_passthrough(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        results = run_trials(
+            measure_engine_result, 2, base_seed=1, max_workers=2,
+            engine="vectorized",
+        )
+        assert results == ["vectorized", "vectorized"]
 
 
 class TestResolveWorkers:
