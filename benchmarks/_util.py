@@ -2,12 +2,19 @@
 
 Every benchmark prints its experiment table (visible with ``pytest -s``)
 and also writes it to ``benchmarks/results/<experiment>.txt`` so
-EXPERIMENTS.md can reference stable artifacts.
+EXPERIMENTS.md can reference stable artifacts.  Benchmarks that write a
+``BENCH_*.json`` report also drop a ``BENCH_*.manifest.json`` sidecar
+(:func:`write_manifest_sidecar`) recording the environment the numbers
+were measured in -- engine, ``REPRO_SIM_*`` env, kernel counters,
+package and git versions -- so a regression seen in CI can be traced to
+a config change rather than re-derived from the workflow logs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from typing import Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -17,3 +24,22 @@ def emit(experiment: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
     print(f"\n{text}")
+
+
+def write_manifest_sidecar(json_path: pathlib.Path,
+                           extra: Optional[dict] = None) -> pathlib.Path:
+    """Write ``<report>.manifest.json`` next to a ``BENCH_*.json`` report.
+
+    The sidecar is a :func:`repro.obs.collect_manifest` snapshot taken
+    *after* the benchmark ran, so the kernel hit/fallback counters cover
+    the measured runs.  Returns the sidecar path.
+    """
+    from repro.obs import collect_manifest
+
+    json_path = pathlib.Path(json_path)
+    sidecar = json_path.parent / (json_path.stem + ".manifest.json")
+    manifest = collect_manifest(extra=extra)
+    sidecar.write_text(json.dumps(manifest, indent=2, sort_keys=True,
+                                  default=repr) + "\n")
+    print(f"wrote {sidecar}")
+    return sidecar

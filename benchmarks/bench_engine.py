@@ -93,7 +93,7 @@ from repro.sim.kernels import fanout_totals
 from repro.substrates import greedy_arbdefective_sweep, linial_coloring
 from repro.substrates.cache import load_from_disk, save_to_disk
 
-from _util import emit
+from _util import emit, write_manifest_sidecar
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 JSON_PATH = REPO_ROOT / "BENCH_engine.json"
@@ -500,6 +500,13 @@ def write_report(report: Dict, json_path: pathlib.Path = JSON_PATH) -> None:
     json_path.write_text(json.dumps(report, indent=2) + "\n")
     emit("BENCH_engine", _render(report))
     print(f"wrote {json_path}")
+    write_manifest_sidecar(json_path, extra={
+        "benchmark": report["benchmark"],
+        "smoke": report["smoke"],
+        "workload_scale_n": report["workload_scale_n"],
+        "headline": report["headline"],
+        "vectorized_headline": report["vectorized_headline"],
+    })
 
 
 # ----------------------------------------------------------------------
@@ -524,12 +531,29 @@ def main(argv=None) -> int:
                         help="override the workload scale")
     parser.add_argument("--out", default=str(JSON_PATH),
                         help="path for the JSON report")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a structured JSONL trace of every "
+                             "benchmarked run (inspect with 'python -m "
+                             "repro trace PATH')")
     args = parser.parse_args(argv)
     n = args.n if args.n is not None else (300 if args.smoke else 2000)
     # Warm the substrate caches from a previous invocation's spill (a
     # no-op unless REPRO_SIM_CACHE_DIR is set) and spill back at the end.
     load_from_disk()
-    report = run_benchmark(n=n, smoke=args.smoke)
+    if args.trace is not None:
+        from repro.obs import Tracer, collect_manifest, use_tracer, write_jsonl
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = run_benchmark(n=n, smoke=args.smoke)
+        write_jsonl(args.trace, tracer.events, collect_manifest(
+            argv=sys.argv[1:],
+            extra={"benchmark": report["benchmark"], "smoke": args.smoke},
+        ))
+        print(f"trace written to {args.trace} "
+              f"({len(tracer.events)} records)")
+    else:
+        report = run_benchmark(n=n, smoke=args.smoke)
     save_to_disk()
     write_report(report, pathlib.Path(args.out))
     print(_render(report))

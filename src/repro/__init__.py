@@ -15,7 +15,10 @@ The package is organized bottom-up:
 * :mod:`repro.core` -- the paper's contributions: the Two-Sweep family
   (Theorems 1.1-1.3) and the bounded-neighborhood-independence recursion
   (Theorems 1.4-1.5 with Lemmas 4.4-4.6 and A.1);
-* :mod:`repro.analysis` -- experiment harness and table rendering.
+* :mod:`repro.analysis` -- experiment harness and table rendering;
+* :mod:`repro.obs` -- run telemetry: structured tracing, phase
+  wall-clock profiling, and run manifests (engine-agnostic; the logical
+  trace stream is part of the engine-equivalence contract).
 
 Quick start::
 
@@ -29,15 +32,16 @@ Quick start::
     assert not coloring.check_oldc(instance, result.colors)
 """
 
-from . import analysis, coloring, core, graphs, sim, substrates
+from . import analysis, coloring, core, graphs, obs, sim, substrates
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "coloring",
     "core",
     "graphs",
+    "obs",
     "sim",
     "substrates",
     "__version__",

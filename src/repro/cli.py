@@ -36,8 +36,26 @@ from .graphs import (
 from .sim import CostLedger
 from .substrates import randomized_delta_plus_one
 
+#: Ledger of the most recent command, remembered so a ``--trace`` run can
+#: embed the full per-phase cost record in its manifest.
+_last_ledger: Optional[CostLedger] = None
+
+#: Human-readable glosses for the vectorized engine's fallback reasons,
+#: printed under ``--kernel-stats`` so the cost of each feature is visible.
+_FALLBACK_NOTES = {
+    "observer": "a RoundObserver pins runs to the per-node engines "
+                "(use --trace for kernel-preserving telemetry)",
+    "stop_when": "a stop oracle needs per-node, per-round inspection",
+    "empty": "the scheduler had no node programs to batch",
+    "mixed": "node programs are heterogeneous (no single kernel applies)",
+    "unregistered": "no kernel is registered for this program class",
+    "declined": "the kernel's prepare() declined this population",
+}
+
 
 def _print_ledger(ledger: CostLedger, extra_rows=()) -> None:
+    global _last_ledger
+    _last_ledger = ledger
     rows = [
         ["rounds", ledger.rounds],
         ["messages", ledger.messages],
@@ -245,6 +263,37 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        canonical_lines,
+        chrome_trace,
+        load_trace_file,
+        summarize_trace,
+        validate_trace_file,
+    )
+
+    errors = validate_trace_file(args.file)
+    if errors:
+        print(f"INVALID trace ({len(errors)} schema violations):")
+        for error in errors[:10]:
+            print(f"  {error}")
+        return 1
+    manifest, events = load_trace_file(args.file)
+    if args.logical:
+        # Engine-invariant byte form: what the CI equivalence diff reads.
+        print(canonical_lines(events))
+        return 0
+    if args.chrome:
+        import json as _json
+
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            _json.dump(chrome_trace(events, manifest), handle)
+        print(f"chrome trace written to {args.chrome}")
+        return 0
+    print(summarize_trace(manifest, events))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} -- reproduction of Fuchs & Kuhn, "
           f"PODC 2024 (list defective coloring)")
@@ -283,6 +332,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="after the command, print the vectorized engine's kernel "
              "hit/fallback/warmup counters (shows whether runs actually "
              "went through a kernel)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured run trace (spans for algorithms, "
+             "phases, and scheduler runs plus a run manifest) and write "
+             "it to PATH; works with every engine and keeps the "
+             "vectorized kernels engaged",
+    )
+    parser.add_argument(
+        "--trace-format", default="jsonl", choices=["jsonl", "chrome"],
+        help="trace file format: 'jsonl' (one record per line, first "
+             "line is the manifest; read it back with 'repro trace') or "
+             "'chrome' (chrome://tracing / Perfetto trace_event JSON)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -354,9 +416,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--results-dir", default="benchmarks/results")
     p_rep.set_defaults(func=cmd_report)
 
+    p_tr = sub.add_parser(
+        "trace", help="validate and summarize a recorded JSONL trace"
+    )
+    p_tr.add_argument("file", help="trace file written by --trace")
+    p_tr.add_argument(
+        "--chrome", default=None, metavar="OUT",
+        help="convert to chrome://tracing trace_event JSON instead of "
+             "summarizing",
+    )
+    p_tr.add_argument(
+        "--logical", action="store_true",
+        help="print the engine-invariant canonical event stream "
+             "(physical fields stripped) -- byte-comparable across "
+             "engines",
+    )
+    p_tr.set_defaults(func=cmd_trace)
+
     p_info = sub.add_parser("info", help="version and command overview")
     p_info.set_defaults(func=cmd_info)
     return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        status = profiler.runcall(args.func, args)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+        return status
+    return args.func(args)
+
+
+def _write_trace(args: argparse.Namespace, tracer, status: int) -> None:
+    from .obs import collect_manifest, write_chrome, write_jsonl
+
+    seed = getattr(args, "seed", None)
+    manifest = collect_manifest(
+        seeds=None if seed is None else {"seed": seed},
+        ledger=_last_ledger,
+        argv=sys.argv[1:],
+        extra={"command": args.command, "exit_status": status},
+    )
+    if args.trace_format == "chrome":
+        write_chrome(args.trace, tracer.events, manifest)
+    else:
+        write_jsonl(args.trace, tracer.events, manifest)
+    print(f"trace written to {args.trace} "
+          f"({len(tracer.events)} records, format={args.trace_format})")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -366,16 +476,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .sim import set_default_engine
 
         set_default_engine(args.engine)
-    if args.profile:
-        import cProfile
-        import pstats
+    if args.trace is not None:
+        from .obs import Tracer, use_tracer
 
-        profiler = cProfile.Profile()
-        status = profiler.runcall(args.func, args)
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("cumulative").print_stats(25)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            status = _run_command(args)
+        _write_trace(args, tracer, status)
     else:
-        status = args.func(args)
+        status = _run_command(args)
     if args.kernel_stats:
         from .sim import kernel_stats
 
@@ -397,6 +506,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ) or "-"],
             ],
         ))
+        for reason, count in sorted(counters["by_reason"].items()):
+            gloss = _FALLBACK_NOTES.get(reason, "unknown reason")
+            print(f"note: {count} fallback(s) '{reason}': {gloss}")
     return status
 
 

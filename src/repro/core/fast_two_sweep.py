@@ -22,9 +22,11 @@ bounded by ``alpha * beta_v``), and the reduced instance keeps
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from typing import Dict, Hashable, List, Mapping, Optional
 
 from ..coloring.defects import drop_negative_defects
+from ..obs.tracer import current_tracer
 from ..coloring.instance import OLDCInstance
 from ..coloring.result import ColoringResult
 from ..sim.congest import BandwidthModel
@@ -99,6 +101,26 @@ def fast_two_sweep(instance: OLDCInstance,
 
     graph = instance.graph
     alpha = epsilon / p
+    # Algorithm-level span covering the whole Theorem 1.1 composition
+    # (defective recoloring + reduced sweep); the route taken is logical
+    # -- it depends only on (q, p, epsilon), never on the engine.
+    tracer = current_tracer()
+    scope = (
+        tracer.span("algorithm", "fast-two-sweep",
+                    nodes=len(graph.network), q=q, p=p, epsilon=epsilon,
+                    route="defective+sweep")
+        if tracer is not None else nullcontext()
+    )
+    with scope:
+        return _fast_two_sweep_route(
+            instance, initial_colors, q, p, epsilon, alpha,
+            ledger, bandwidth, trace,
+        )
+
+
+def _fast_two_sweep_route(instance, initial_colors, q, p, epsilon, alpha,
+                          ledger, bandwidth, trace):
+    graph = instance.graph
     with ledger.phase("fast-two-sweep-defective"):
         psi, palette = kuhn_defective_coloring(
             graph, initial_colors, q, alpha,

@@ -32,9 +32,11 @@ colors (``p log C`` bits), and a final color (``log C`` bits).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ..coloring.instance import OLDCInstance
+from ..obs.tracer import current_tracer
 from ..coloring.result import ColoringResult
 from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import (
@@ -275,7 +277,16 @@ def two_sweep(instance: OLDCInstance,
         )
         for node in graph.nodes
     }
-    with ledger.phase("two-sweep"):
+    # Algorithm-level span: instance parameters are logical attributes
+    # (identical whichever engine runs the sweep), so traced runs can be
+    # grouped by workload; the nested phase span carries the charges.
+    tracer = current_tracer()
+    scope = (
+        tracer.span("algorithm", "two-sweep",
+                    nodes=len(programs), q=q, p=p)
+        if tracer is not None else nullcontext()
+    )
+    with scope, ledger.phase("two-sweep"):
         outputs, _ = run_protocol(
             graph.network, programs, bandwidth=bandwidth, ledger=ledger
         )

@@ -1,0 +1,104 @@
+"""Trace exporters: JSONL (the native format) and Chrome ``trace_event``.
+
+JSONL is the contractual format (schema in :mod:`repro.obs.schema`): one
+record per line, the manifest first.  The Chrome format loads into
+``chrome://tracing`` / Perfetto for a flame-graph view of phase nesting
+and worker lanes; it is a lossy *view* (attrs move into ``args``), so
+round-tripping goes through JSONL, never through Chrome.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .tracer import SPAN_KINDS
+
+
+def write_jsonl(path: str, events: Iterable[Dict[str, Any]],
+                manifest: Optional[Dict[str, Any]] = None) -> str:
+    """Write ``manifest`` (if any) then one record per line; returns
+    ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if manifest is not None:
+            handle.write(json.dumps(manifest, sort_keys=True, default=repr))
+            handle.write("\n")
+        for record in events:
+            handle.write(json.dumps(record, sort_keys=True, default=repr))
+            handle.write("\n")
+    return path
+
+
+def chrome_trace(events: Iterable[Dict[str, Any]],
+                 manifest: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+    """The ``chrome://tracing`` JSON object for a record stream.
+
+    Spans become complete (``ph: "X"``) slices with microsecond
+    timestamps rebased to the earliest span; point events and kernel
+    annotations become instants (``ph: "i"``).  Worker-attributed
+    records land on their worker's thread lane so sweep skew is visible
+    at a glance.
+    """
+    records = list(events)
+    starts = [
+        record["t0"] for record in records
+        if isinstance(record.get("t0"), (int, float))
+    ]
+    epoch = min(starts) if starts else 0.0
+    pid = manifest.get("pid", 0) if manifest else 0
+    trace_events: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("kind")
+        tid = record.get("worker", 0)
+        args = {
+            key: value for key, value in record.items()
+            if key not in ("kind", "name", "t0", "wall_s")
+        }
+        if kind in SPAN_KINDS and "t0" in record:
+            trace_events.append({
+                "name": f"{kind}:{record.get('name', '')}",
+                "cat": kind,
+                "ph": "X",
+                "ts": round((record["t0"] - epoch) * 1e6, 3),
+                "dur": round(record.get("wall_s", 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+        else:
+            trace_events.append({
+                "name": f"{kind}:{record.get('name', '')}",
+                "cat": kind or "event",
+                "ph": "i",
+                "s": "t",
+                "ts": round((record.get("t0", epoch) - epoch) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            })
+    payload: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if manifest is not None:
+        payload["metadata"] = manifest
+    return payload
+
+
+def write_chrome(path: str, events: Iterable[Dict[str, Any]],
+                 manifest: Optional[Dict[str, Any]] = None) -> str:
+    """Write the Chrome ``trace_event`` file; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(events, manifest), handle, indent=2,
+                  sort_keys=True, default=repr)
+        handle.write("\n")
+    return path
+
+
+def write_manifest(path: str, manifest: Dict[str, Any]) -> str:
+    """Write a standalone ``*.manifest.json`` sidecar; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
+    return path

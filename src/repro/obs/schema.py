@@ -1,0 +1,160 @@
+"""The trace record schema and a dependency-free validator.
+
+The emitted JSONL is consumed by CI (schema smoke + engine diff), by the
+``repro trace`` summarizer, and by ad-hoc ``jq``/pandas analysis, so the
+shape is contractual.  The container stays deliberately tiny: every line
+is one JSON object, the first line *may* be a ``manifest`` record, and
+every other line is a span, point event, or kernel annotation as emitted
+by :class:`~repro.obs.tracer.Tracer`.
+
+``jsonschema`` is not a dependency of this repository, so validation is
+hand-rolled: :data:`TRACE_SCHEMA` documents the contract declaratively
+(it *is* valid JSON Schema, usable by external tooling), and
+:func:`validate_events` enforces the same rules in plain Python.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .tracer import EVENT_KINDS, PHYSICAL_KINDS, SPAN_KINDS
+
+#: Every record kind a trace file may contain.
+RECORD_KINDS = (
+    tuple(sorted(SPAN_KINDS)) + tuple(sorted(EVENT_KINDS))
+    + tuple(sorted(PHYSICAL_KINDS)) + ("manifest",)
+)
+
+#: Ledger-delta fields required on every ``round-batch`` event.
+BATCH_FIELDS = ("rounds", "messages", "bits", "max_message_bits",
+                "broadcasts")
+
+#: Declarative form of the contract (JSON Schema draft-07 subset).
+TRACE_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro trace record",
+    "type": "object",
+    "required": ["kind"],
+    "properties": {
+        "kind": {"enum": list(RECORD_KINDS)},
+        "name": {"type": "string"},
+        "span": {"type": "integer", "minimum": 1},
+        "parent": {"type": "integer", "minimum": 0},
+        "t0": {"type": "number"},
+        "wall_s": {"type": "number", "minimum": 0},
+        "rounds": {"type": "integer", "minimum": 0},
+        "messages": {"type": "integer", "minimum": 0},
+        "bits": {"type": "integer", "minimum": 0},
+        "max_message_bits": {"type": "integer", "minimum": 0},
+        "broadcasts": {"type": "integer", "minimum": 0},
+        "engine": {"type": ["string", "null"]},
+        "kernel": {"type": ["string", "null"]},
+        "worker": {"type": "integer"},
+    },
+}
+
+
+def _is_count(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def validate_record(record: Any, index: int = 0) -> List[str]:
+    """The schema violations of one record (empty list = valid)."""
+    where = f"record {index}"
+    if not isinstance(record, dict):
+        return [f"{where}: not a JSON object"]
+    errors: List[str] = []
+    kind = record.get("kind")
+    if kind not in RECORD_KINDS:
+        errors.append(f"{where}: unknown kind {kind!r}")
+        return errors
+    if kind == "manifest":
+        if index != 0:
+            errors.append(f"{where}: manifest must be the first record")
+        return errors
+    if not isinstance(record.get("name"), str):
+        errors.append(f"{where} ({kind}): missing string 'name'")
+    if not _is_count(record.get("parent")):
+        errors.append(f"{where} ({kind}): missing integer 'parent'")
+    if kind in SPAN_KINDS:
+        span = record.get("span")
+        if not _is_count(span) or span < 1:
+            errors.append(f"{where} ({kind}): missing span id")
+        for field in ("t0", "wall_s"):
+            if not isinstance(record.get(field), (int, float)) \
+                    or isinstance(record.get(field), bool):
+                errors.append(f"{where} ({kind}): missing numeric "
+                              f"'{field}'")
+    elif kind in EVENT_KINDS:
+        for field in BATCH_FIELDS:
+            if not _is_count(record.get(field)):
+                errors.append(f"{where} ({kind}): missing count "
+                              f"'{field}'")
+    return errors
+
+
+def validate_events(events: Iterable[Any]) -> List[str]:
+    """All schema violations across a record stream, with span-reference
+    checks (a record's ``parent`` must name an emitted span or 0)."""
+    errors: List[str] = []
+    span_ids = set()
+    parents: List[Tuple[int, int]] = []
+    for index, record in enumerate(events):
+        errors.extend(validate_record(record, index))
+        if isinstance(record, dict):
+            span = record.get("span")
+            if _is_count(span):
+                if span in span_ids:
+                    errors.append(f"record {index}: duplicate span id "
+                                  f"{span}")
+                span_ids.add(span)
+            parent = record.get("parent")
+            if _is_count(parent) and parent:
+                parents.append((index, parent))
+    for index, parent in parents:
+        if parent not in span_ids:
+            errors.append(
+                f"record {index}: parent {parent} names no span"
+            )
+    return errors
+
+
+def load_trace_file(path: str
+                    ) -> Tuple[Optional[Dict[str, Any]],
+                               List[Dict[str, Any]]]:
+    """Read a JSONL trace: ``(manifest_or_None, event_records)``.
+
+    Raises ``ValueError`` on malformed JSON (with the line number).
+    """
+    manifest: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from error
+            if (manifest is None and not events
+                    and isinstance(record, dict)
+                    and record.get("kind") == "manifest"):
+                manifest = record
+                continue
+            events.append(record)
+    return manifest, events
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Schema violations of a JSONL trace file (empty list = valid)."""
+    try:
+        manifest, events = load_trace_file(path)
+    except (OSError, ValueError) as error:
+        return [str(error)]
+    stream = ([manifest] if manifest is not None else []) + events
+    return validate_events(stream)

@@ -9,13 +9,19 @@ composed totals are measured exactly once.
 
 Phases give a named breakdown: ``ledger.phase("linial")`` opens a scope and
 rounds charged inside it are attributed to that phase as well as the total.
+When a :class:`~repro.obs.tracer.Tracer` is installed the same ``with
+ledger.phase(...)`` block *also* opens a trace span, so one scope both
+charges the logical costs and times the physical wall-clock -- the
+per-phase profile in ``repro trace`` comes straight from these spans.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..obs.tracer import current_tracer
 
 
 @dataclass
@@ -105,14 +111,36 @@ class CostLedger:
     # ------------------------------------------------------------------
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStats]:
-        """Attribute rounds charged inside the ``with`` block to ``name``."""
+        """Attribute rounds charged inside the ``with`` block to ``name``.
+
+        With a tracer installed (:func:`repro.obs.use_tracer`) the scope
+        additionally emits a ``phase`` span carrying this invocation's
+        charge delta and wall-clock, so charging and timing share one
+        ``with`` statement.
+        """
         stats = self.phases.setdefault(name, PhaseStats())
         stats.invocations += 1
         self._phase_stack.append(name)
-        try:
-            yield stats
-        finally:
-            self._phase_stack.pop()
+        tracer = current_tracer()
+        if tracer is None:
+            try:
+                yield stats
+            finally:
+                self._phase_stack.pop()
+            return
+        before = (stats.rounds, stats.messages, stats.bits,
+                  stats.broadcasts)
+        with tracer.span("phase", name) as span:
+            try:
+                yield stats
+            finally:
+                self._phase_stack.pop()
+                span.attrs.update(
+                    rounds=stats.rounds - before[0],
+                    messages=stats.messages - before[1],
+                    bits=stats.bits - before[2],
+                    broadcasts=stats.broadcasts - before[3],
+                )
 
     def phase_rounds(self, name: str) -> int:
         """Rounds attributed to phase ``name`` (0 if never entered)."""
@@ -149,10 +177,38 @@ class CostLedger:
         for name, stats in sorted(self.phases.items()):
             lines.append(
                 f"  phase {name}: rounds={stats.rounds} "
+                f"messages={stats.messages} bits={stats.bits} "
+                f"broadcasts={stats.broadcasts} "
                 f"invocations={stats.invocations} "
                 f"max_message_bits={stats.max_message_bits}"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot of the totals and every phase.
+
+        This is the ledger's wire form: run manifests
+        (:func:`repro.obs.collect_manifest`) embed it so every trace and
+        benchmark sidecar carries the run's full logical cost record.
+        """
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "max_message_bits": self.max_message_bits,
+            "broadcasts": self.broadcasts,
+            "phases": {
+                name: {
+                    "rounds": stats.rounds,
+                    "messages": stats.messages,
+                    "bits": stats.bits,
+                    "max_message_bits": stats.max_message_bits,
+                    "broadcasts": stats.broadcasts,
+                    "invocations": stats.invocations,
+                }
+                for name, stats in sorted(self.phases.items())
+            },
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CostLedger(rounds={self.rounds}, messages={self.messages})"

@@ -69,14 +69,30 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
 
 def _call_measure(task):
     """Top-level worker target (must be importable for pickling)."""
-    measure, params, timing, collect = task
+    measure, params, timing, collect, trace = task
     start = time.perf_counter()
-    record = measure(**params)
+    if trace:
+        # The parent has a tracer installed: collect this trial's span/
+        # event records in a private tracer and piggy-back them on the
+        # record (picklable plain dicts); the parent merges them into
+        # its own tracer with worker attribution.  The serial fallback
+        # never sets this flag -- there the parent's tracer is already
+        # the ambient one.
+        from ..obs.tracer import Tracer, use_tracer
+
+        with use_tracer(Tracer()) as tracer:
+            record = measure(**params)
+        trial_events = tracer.events
+    else:
+        record = measure(**params)
+        trial_events = None
     elapsed = time.perf_counter() - start
     tagged: Record = dict(params)
     tagged.update(record)
     if timing:
         tagged["wall_s"] = elapsed
+    if trial_events is not None:
+        tagged["__trace__"] = {"pid": os.getpid(), "events": trial_events}
     if collect:
         # Piggy-back this worker's cumulative kernel counters on the
         # record; the parent pops them off and keeps, per pid, the
@@ -146,14 +162,22 @@ class SweepReport(list):
     counters -- the visibility knob for the vectorized engine's *silent*
     fallback-to-fast: a sweep that meant to measure kernels but shows
     ``hits == 0`` is measuring the wrong code path.
+
+    ``trace_events`` holds the merged per-trial trace records when the
+    sweep ran under an installed :class:`~repro.obs.tracer.Tracer`
+    (every record stamped with its ``worker`` pid, ids rebased into the
+    parent tracer's sequence), empty otherwise -- the raw material for
+    the ``repro trace`` worker-skew table.
     """
 
     def __init__(self, records: Iterable[Record], engine: str,
-                 workers: List[Dict[str, Any]], wall_s: float):
+                 workers: List[Dict[str, Any]], wall_s: float,
+                 trace_events: Optional[List[Dict[str, Any]]] = None):
         super().__init__(records)
         self.engine = engine
         self.workers = workers
         self.wall_s = wall_s
+        self.trace_events = trace_events if trace_events is not None else []
 
     @property
     def records(self) -> List[Record]:
@@ -180,7 +204,32 @@ class SweepReport(list):
                 f"[{kernels}], fallbacks [{reasons}], "
                 f"warmup {worker['warmup_s'] * 1e3:.2f} ms"
             )
+        if self.trace_events:
+            lines.append(
+                f"  traced: {len(self.trace_events)} records merged "
+                f"from workers"
+            )
         return "\n".join(lines)
+
+
+def _pop_worker_traces(records: List[Record], tracer) -> List[Dict[str, Any]]:
+    """Strip the piggy-backed ``__trace__`` payloads off the records and
+    merge them into the parent's tracer, stamped with their worker pid.
+
+    Records come back in submission order (``pool.map``), so the merged
+    stream is deterministic for a fixed trial list; only the ``worker``
+    attribution and wall-clock differ run to run, and both are physical
+    fields outside the logical trace view.
+    """
+    merged: List[Dict[str, Any]] = []
+    for record in records:
+        payload = record.pop("__trace__", None)
+        if payload is None:
+            continue
+        merged.extend(
+            tracer.merge(payload["events"], worker=payload["pid"])
+        )
+    return merged
 
 
 def _pop_worker_stats(records: List[Record]) -> List[Dict[str, Any]]:
@@ -239,16 +288,30 @@ def parallel_sweep(measure: Measure,
     once at call time.  With ``report=True`` the returned list is a
     :class:`SweepReport` carrying per-worker kernel hit/fallback/warmup
     stats.
+
+    When a :class:`~repro.obs.tracer.Tracer` is installed in the parent
+    (:func:`repro.obs.use_tracer`), each pool worker traces its trials
+    into a private tracer and ships the records back with the results;
+    the parent merges them -- stamped ``worker=<pid>`` -- into its own
+    tracer under a ``parallel-sweep`` span (and onto
+    ``SweepReport.trace_events``), so a traced sweep profiles exactly
+    like a traced serial run, with worker attribution on top.
     """
+    from ..obs.tracer import current_tracer
     from .scheduler import _validate_engine, default_engine, use_engine
 
     resolved = (_validate_engine(engine) if engine is not None
                 else default_engine())
+    tracer = current_tracer()
     start = time.perf_counter()
-    tasks = [(measure, dict(params), timing, report) for params in params_list]
+    tasks = [
+        (measure, dict(params), timing, report, tracer is not None)
+        for params in params_list
+    ]
     workers = min(resolve_workers(max_workers), max(1, len(tasks)))
     records: Optional[List[Record]] = None
     worker_stats: List[Dict[str, Any]] = []
+    trace_events: List[Dict[str, Any]] = []
     if workers > 1 and len(tasks) > 1:
         try:
             from concurrent.futures import ProcessPoolExecutor
@@ -264,6 +327,10 @@ def parallel_sweep(measure: Measure,
                 initargs=(_substrate_snapshot(), resolved),
             ) as pool:
                 records = list(pool.map(_call_measure, tasks))
+            if tracer is not None:
+                with tracer.span("algorithm", "parallel-sweep",
+                                 trials=len(tasks), engine=resolved):
+                    trace_events = _pop_worker_traces(records, tracer)
             worker_stats = _pop_worker_stats(records)
         except (ImportError, OSError, PermissionError):
             # No usable process pool on this platform; results are
@@ -272,7 +339,9 @@ def parallel_sweep(measure: Measure,
     if records is None:
         from .kernels import kernel_stats
 
-        serial_tasks = [(m, p, t, False) for (m, p, t, _) in tasks]
+        # The serial fallback runs in-process, where the parent's tracer
+        # is already ambient: trials trace straight into it, no merge.
+        serial_tasks = [(m, p, t, False, False) for (m, p, t, _, _) in tasks]
         before = kernel_stats() if report else None
         with use_engine(resolved):
             records = [_call_measure(task) for task in serial_tasks]
@@ -281,7 +350,8 @@ def parallel_sweep(measure: Measure,
     if not report:
         return records
     return SweepReport(
-        records, resolved, worker_stats, time.perf_counter() - start
+        records, resolved, worker_stats, time.perf_counter() - start,
+        trace_events,
     )
 
 

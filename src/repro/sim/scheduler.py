@@ -54,6 +54,15 @@ Three execution engines implement the same semantics:
 Select an engine per call (``scheduler.run(engine="reference")``), per
 process (the ``REPRO_SIM_ENGINE`` environment variable), or temporarily
 for a whole protocol stack (:func:`use_engine`).
+
+All three engines share one telemetry hook: when a
+:class:`~repro.obs.tracer.Tracer` is installed
+(:func:`repro.obs.use_tracer`), every ``run`` emits an aggregate span +
+round-batch event built from the ledger delta -- never per-round or
+per-node records -- so tracing costs one extra ``None`` check per run
+when disabled and does not change engine eligibility when enabled (a
+traced vectorized run keeps its kernels; contrast the per-round
+``observer``, which forces the fast path).
 """
 
 from __future__ import annotations
@@ -63,6 +72,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs.tracer import current_tracer
 from .congest import BandwidthModel, LocalModel
 from .errors import NetworkError, RoundLimitExceeded, SchedulerError
 from .message import Broadcast, Message
@@ -180,11 +190,81 @@ class Scheduler:
         """
         name = _validate_engine(engine if engine is not None
                                 else default_engine())
+        tracer = current_tracer()
+        if tracer is None:
+            return self._dispatch(name, max_rounds)
+        return self._run_traced(tracer, name, max_rounds)
+
+    def _dispatch(self, name: str, max_rounds: int) -> CostLedger:
         if name == "reference":
             return self._run_reference(max_rounds)
         if name == "vectorized":
             return self._run_vectorized(max_rounds)
         return self._run_fast(max_rounds)
+
+    def _run_traced(self, tracer, name: str,
+                    max_rounds: int) -> CostLedger:
+        """Run under the installed :class:`~repro.obs.tracer.Tracer`.
+
+        Tracing is *aggregate*, not per-round: the run's ledger delta is
+        computed around the engine dispatch and emitted as one ``run``
+        span plus one ``round-batch`` event, so the hot loops are
+        untouched and -- unlike attaching a
+        :class:`~repro.sim.tracing.RoundObserver` -- the vectorized
+        engine keeps its kernels.  The logical fields of the emitted
+        records are engine-invariant (the ledger delta is covered by the
+        engine-equivalence contract); ``engine`` / ``kernel`` /
+        ``fallback`` / wall-clock ride along as physical fields, with
+        kernel attribution recovered from the process
+        :class:`~repro.sim.kernels.KernelStats` delta.
+        """
+        from .kernels import kernel_stats
+
+        ledger = self.ledger
+        before = (ledger.rounds, ledger.messages, ledger.bits,
+                  ledger.broadcasts)
+        kstats_before = kernel_stats() if name == "vectorized" else None
+        with tracer.span("run", "scheduler",
+                         nodes=len(self.programs)) as span:
+            try:
+                return self._dispatch(name, max_rounds)
+            finally:
+                kernel = fallback = None
+                warmup_s = 0.0
+                if kstats_before is not None:
+                    kstats = kernel_stats()
+                    warmup_s = kstats["warmup_s"] - kstats_before["warmup_s"]
+                    for key, count in kstats["by_kernel"].items():
+                        if count > kstats_before["by_kernel"].get(key, 0):
+                            kernel = key
+                            break
+                    for key, count in kstats["by_reason"].items():
+                        if count > kstats_before["by_reason"].get(key, 0):
+                            fallback = key
+                            break
+                    tracer.annotate(
+                        "dispatch", kernel=kernel, fallback=fallback,
+                        warmup_s=warmup_s,
+                    )
+                span.attrs.update(
+                    rounds=ledger.rounds - before[0],
+                    messages=ledger.messages - before[1],
+                    bits=ledger.bits - before[2],
+                    broadcasts=ledger.broadcasts - before[3],
+                    engine=name,
+                    kernel=kernel,
+                    fallback=fallback,
+                )
+                tracer.event(
+                    "round-batch", "rounds",
+                    rounds=ledger.rounds - before[0],
+                    messages=ledger.messages - before[1],
+                    bits=ledger.bits - before[2],
+                    max_message_bits=ledger.max_message_bits,
+                    broadcasts=ledger.broadcasts - before[3],
+                    engine=name,
+                    kernel=kernel,
+                )
 
     # ------------------------------------------------------------------
     # Fast engine

@@ -94,6 +94,18 @@ def clear_substrate_cache() -> None:
         table.clear()
 
 
+def registry_sizes() -> Dict[str, int]:
+    """``{registry name: entry count}`` for every non-empty registry.
+
+    Run manifests (:mod:`repro.obs.manifest`) record this so a benchmark
+    artifact states how warm its caches were -- the difference between a
+    cold-start and a warm-cache measurement is otherwise invisible.
+    """
+    return {
+        name: len(table) for name, table in _registries.items() if table
+    }
+
+
 def snapshot() -> Dict[str, Dict[Any, Any]]:
     """A picklable copy of every registry's current contents.
 

@@ -12,6 +12,13 @@ totals, max message size, broadcast counts, and per-phase breakdowns.
 Protocols without a registered kernel (and mixed-class populations)
 exercise the vectorized engine's fallback, which must be just as
 invisible.
+
+The equivalence invariant extends to telemetry: every protocol run in
+``test_engines_agree`` happens under an installed
+:class:`repro.obs.Tracer`, and the *logical* trace event stream
+(:func:`repro.obs.canonical_lines` -- physical fields like wall-clock,
+pid, and engine stripped) must be byte-identical across engines.
+Tracing itself must also not perturb any of the original assertions.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from repro.coloring import (
     random_arbdefective_instance,
     random_oldc_instance,
 )
+from repro.obs import Tracer, canonical_lines, use_tracer
 from repro.core import fast_two_sweep, two_sweep
 from repro.graphs import (
     binary_tree,
@@ -154,13 +162,22 @@ PROTOCOLS = {
 def test_engines_agree(protocol, topology):
     build = TOPOLOGIES[topology]
     run = PROTOCOLS[protocol]
-    with use_engine("reference"):
+    ref_tracer = Tracer()
+    with use_engine("reference"), use_tracer(ref_tracer):
         ref_out, ref_ledger = run(build(seed=5))
+    # Some (protocol, topology) pairs legitimately trace nothing (e.g. a
+    # color reduction that is already at target runs zero rounds); the
+    # empty stream must then be empty on every engine too.
+    ref_stream = canonical_lines(ref_tracer.events)
     for engine in CANDIDATE_ENGINES:
-        with use_engine(engine):
+        tracer = Tracer()
+        with use_engine(engine), use_tracer(tracer):
             out, ledger = run(build(seed=5))
         assert out == ref_out, engine
         assert _ledger_state(ledger) == _ledger_state(ref_ledger), engine
+        # The logical trace stream is part of the observational contract:
+        # identical bytes once physical (timing/pid/engine) fields go.
+        assert canonical_lines(tracer.events) == ref_stream, engine
 
 
 class _EchoHalt(NodeProgram):

@@ -411,3 +411,61 @@ def test_kernel_stats_counters_track_hits():
     reset_kernel_stats()
     zeroed = kernel_stats()
     assert zeroed["runs"] == 0 and not zeroed["by_kernel"]
+
+
+def test_tracing_preserves_kernel_hit_rate():
+    """Regression (the tracer's reason to exist): a traced vectorized
+    Two-Sweep run must still be a kernel hit, not an ``observer``-style
+    fallback -- telemetry that cost the kernels would be useless."""
+    from repro.coloring import random_oldc_instance
+    from repro.core import two_sweep
+    from repro.graphs import orient_by_id, sequential_ids
+    from repro.obs import Tracer, use_tracer
+
+    network = gnp_graph(20, 0.2, seed=11)
+    instance = random_oldc_instance(orient_by_id(network), p=2, seed=11)
+    reset_kernel_stats()
+    tracer = Tracer()
+    with use_engine("vectorized"), use_tracer(tracer):
+        two_sweep(instance, sequential_ids(network), len(network), 2)
+    stats = kernel_stats()
+    assert stats["runs"] == stats["hits"] == 1
+    assert stats["fallbacks"] == 0
+    assert stats["by_kernel"] == {"TwoSweepKernel": 1}
+    # The trace itself records the kernel attribution on the run span.
+    run_span = next(
+        record for record in tracer.events if record["kind"] == "run"
+    )
+    assert run_span["engine"] == "vectorized"
+    assert run_span["kernel"] == "TwoSweepKernel"
+    assert run_span["fallback"] is None
+
+
+def test_fallback_reason_still_recorded_under_tracing():
+    """Per-node tracing (``trace=``) makes the Two-Sweep kernel decline,
+    and that reason lands in both the counters and the run span -- the
+    visible cost of round-level observation, in contrast to the tracer
+    itself which keeps the kernel engaged."""
+    from repro.coloring import random_oldc_instance
+    from repro.core import two_sweep
+    from repro.graphs import orient_by_id, sequential_ids
+    from repro.obs import Tracer, use_tracer
+
+    network = gnp_graph(20, 0.2, seed=11)
+    instance = random_oldc_instance(orient_by_id(network), p=2, seed=11)
+    reset_kernel_stats()
+    tracer = Tracer()
+    trace = []
+    with use_engine("vectorized"), use_tracer(tracer):
+        two_sweep(
+            instance, sequential_ids(network), len(network), 2,
+            trace=trace,
+        )
+    stats = kernel_stats()
+    assert stats["hits"] == 0
+    assert stats["by_reason"] == {"declined": 1}
+    run_span = next(
+        record for record in tracer.events if record["kind"] == "run"
+    )
+    assert run_span["kernel"] is None
+    assert run_span["fallback"] == "declined"

@@ -94,3 +94,90 @@ class TestSummary:
         text = ledger.summary()
         assert "rounds=1" in text
         assert "phase solve" in text
+
+
+class TestToDict:
+    def test_totals_and_phases(self):
+        ledger = CostLedger()
+        with ledger.phase("solve"):
+            ledger.charge_round(messages=2, bits=16, max_message_bits=8,
+                                broadcasts=1)
+        with ledger.phase("solve"):
+            ledger.charge_round()
+        snapshot = ledger.to_dict()
+        assert snapshot["rounds"] == 2
+        assert snapshot["messages"] == 2
+        assert snapshot["bits"] == 16
+        assert snapshot["max_message_bits"] == 8
+        assert snapshot["broadcasts"] == 1
+        solve = snapshot["phases"]["solve"]
+        assert solve["rounds"] == 2
+        assert solve["invocations"] == 2
+        assert solve["messages"] == 2
+
+    def test_json_serializable_and_sorted(self):
+        import json
+
+        ledger = CostLedger()
+        with ledger.phase("zeta"):
+            ledger.charge_round()
+        with ledger.phase("alpha"):
+            ledger.charge_round()
+        snapshot = ledger.to_dict()
+        json.dumps(snapshot)
+        assert list(snapshot["phases"]) == ["alpha", "zeta"]
+
+
+class TestSummaryBreakdown:
+    def test_per_phase_traffic_included(self):
+        ledger = CostLedger()
+        with ledger.phase("chatty"):
+            ledger.charge_round(messages=5, bits=40, broadcasts=2)
+        text = ledger.summary()
+        line = next(
+            candidate for candidate in text.splitlines()
+            if "phase chatty" in candidate
+        )
+        assert "messages=5" in line
+        assert "bits=40" in line
+        assert "broadcasts=2" in line
+
+
+class TestPhaseTracing:
+    def test_phase_scope_emits_span_with_deltas(self):
+        from repro.obs import Tracer, use_tracer
+
+        ledger = CostLedger()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with ledger.phase("outer"):
+                ledger.charge_round(messages=1, bits=8)
+                with ledger.phase("inner"):
+                    ledger.charge_round(messages=2, bits=16, broadcasts=1)
+        inner, outer = tracer.events
+        assert inner["kind"] == "phase" and inner["name"] == "inner"
+        assert inner["rounds"] == 1 and inner["messages"] == 2
+        assert outer["name"] == "outer"
+        # The outer span's delta includes the nested phase's charges.
+        assert outer["rounds"] == 2 and outer["messages"] == 3
+        assert inner["parent"] == outer["span"]
+
+    def test_phase_delta_is_per_invocation(self):
+        from repro.obs import Tracer, use_tracer
+
+        ledger = CostLedger()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with ledger.phase("work"):
+                ledger.charge_round(messages=4)
+            with ledger.phase("work"):
+                ledger.charge_round(messages=1)
+        first, second = tracer.events
+        assert first["messages"] == 4
+        assert second["messages"] == 1
+
+    def test_no_tracer_no_records(self):
+        ledger = CostLedger()
+        with ledger.phase("quiet"):
+            ledger.charge_round()
+        assert ledger.phase_rounds("quiet") == 1

@@ -214,3 +214,64 @@ class TestResolveWorkers:
 
     def test_floor_of_one(self):
         assert resolve_workers(0) == 1
+
+
+class TestTraceMerge:
+    def test_worker_traces_merge_into_parent(self):
+        from repro.obs import Tracer, use_tracer, validate_events
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            report = parallel_sweep(
+                measure_two_sweep, [{"n": 8}, {"n": 9}, {"n": 10}],
+                max_workers=2, report=True,
+            )
+        assert isinstance(report, SweepReport)
+        assert report.trace_events
+        # Every worker record carries its worker pid; the pids match the
+        # report's worker attribution.
+        workers = {
+            record["worker"] for record in report.trace_events
+            if "worker" in record
+        }
+        assert workers <= {stats["pid"] for stats in report.workers}
+        # The merged stream (algorithm span + per-trial runs) is a valid
+        # trace: unique span ids, no dangling parents.
+        assert validate_events(tracer.events) == []
+        kinds = {record["kind"] for record in tracer.events}
+        assert "algorithm" in kinds and "run" in kinds
+        run_spans = [
+            record for record in tracer.events if record["kind"] == "run"
+        ]
+        assert len(run_spans) == 3
+        assert "traced" in report.describe()
+
+    def test_trial_results_unchanged_by_tracing(self):
+        from repro.obs import Tracer, use_tracer
+
+        baseline = parallel_sweep(
+            measure_two_sweep, [{"n": 8}, {"n": 9}], max_workers=2,
+        )
+        with use_tracer(Tracer()):
+            traced = parallel_sweep(
+                measure_two_sweep, [{"n": 8}, {"n": 9}], max_workers=2,
+            )
+        assert traced == baseline
+
+    def test_untraced_sweep_has_no_trace_events(self):
+        report = parallel_sweep(
+            measure_square, grid(n=[2, 3]), max_workers=1, report=True
+        )
+        assert report.trace_events == []
+        assert "traced" not in report.describe()
+
+    def test_serial_fallback_traces_inline(self):
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            parallel_sweep(measure_two_sweep, [{"n": 8}], max_workers=1)
+        # max_workers=1 runs serially in-process: spans flow straight
+        # into the ambient tracer, with no worker stamping.
+        assert any(record["kind"] == "run" for record in tracer.events)
+        assert all("worker" not in record for record in tracer.events)

@@ -81,3 +81,72 @@ class TestObserver:
     def test_senders_deduplicated(self, small_ring):
         observer = self.run_with_observer(small_ring, PingTwice)
         assert set(observer.records[0].senders) == set(small_ring.nodes)
+
+
+class _Envelope:
+    """Minimal stand-in for a scheduler message envelope."""
+
+    def __init__(self, sender, tag="t", payload=None):
+        self.sender = sender
+        self.tag = tag
+        self.payload = payload
+
+
+class TestPairForm:
+    """The fast engine feeds observers ``(envelope, copies)`` pairs; every
+    aggregation must match the reference engine's per-copy feed."""
+
+    def test_expand_pairs_mixed_feed(self):
+        from repro.sim import expand_pairs
+
+        one = _Envelope(1)
+        many = _Envelope(2)
+        expanded = list(expand_pairs([one, (many, 3), one]))
+        assert expanded == [one, many, many, many, one]
+
+    def test_expand_pairs_zero_copies(self):
+        from repro.sim import expand_pairs
+
+        assert list(expand_pairs([(_Envelope(1), 0)])) == []
+
+    def test_observer_counts_pair_copies(self):
+        observer = RoundObserver()
+        observer.on_round(
+            1, [(_Envelope(1, "ping"), 4), _Envelope(2, "ping")], [],
+        )
+        record = observer.records[0]
+        assert record.messages_by_tag == {"ping": 5}
+        assert record.total_messages == 5
+
+    def test_senders_deduplicated_in_first_seen_order(self):
+        observer = RoundObserver()
+        observer.on_round(
+            1,
+            [(_Envelope(3), 2), _Envelope(1), (_Envelope(3), 1),
+             _Envelope(2)],
+            [],
+        )
+        assert observer.records[0].senders == (3, 1, 2)
+
+    def test_halted_feed_preserved(self):
+        observer = RoundObserver()
+        observer.on_round(1, [], [5, 2])
+        assert observer.records[0].halted == (5, 2)
+
+    def test_timeline_over_pair_feed(self):
+        observer = RoundObserver()
+        observer.on_round(1, [(_Envelope(1), 8)], [])
+        observer.on_round(2, [(_Envelope(1), 4)], [])
+        observer.on_round(3, [], [1])
+        timeline = observer.timeline()
+        assert len(timeline) == 3
+        assert timeline[0] == "#"  # peak round
+        assert timeline[-1] == " "  # silent round
+
+    def test_pair_and_flat_feeds_aggregate_identically(self):
+        flat = RoundObserver()
+        paired = RoundObserver()
+        envelope = _Envelope(7, "x")
+        flat.on_round(1, [envelope] * 3, [7])
+        paired.on_round(1, [(envelope, 3)], [7])
+        assert flat.records == paired.records

@@ -124,3 +124,120 @@ class TestGenerateSolve:
         ]) == 0
         assert main(["solve", "--instance", str(instance_path)]) == 2
         assert "could not solve" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import load_trace_file, validate_trace_file
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main([
+            "--trace", str(trace_path),
+            "two-sweep", "--n", "24", "--p", "2", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert validate_trace_file(str(trace_path)) == []
+        manifest, events = load_trace_file(str(trace_path))
+        assert manifest["command"] == "two-sweep"
+        assert manifest["exit_status"] == 0
+        assert manifest["seeds"] == {"seed": 1}
+        assert manifest["ledger"]["rounds"] > 0
+        assert any(record["kind"] == "run" for record in events)
+
+    def test_trace_chrome_format(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.json"
+        assert main([
+            "--trace", str(trace_path), "--trace-format", "chrome",
+            "two-sweep", "--n", "16", "--p", "2", "--seed", "1",
+        ]) == 0
+        with open(trace_path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+        assert payload["metadata"]["kind"] == "manifest"
+
+    def test_trace_subcommand_summarizes(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main([
+            "--engine", "vectorized", "--trace", str(trace_path),
+            "two-sweep", "--n", "24", "--p", "2", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "two-sweep" in out
+        assert "kernel hits" in out
+
+    def test_trace_subcommand_logical_stream(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main([
+            "--trace", str(trace_path),
+            "two-sweep", "--n", "16", "--p", "2", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--logical"]) == 0
+        out = capsys.readouterr().out.strip()
+        for line in out.splitlines():
+            record = json.loads(line)
+            assert "wall_s" not in record and "t0" not in record
+
+    def test_trace_subcommand_chrome_conversion(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.jsonl"
+        chrome_path = tmp_path / "run.chrome.json"
+        assert main([
+            "--trace", str(trace_path),
+            "two-sweep", "--n", "16", "--p", "2", "--seed", "1",
+        ]) == 0
+        assert main([
+            "trace", str(trace_path), "--chrome", str(chrome_path),
+        ]) == 0
+        with open(chrome_path) as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_trace_subcommand_rejects_invalid(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "mystery"}\n')
+        assert main(["trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_logical_stream_identical_across_engines(self, tmp_path,
+                                                     capsys):
+        streams = {}
+        for engine in ("reference", "fast", "vectorized"):
+            trace_path = tmp_path / f"{engine}.jsonl"
+            assert main([
+                "--engine", engine, "--trace", str(trace_path),
+                "two-sweep", "--n", "24", "--p", "2", "--seed", "1",
+            ]) == 0
+            capsys.readouterr()
+            assert main(["trace", str(trace_path), "--logical"]) == 0
+            streams[engine] = capsys.readouterr().out
+        assert streams["fast"] == streams["reference"]
+        assert streams["vectorized"] == streams["reference"]
+
+    def test_kernel_stats_fallback_note(self, capsys):
+        from repro.sim import reset_kernel_stats
+
+        reset_kernel_stats()
+        # The randomized baseline has no registered kernel, so the
+        # vectorized engine records an 'unregistered' fallback.
+        assert main([
+            "--engine", "vectorized", "--kernel-stats",
+            "delta-plus-one", "--route", "random", "--n", "16",
+            "--max-degree", "3", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "kernel stat" in out
+        notes = [
+            line for line in out.splitlines() if line.startswith("note:")
+        ]
+        assert notes, "fallback note missing"
+        assert any("unregistered" in line and "no kernel is registered"
+                   in line for line in notes)
