@@ -109,6 +109,16 @@ HEADLINE = "gnp_stragglers"
 VECTOR_HEADLINE = "tree_flood"
 
 
+def _arrays_backend() -> Dict:
+    """Which kernel column backend the vectorized runs used."""
+    from repro.sim import arrays
+
+    return {
+        "backend": arrays.backend_name(),
+        "numpy": arrays.numpy_version(),
+    }
+
+
 # ----------------------------------------------------------------------
 # Synthetic scheduler-stress programs
 # ----------------------------------------------------------------------
@@ -455,6 +465,7 @@ def run_benchmark(n: int, smoke: bool) -> Dict:
         "smoke": smoke,
         "workload_scale_n": n,
         "python": platform.python_version(),
+        "arrays_backend": _arrays_backend(),
         "repeats": REPEATS,
         "headline": {
             "workload": HEADLINE,

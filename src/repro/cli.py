@@ -500,6 +500,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{name} x{count}"
                     for name, count in sorted(counters["by_kernel"].items())
                 ) or "-"],
+                ["by backend", ", ".join(
+                    f"{name} x{count}"
+                    for name, count in sorted(counters["by_backend"].items())
+                ) or "-"],
                 ["by reason", ", ".join(
                     f"{name} x{count}"
                     for name, count in sorted(counters["by_reason"].items())

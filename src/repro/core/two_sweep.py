@@ -38,6 +38,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 from ..coloring.instance import OLDCInstance
 from ..obs.tracer import current_tracer
 from ..coloring.result import ColoringResult
+from ..sim import arrays
 from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import (
     AlgorithmFailure,
@@ -381,10 +382,12 @@ class TwoSweepKernel(RoundKernel):
             by_class.setdefault(own, []).append(i)
         total_copies, envelopes = fanout_totals(compiled)
         n = len(programs)
+        state = self._prepare_arrays(programs, out_earlier, out_later)
         return {
             "programs": programs,
             "order": order,
             "initial": initial,
+            "arrays": state,
             "out_earlier": out_earlier,
             "out_later": out_later,
             "recv_earlier": recv_earlier,
@@ -405,6 +408,39 @@ class TwoSweepKernel(RoundKernel):
             "check_fanout": (None if type(bandwidth) is LocalModel
                              else bandwidth.check_fanout),
             "degrees": compiled.degrees,
+        }
+
+    def _prepare_arrays(self, programs, out_earlier, out_later):
+        """NumPy column state for the tally paths, or ``None`` to decline.
+
+        The array path adds two columns next to the Python ones: a lazy
+        int64 pool of committed sub-lists (each sub-list is converted at
+        most once, the first time a batched Phase I fold consumes it) and
+        an int64 mirror of the finals column (``-1`` = undecided) for the
+        batched Phase II ``r_v`` tally.  Small populations, color values
+        beyond int64, and topologies where no node could ever reach a
+        tally of ``MIN_TALLY`` elements (so the mirror bookkeeping would
+        be pure overhead) keep the pure-Python columns.
+        """
+        np = arrays.get_numpy()
+        if np is None or len(programs) < arrays.MIN_BATCH:
+            return None
+        if not any(
+            len(out_earlier[i]) * programs[i].p >= arrays.MIN_TALLY
+            or len(out_later[i]) >= arrays.MIN_TALLY
+            for i in range(len(programs))
+        ):
+            return None
+        for program in programs:
+            colors = program.color_list
+            if colors and not (-arrays.MAX_COLOR <= min(colors)
+                               and max(colors) <= arrays.MAX_COLOR):
+                return None
+        self.backend = "numpy"
+        return {
+            "np": np,
+            "pool": [None] * len(programs),
+            "finals": np.full(len(programs), -1, dtype=np.int64),
         }
 
     def step(self, round_number, columns, inboxes) -> KernelRound:
@@ -451,16 +487,51 @@ class TwoSweepKernel(RoundKernel):
             degrees = columns["degrees"]
             bits_color = columns["bits_color"]
             check_fanout = columns["check_fanout"]
+            state = columns["arrays"]
         for i in deciders:
             program = programs[i]
             defect = program.defect_fn
-            k = {color: 0 for color in program.color_list}
-            lw = 0
-            for j in out_earlier[i]:
-                for color in sublists[j]:
-                    lw += 1
-                    if color in k:
-                        k[color] += 1
+            earlier = out_earlier[i]
+            # Each earlier sub-list holds at most p colors, so
+            # len(earlier) * p bounds the fold size; only pay for the
+            # exact sum once that cheap bound clears the threshold.
+            total = 0
+            if state is not None and earlier \
+                    and len(earlier) * program.p >= arrays.MIN_TALLY:
+                total = sum(len(sublists[j]) for j in earlier)
+            if total >= arrays.MIN_TALLY and earlier \
+                    and state is not None:
+                # Batched k_v fold: concatenate the earlier sub-lists
+                # from the int64 pool (each converted at most once) and
+                # tally them against the node's color list in C.
+                np = state["np"]
+                pool = state["pool"]
+                rows = []
+                for j in earlier:
+                    row = pool[j]
+                    if row is None:
+                        sub_j = sublists[j]
+                        row = pool[j] = np.fromiter(
+                            sub_j, np.int64, len(sub_j)
+                        )
+                    rows.append(row)
+                vals = np.concatenate(rows)
+                clist = program.color_list
+                list_np = np.fromiter(clist, np.int64, len(clist))
+                candidates, inverse = np.unique(
+                    list_np, return_inverse=True
+                )
+                counts = arrays.membership_counts(np, vals, candidates)
+                k = dict(zip(clist, counts[inverse].tolist()))
+                lw = total
+            else:
+                k = {color: 0 for color in program.color_list}
+                lw = 0
+                for j in earlier:
+                    for color in sublists[j]:
+                        lw += 1
+                        if color in k:
+                            k[color] += 1
             ranked = sorted(
                 program.color_list,
                 key=lambda color: (-(defect[color] - k[color]), color),
@@ -509,17 +580,42 @@ class TwoSweepKernel(RoundKernel):
             work = columns["work"]
             bits_color = columns["bits_color"]
             check = columns["check"]
+            state = columns["arrays"]
         for i in deciders:
             program = programs[i]
             k = kdicts[i]
             defect = program.defect_fn
-            rc: Dict[Color, int] = {}
-            lw = 0
-            for j in out_later[i]:
-                lw += 1
-                neighbor_final = finals[j]
-                if neighbor_final in k:
-                    rc[neighbor_final] = rc.get(neighbor_final, 0) + 1
+            later = out_later[i]
+            if state is not None and len(later) >= arrays.MIN_TALLY:
+                # Batched r_v tally: gather the later out-neighbors'
+                # committed finals from the int64 mirror and count them
+                # against the color list; only seen colors enter rc,
+                # matching the Python dict's contents exactly.
+                np = state["np"]
+                row_np = np.fromiter(later, np.int64, len(later))
+                committed = state["finals"][row_np]
+                clist = program.color_list
+                candidates = np.unique(
+                    np.fromiter(clist, np.int64, len(clist))
+                )
+                tallies = arrays.membership_counts(
+                    np, committed, candidates
+                )
+                rc = {
+                    color: count
+                    for color, count in zip(candidates.tolist(),
+                                            tallies.tolist())
+                    if count
+                }
+                lw = len(later)
+            else:
+                rc = {}
+                lw = 0
+                for j in later:
+                    lw += 1
+                    neighbor_final = finals[j]
+                    if neighbor_final in k:
+                        rc[neighbor_final] = rc.get(neighbor_final, 0) + 1
             chosen = None
             for color in sorted(sublists[i]):
                 lw += 1
@@ -535,6 +631,8 @@ class TwoSweepKernel(RoundKernel):
                     f"Eq. (2) must have been violated"
                 )
             finals[i] = chosen
+            if state is not None:
+                state["finals"][i] = chosen
             rcounts[i] = rc
             work[i] += lw
             receivers = recv_earlier[i]

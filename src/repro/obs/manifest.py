@@ -69,6 +69,25 @@ def _kernel_counters() -> Optional[Dict[str, Any]]:
         return None
 
 
+def _arrays_state() -> Optional[Dict[str, Any]]:
+    """Kernel array-backend provenance: enabled + NumPy version.
+
+    ``{"enabled": False, "numpy": None}`` means the pure-Python columns
+    ran (NumPy missing or ``REPRO_SIM_ARRAYS=0``); the ``kernels``
+    section's ``by_backend`` counters say which kernels actually took
+    the array path.
+    """
+    try:
+        from ..sim import arrays
+
+        return {
+            "enabled": arrays.arrays_enabled(),
+            "numpy": arrays.numpy_version(),
+        }
+    except ImportError:  # pragma: no cover - sim always ships
+        return None
+
+
 def _cache_state() -> Optional[Dict[str, Any]]:
     try:
         from ..substrates import cache as substrate_cache
@@ -121,6 +140,7 @@ def collect_manifest(engine: Optional[str] = None,
         "env": _captured_env(),
         "git": _git_state(),
         "kernels": _kernel_counters(),
+        "arrays": _arrays_state(),
         "caches": _cache_state(),
         "ledger": ledger.to_dict() if ledger is not None else None,
     }

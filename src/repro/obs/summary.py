@@ -46,6 +46,7 @@ def _kernel_rate(events: Iterable[Dict[str, Any]]
     """Hit/fallback counts over the trace's vectorized scheduler runs."""
     runs = hits = fallbacks = 0
     by_kernel: Dict[str, int] = {}
+    by_backend: Dict[str, int] = {}
     by_reason: Dict[str, int] = {}
     for record in events:
         if record.get("kind") != "run" \
@@ -56,6 +57,9 @@ def _kernel_rate(events: Iterable[Dict[str, Any]]
         if kernel:
             hits += 1
             by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
+            backend = record.get("backend") or "python"
+            key = f"{kernel}[{backend}]"
+            by_backend[key] = by_backend.get(key, 0) + 1
         else:
             fallbacks += 1
             reason = record.get("fallback") or "unknown"
@@ -66,6 +70,7 @@ def _kernel_rate(events: Iterable[Dict[str, Any]]
         "fallbacks": fallbacks,
         "hit_rate": (hits / runs) if runs else None,
         "by_kernel": by_kernel,
+        "by_backend": by_backend,
         "by_reason": by_reason,
     }
 
@@ -137,7 +142,7 @@ def summarize_trace(manifest: Optional[Dict[str, Any]],
     if rate["runs"]:
         kernels = ", ".join(
             f"{name} x{count}"
-            for name, count in sorted(rate["by_kernel"].items())
+            for name, count in sorted(rate["by_backend"].items())
         ) or "-"
         reasons = ", ".join(
             f"{name} x{count}"

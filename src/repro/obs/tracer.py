@@ -23,7 +23,7 @@ Every record field is either **logical** or **physical**:
   (see :func:`canonical_lines`).
 * physical fields describe *how the hardware ran it* -- wall-clock
   (``t0`` / ``wall_s``), ``pid``, ``engine``, ``kernel``, ``fallback``,
-  ``warmup_s``, ``worker``.  They differ run to run and engine to
+  ``backend``, ``warmup_s``, ``worker``.  They differ run to run and engine to
   engine, and :func:`logical_view` strips them.
 
 Records of a wholly physical *kind* (currently ``kernel`` annotations,
@@ -42,8 +42,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 #: Record fields describing physical execution; stripped by
 #: :func:`logical_view` so traces can be compared across engines.
 PHYSICAL_FIELDS = frozenset({
-    "t0", "wall_s", "pid", "engine", "kernel", "fallback", "warmup_s",
-    "worker",
+    "t0", "wall_s", "pid", "engine", "kernel", "fallback", "backend",
+    "warmup_s", "worker",
 })
 
 #: Record kinds that are wholly physical: engine-dependent annotations

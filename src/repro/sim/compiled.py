@@ -45,6 +45,7 @@ class CompiledNetwork:
         "neighbor_objects",
         "neighbor_sets",
         "neighbor_id_tuples",
+        "_numpy_views",
     )
 
     def __init__(self, order: Tuple[Node, ...], index: Dict[Node, int],
@@ -70,6 +71,7 @@ class CompiledNetwork:
         self.neighbor_id_tuples = tuple(
             tuple(indices[indptr[i]:indptr[i + 1]]) for i in range(self.n)
         )
+        self._numpy_views = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -102,6 +104,28 @@ class CompiledNetwork:
 
     def degree(self, i: int) -> int:
         return self.indptr[i + 1] - self.indptr[i]
+
+    def numpy_views(self):
+        """``(indptr, indices, degrees)`` as int64 ndarrays, or ``None``.
+
+        Zero-copy views over the CSR ``array('q')`` buffers (both use
+        native 64-bit ints), built lazily on first use and cached for
+        the compiled network's lifetime.  Returns ``None`` whenever the
+        NumPy backend is unavailable or disabled
+        (``REPRO_SIM_ARRAYS=0``), so kernels can use this as their
+        backend probe.
+        """
+        from .arrays import get_numpy
+
+        np = get_numpy()
+        if np is None:
+            return None
+        if self._numpy_views is None:
+            indptr = np.frombuffer(self.indptr, dtype=np.int64)
+            indices = np.frombuffer(self.indices, dtype=np.int64)
+            degrees = np.frombuffer(self.degrees, dtype=np.int64)
+            self._numpy_views = (indptr, indices, degrees)
+        return self._numpy_views
 
     def max_degree(self) -> int:
         """Maximum degree without the paper's floor of 2."""

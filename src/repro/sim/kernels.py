@@ -93,7 +93,17 @@ class RoundKernel(ABC):
     the representation of their column state entirely; the scheduler
     only threads the opaque ``columns`` (from :meth:`prepare`) and
     ``outboxes`` (from each :meth:`step`) values back in.
+
+    ``backend`` names the column representation the kernel settled on
+    during :meth:`prepare` -- ``"python"`` (the default: plain
+    list/tuple columns) or ``"numpy"`` when the kernel engaged the
+    optional ndarray backend (:mod:`repro.sim.arrays`).  The scheduler
+    reads it after ``prepare`` for the dispatch statistics and trace
+    spans; the choice never changes results, only the representation.
     """
+
+    #: Column representation chosen by ``prepare`` (diagnostics only).
+    backend: str = "python"
 
     @abstractmethod
     def prepare(self, compiled: CompiledNetwork,
@@ -187,13 +197,16 @@ class KernelStats:
 
     ``runs = hits + fallbacks``; ``warmup_s`` accumulates the wall-clock
     spent in ``prepare`` (including declined prepares, which also pay
-    it); ``by_kernel`` maps kernel class names to hit counts and
+    it); ``by_kernel`` maps kernel class names to hit counts,
     ``by_reason`` maps fallback reasons (``observer`` / ``stop_when`` /
-    ``empty`` / ``mixed`` / ``unregistered`` / ``declined``) to counts.
+    ``empty`` / ``mixed`` / ``unregistered`` / ``declined``) to counts,
+    and ``by_backend`` maps ``"KernelName[backend]"`` to hit counts so
+    operators can see which column representation
+    (:mod:`repro.sim.arrays`) each kernel actually ran on.
     """
 
     __slots__ = ("runs", "hits", "fallbacks", "warmup_s", "by_kernel",
-                 "by_reason")
+                 "by_reason", "by_backend")
 
     def __init__(self):
         self.runs = 0
@@ -202,6 +215,7 @@ class KernelStats:
         self.warmup_s = 0.0
         self.by_kernel: Dict[str, int] = {}
         self.by_reason: Dict[str, int] = {}
+        self.by_backend: Dict[str, int] = {}
 
     def as_dict(self) -> Dict[str, Any]:
         """A picklable snapshot (ships across process-pool boundaries)."""
@@ -212,6 +226,7 @@ class KernelStats:
             "warmup_s": self.warmup_s,
             "by_kernel": dict(self.by_kernel),
             "by_reason": dict(self.by_reason),
+            "by_backend": dict(self.by_backend),
         }
 
 
@@ -229,11 +244,14 @@ def reset_kernel_stats() -> None:
     _stats = KernelStats()
 
 
-def _record_hit(kernel_name: str, warmup_s: float) -> None:
+def _record_hit(kernel_name: str, warmup_s: float,
+                backend: str = "python") -> None:
     _stats.runs += 1
     _stats.hits += 1
     _stats.warmup_s += warmup_s
     _stats.by_kernel[kernel_name] = _stats.by_kernel.get(kernel_name, 0) + 1
+    key = f"{kernel_name}[{backend}]"
+    _stats.by_backend[key] = _stats.by_backend.get(key, 0) + 1
 
 
 def _record_fallback(reason: str, warmup_s: float = 0.0) -> None:

@@ -123,23 +123,29 @@ def _substrate_snapshot():
     return substrate_cache.snapshot() or None
 
 
-def _init_worker(state, engine=None):
-    """Pool initializer: seed a worker with the parent's caches and
-    scheduler engine.
+def _init_worker(state, engine=None, arrays_enabled=None):
+    """Pool initializer: seed a worker with the parent's caches,
+    scheduler engine, and kernel array-backend decision.
 
     The engine is resolved *once in the parent* (explicit argument, else
     the parent's ``default_engine()`` -- which reads ``use_engine`` /
     ``set_default_engine`` overrides and the parent's current
     ``REPRO_SIM_ENGINE``) and shipped explicitly: a forked worker's
     environment is frozen at spawn time, so without this an engine
-    selected after the pool exists would be silently ignored.  Kernel
-    counters are zeroed so per-worker stats describe this sweep only
-    (``fork`` otherwise inherits the parent's cumulative counters).
+    selected after the pool exists would be silently ignored.  The
+    NumPy-backend decision (:func:`repro.sim.arrays.arrays_enabled`) is
+    frozen the same way so one sweep never splits across backends.
+    Kernel counters are zeroed so per-worker stats describe this sweep
+    only (``fork`` otherwise inherits the parent's cumulative counters).
     """
     if engine is not None:
         from .scheduler import set_default_engine
 
         set_default_engine(engine)
+    if arrays_enabled is not None:
+        from .arrays import set_arrays_override
+
+        set_arrays_override(arrays_enabled)
     from .kernels import reset_kernel_stats
 
     reset_kernel_stats()
@@ -321,10 +327,13 @@ def parallel_sweep(measure: Measure,
             # topologies) computed in this process are shipped to every
             # worker once, instead of each worker re-deriving them per
             # trial; the resolved engine choice rides along.
+            from .arrays import arrays_enabled
+
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(_substrate_snapshot(), resolved),
+                initargs=(_substrate_snapshot(), resolved,
+                          arrays_enabled()),
             ) as pool:
                 records = list(pool.map(_call_measure, tasks))
             if tracer is not None:

@@ -229,7 +229,7 @@ class Scheduler:
             try:
                 return self._dispatch(name, max_rounds)
             finally:
-                kernel = fallback = None
+                kernel = fallback = backend = None
                 warmup_s = 0.0
                 if kstats_before is not None:
                     kstats = kernel_stats()
@@ -242,9 +242,13 @@ class Scheduler:
                         if count > kstats_before["by_reason"].get(key, 0):
                             fallback = key
                             break
+                    for key, count in kstats["by_backend"].items():
+                        if count > kstats_before["by_backend"].get(key, 0):
+                            backend = key.rsplit("[", 1)[-1].rstrip("]")
+                            break
                     tracer.annotate(
                         "dispatch", kernel=kernel, fallback=fallback,
-                        warmup_s=warmup_s,
+                        backend=backend, warmup_s=warmup_s,
                     )
                 span.attrs.update(
                     rounds=ledger.rounds - before[0],
@@ -254,6 +258,7 @@ class Scheduler:
                     engine=name,
                     kernel=kernel,
                     fallback=fallback,
+                    backend=backend,
                 )
                 tracer.event(
                     "round-batch", "rounds",
@@ -546,7 +551,8 @@ class Scheduler:
         if columns is None:
             _record_fallback("declined", warmup_s)
             return self._run_fast(max_rounds)
-        _record_hit(type(kernel).__name__, warmup_s)
+        _record_hit(type(kernel).__name__, warmup_s,
+                    getattr(kernel, "backend", "python"))
 
         ledger = self.ledger
         step = kernel.step

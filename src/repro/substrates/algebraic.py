@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
+from ..sim import arrays
 from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import AlgorithmFailure, InstanceError
 from ..sim.kernels import KernelRound, RoundKernel, fanout_totals, register_kernel
@@ -43,10 +44,13 @@ class AlgebraicRecoloringProgram(NodeProgram):
         (all neighbors for undirected Linial, out-neighbors otherwise)."""
         self.node = node
         self.color = initial_color
-        self.schedule = list(schedule)
+        # Stored as a tuple: steps are immutable, and callers that
+        # normalize once (``run_recoloring``) then share one tuple
+        # across the whole population, which the kernel's uniformity
+        # scan detects by identity.
+        self.schedule = tuple(schedule)
         self.relevant = relevant
         self._step_index = 0
-        self._families = [step.family() for step in self.schedule]
 
     def on_round(self, ctx: RoundContext) -> None:
         if ctx.round_number == 1:
@@ -58,7 +62,7 @@ class AlgebraicRecoloringProgram(NodeProgram):
             )
             return
         step = self.schedule[self._step_index]
-        family = self._families[self._step_index]
+        family = step.family()
         neighbor_colors = ctx.received(_TAG)
         self.color = self._recolor(step, family, neighbor_colors)
         self._step_index += 1
@@ -135,31 +139,52 @@ class AlgebraicRecoloringKernel(RoundKernel):
     Declines populations with differing schedules or mid-run state.
     ``finalize`` restores ``color`` and ``_step_index``; the transient
     per-round inbox views have no program-side counterpart to restore.
+
+    When the NumPy backend (:mod:`repro.sim.arrays`) is available and
+    every step's field fits the int64 overflow bounds, ``prepare``
+    additionally builds ndarray columns: the color column as one int64
+    vector and the relevant-neighbor relation as flat ``(src, dst)``
+    edge arrays.  Each step then evaluates the whole population through
+    the family's batched-Horner value table and counts rival agreements
+    with one segmented reduction -- bit-identical to the scalar scan
+    (same integers, same first-minimum tie-breaks, same failure text in
+    the same node order), just batched.
     """
 
     def prepare(self, compiled, programs, bandwidth):
         first = programs[0]
         schedule = first.schedule
         for program in programs:
-            if program._step_index != 0 or program.schedule != schedule:
+            if program._step_index != 0 or (
+                    program.schedule is not schedule
+                    and program.schedule != schedule):
                 return None
         order = compiled.order
         indptr = compiled.indptr
         indices = compiled.indices
-        relevant_ids = []
+        neighbor_sets = compiled.neighbor_sets
+        id_rows = compiled.neighbor_id_tuples
+        relevant_ids: list = []
+        full_rows = True
         for i, program in enumerate(programs):
             relevant = program.relevant
-            relevant_ids.append([
-                j for j in indices[indptr[i]:indptr[i + 1]]
-                if order[j] in relevant
-            ])
+            if relevant == neighbor_sets[i]:
+                # Every neighbor is relevant (undirected Linial): the
+                # CSR row itself is the filtered list.
+                relevant_ids.append(id_rows[i])
+            else:
+                full_rows = False
+                relevant_ids.append([
+                    j for j in indices[indptr[i]:indptr[i + 1]]
+                    if order[j] in relevant
+                ])
         total_copies, envelopes = fanout_totals(compiled)
-        return {
+        columns = {
             "programs": programs,
             "order": order,
             "degrees": compiled.degrees,
             "schedule": schedule,
-            "families": first._families,
+            "families": [step.family() for step in schedule],
             "relevant_ids": relevant_ids,
             "colors": [program.color for program in programs],
             "total_copies": total_copies,
@@ -169,7 +194,59 @@ class AlgebraicRecoloringKernel(RoundKernel):
             "rows": [{} for _ in schedule],
             "check_fanout": (None if type(bandwidth) is LocalModel
                              else bandwidth.check_fanout),
+            "arrays": None,
         }
+        state = self._prepare_arrays(compiled, columns, full_rows)
+        if state is not None:
+            columns["arrays"] = state
+            self.backend = "numpy"
+        return columns
+
+    def _prepare_arrays(self, compiled, columns, full_rows):
+        """Build the ndarray columns, or ``None`` to keep pure Python.
+
+        Declined (transparently -- the scalar path is bit-identical)
+        when NumPy is off, the population is too small to amortize the
+        array round-trips, any step's field exceeds the int64 overflow
+        bounds, the worst-case match matrix would be oversized, or a
+        color does not even fit in int64.
+        """
+        np = arrays.get_numpy()
+        if np is None:
+            return None
+        n = compiled.n
+        schedule = columns["schedule"]
+        if not schedule or n < arrays.MIN_BATCH:
+            return None
+        if not all(arrays.field_fits(step.m, step.q) for step in schedule):
+            return None
+        relevant_ids = columns["relevant_ids"]
+        edges = (len(compiled.indices) if full_rows
+                 else sum(len(row) for row in relevant_ids))
+        max_m = max(step.m for step in schedule)
+        if edges * max_m > arrays.MAX_MATCH_ELEMENTS:
+            return None
+        try:
+            colors = np.array(columns["colors"], dtype=np.int64)
+        except (OverflowError, ValueError):
+            return None
+        if full_rows:
+            # The relevant relation is the CSR adjacency itself: use
+            # the zero-copy views, no per-edge Python work.
+            _, indices_np, degrees_np = compiled.numpy_views()
+            src = np.repeat(np.arange(n, dtype=np.int64), degrees_np)
+            dst = indices_np
+        else:
+            src = np.repeat(
+                np.arange(n, dtype=np.int64),
+                np.fromiter(map(len, relevant_ids), dtype=np.int64,
+                            count=n),
+            )
+            dst = np.fromiter(
+                (j for row in relevant_ids for j in row),
+                dtype=np.int64, count=edges,
+            )
+        return {"np": np, "colors": colors, "src": src, "dst": dst}
 
     def _broadcast_round(self, columns, bits) -> KernelRound:
         """Charge one all-node color broadcast (rounds 1..len(schedule))."""
@@ -199,6 +276,23 @@ class AlgebraicRecoloringKernel(RoundKernel):
             if not schedule:
                 return KernelRound(active=0)
             return self._broadcast_round(columns, color_bits(schedule[0].q))
+        state = columns["arrays"]
+        if state is not None:
+            step = schedule[round_number - 2]
+            colors = state["colors"]
+            if bool(((colors < 0) | (colors >= step.q)).any()):
+                # Out-of-range colors must fail with exactly the scalar
+                # path's exception (text, type, node order), so hand the
+                # round to it -- it always raises on such input.
+                columns["colors"] = colors.tolist()
+                columns["arrays"] = None
+                self.backend = "python"
+                return self._step_python(round_number, columns)
+            return self._step_numpy(round_number, columns)
+        return self._step_python(round_number, columns)
+
+    def _step_python(self, round_number, columns) -> KernelRound:
+        schedule = columns["schedule"]
         step_index = round_number - 2
         step = schedule[step_index]
         q = step.q
@@ -291,8 +385,103 @@ class AlgebraicRecoloringKernel(RoundKernel):
             broadcasts=columns["envelopes"],
         )
 
+    def _step_numpy(self, round_number, columns) -> KernelRound:
+        """One whole recoloring round as batched int64 matrix work.
+
+        ``V = value_rows(colors)`` is the ``(n, m)`` evaluation matrix;
+        rival agreements are counted per node with one segmented
+        reduction over the relevant-edge arrays.  ``argmax``/``argmin``
+        pick the first feasible / first minimal point, matching the
+        scalar scan's tie-breaking exactly.
+        """
+        state = columns["arrays"]
+        np = state["np"]
+        schedule = columns["schedule"]
+        step_index = round_number - 2
+        step = schedule[step_index]
+        m = step.m
+        family = columns["families"][step_index]
+        old = state["colors"]
+        n = old.shape[0]
+        values = family.value_rows(old)
+
+        src = state["src"]
+        dst = state["dst"]
+        rival = old[dst] != old[src]
+        srcs = src[rival]
+        rival_counts = np.bincount(srcs, minlength=n)
+        conflicts = np.zeros((n, m), dtype=np.int64)
+        if srcs.shape[0]:
+            matches = (values[dst[rival]] == values[srcs]).astype(np.int64)
+            # ``srcs`` is sorted, so consecutive starts of the non-empty
+            # segments partition ``matches`` into per-node blocks.
+            nonempty = rival_counts > 0
+            offsets = np.concatenate(
+                ([0], np.cumsum(rival_counts[:-1]))
+            )[nonempty]
+            conflicts[nonempty] = np.add.reduceat(matches, offsets, axis=0)
+
+        failed = None
+        if step.alpha_step != 0.0:
+            best_x = np.argmin(conflicts, axis=1)
+        else:
+            feasible = conflicts == 0
+            solvable = feasible.any(axis=1)
+            if not bool(solvable.all()):
+                failed = ~solvable
+            best_x = np.argmax(feasible, axis=1)
+        new_colors = best_x * m + values[np.arange(n), best_x]
+
+        last = step_index + 1 >= len(schedule)
+        check_fanout = None if last else columns["check_fanout"]
+        next_bits = 0 if last else color_bits(schedule[step_index + 1].q)
+        if check_fanout is not None:
+            # Interleave: node i's recoloring failure precedes node
+            # i+1's bandwidth failure and follows node i-1's, exactly as
+            # in the scalar loop.
+            order = columns["order"]
+            degrees = columns["degrees"]
+            new_list = new_colors.tolist()
+            for i in range(n):
+                if failed is not None and failed[i]:
+                    self._raise_no_point(columns, i, step, rival_counts)
+                if degrees[i]:
+                    check_fanout(
+                        intern_broadcast(
+                            order[i], _TAG, new_list[i], next_bits
+                        ),
+                        degrees[i],
+                    )
+        elif failed is not None:
+            self._raise_no_point(
+                columns, int(np.argmax(failed)), step, rival_counts
+            )
+        state["colors"] = new_colors
+        if last:
+            return KernelRound(active=0)
+        copies = columns["total_copies"]
+        return KernelRound(
+            active=n,
+            messages=copies,
+            bits=copies * next_bits,
+            max_message_bits=next_bits if copies else 0,
+            broadcasts=columns["envelopes"],
+        )
+
+    @staticmethod
+    def _raise_no_point(columns, i, step, rival_counts):
+        raise AlgorithmFailure(
+            f"node {columns['programs'][i].node!r}: no collision-free "
+            f"point over F_{step.m} with "
+            f"{int(rival_counts[i])} rivals of degree "
+            f"{step.k} -- the step parameters violate "
+            f"m > avoid * k"
+        )
+
     def finalize(self, columns, programs) -> None:
-        colors = columns["colors"]
+        state = columns["arrays"]
+        colors = (state["colors"].tolist() if state is not None
+                  else columns["colors"])
         steps = len(columns["schedule"])
         for program, color in zip(programs, colors):
             program.color = color
@@ -323,6 +512,10 @@ def run_recoloring(network: Network,
     if not schedule:
         palette = max(initial_colors.values(), default=0) + 1
         return dict(initial_colors), palette
+    # One shared tuple for the whole population: programs alias it
+    # (steps are immutable) and the kernel's uniformity scan reduces to
+    # identity checks.
+    schedule = tuple(schedule)
     programs = {
         node: AlgebraicRecoloringProgram(
             node, initial_colors[node], schedule, relevant[node]

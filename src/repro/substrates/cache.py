@@ -37,6 +37,14 @@ from ..sim.message import CACHE_ENV
 #: this size is cleared rather than growing without bound.
 REGISTRY_LIMIT = 1 << 16
 
+#: Much smaller cap for registries whose *values* are heavy ndarrays --
+#: currently the ``(q, m)`` polynomial value tables exported by
+#: :meth:`repro.substrates.cover_free.PolynomialFamily.value_table` for
+#: the NumPy kernel backend.  Each entry can be megabytes, and
+#: :func:`snapshot` ships every entry to every pool worker, so the cap
+#: bounds both resident memory and the worker-initializer payload.
+ARRAY_REGISTRY_LIMIT = 64
+
 #: Directory for the persistent spill file; unset means "no disk cache".
 CACHE_DIR_ENV = "REPRO_SIM_CACHE_DIR"
 

@@ -20,7 +20,13 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .cache import cache_enabled, registry
+from ..sim import arrays
+from .cache import ARRAY_REGISTRY_LIMIT, cache_enabled, registry
+
+#: Largest full evaluation table (``q * m`` int64 entries) exported for
+#: the NumPy kernel backend; larger families are evaluated per round on
+#: the colors actually present instead of as one dense table.
+VALUE_TABLE_LIMIT = 1 << 22
 
 
 def _is_prime_raw(n: int) -> bool:
@@ -132,6 +138,70 @@ class PolynomialFamily:
     def pair_color(self, index: int, x: int) -> int:
         """The palette-``m**2`` color ``(x, p_index(x))`` flattened."""
         return x * self.m + self.evaluate(index, x)
+
+    # ------------------------------------------------------------------
+    # NumPy backend export (repro.sim.arrays)
+    # ------------------------------------------------------------------
+    def coefficient_matrix(self):
+        """All ``q`` coefficient rows as a ``(q, k + 1)`` int64 ndarray.
+
+        Row ``i`` equals :meth:`coefficients` ``(i)``; ``None`` when the
+        array backend is disabled or the family exceeds its int64
+        overflow bounds (:func:`repro.sim.arrays.field_fits`).
+        """
+        np = arrays.get_numpy()
+        if np is None or not arrays.field_fits(self.m, self.q):
+            return None
+        return arrays.coefficient_matrix(
+            np, np.arange(self.q, dtype=np.int64), self.m, self.k
+        )
+
+    def value_table(self):
+        """The full ``(q, m)`` evaluation matrix for the NumPy backend.
+
+        ``table[i, x] == evaluate(i, x)`` -- one batched modular Horner
+        pass replaces ``q * m`` scalar evaluations.  Returns ``None``
+        when the array backend is off, the family exceeds the int64
+        overflow bounds, or the table would be larger than
+        :data:`VALUE_TABLE_LIMIT` entries.  Cached process-wide on
+        ``(q, m, k)`` (``REPRO_SIM_CACHE=0`` disables) so repeated
+        trials -- and, via :func:`repro.substrates.cache.snapshot`,
+        process-pool workers -- share one read-only table.
+        """
+        np = arrays.get_numpy()
+        if np is None or not arrays.field_fits(self.m, self.q) \
+                or self.q * self.m > VALUE_TABLE_LIMIT:
+            return None
+        if not cache_enabled():
+            return self._value_table_raw(np)
+        memo = registry("value_tables", ARRAY_REGISTRY_LIMIT)
+        key = (self.q, self.m, self.k)
+        table = memo.get(key)
+        if table is None:
+            table = memo[key] = self._value_table_raw(np)
+        return table
+
+    def _value_table_raw(self, np):
+        table = arrays.batched_horner(
+            np, np.arange(self.q, dtype=np.int64), self.m, self.k
+        )
+        table.setflags(write=False)
+        return table
+
+    def value_rows(self, colors):
+        """Evaluation rows for an int64 ndarray of valid color indices.
+
+        ``value_rows(c)[r, x] == evaluate(c[r], x)``.  Callers (the
+        NumPy kernel paths) guarantee ``0 <= c < q`` and that the array
+        backend is active; out-of-range indices are undefined here, just
+        as they are for a raw table lookup.
+        """
+        table = self.value_table()
+        if table is not None:
+            return table[colors]
+        return arrays.batched_horner(
+            arrays.get_numpy(), colors, self.m, self.k
+        )
 
     @property
     def palette_size(self) -> int:

@@ -21,6 +21,7 @@ from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 from ..coloring.instance import ArbdefectiveInstance
 from ..coloring.result import ColoringResult
+from ..sim import arrays
 from ..sim.congest import BandwidthModel, LocalModel
 from ..sim.errors import (
     AlgorithmFailure,
@@ -276,11 +277,14 @@ class _GreedySweepKernel(RoundKernel):
             higher.append(tuple(j for j in row if initial[j] > own))
             by_class.setdefault(own, []).append(i)
         total_copies, envelopes = fanout_totals(compiled)
+        sorted_lists = [sorted(p.color_list) for p in programs]
+        state = self._prepare_arrays(programs, sorted_lists, lower)
         return {
             "programs": programs,
             "order": order,
             "initial": initial,
-            "sorted_lists": [sorted(p.color_list) for p in programs],
+            "sorted_lists": sorted_lists,
+            "arrays": state,
             "lower": lower,
             "higher": higher,
             "by_class": by_class,
@@ -296,6 +300,32 @@ class _GreedySweepKernel(RoundKernel):
             "check_fanout": (None if type(bandwidth) is LocalModel
                              else bandwidth.check_fanout),
             "degrees": compiled.degrees,
+        }
+
+    def _prepare_arrays(self, programs, sorted_lists, lower):
+        """NumPy column state for the tally path, or ``None`` to decline.
+
+        The array path keeps an int64 mirror of the finals column (``-1``
+        marks undecided) so a decider with a long lower-neighbor row can
+        tally committed colors with one gather + sort-based count instead
+        of a Python dict loop.  Small populations, color values beyond
+        int64, and topologies where every lower row stays under
+        ``MIN_TALLY`` (the mirror upkeep would never pay off) keep the
+        pure-Python columns.
+        """
+        np = arrays.get_numpy()
+        if np is None or len(programs) < arrays.MIN_BATCH:
+            return None
+        if not any(len(row) >= arrays.MIN_TALLY for row in lower):
+            return None
+        for colors in sorted_lists:
+            if colors and not (-arrays.MAX_COLOR <= colors[0]
+                               and colors[-1] <= arrays.MAX_COLOR):
+                return None
+        self.backend = "numpy"
+        return {
+            "np": np,
+            "finals": np.full(len(programs), -1, dtype=np.int64),
         }
 
     def step(self, round_number, columns, inboxes) -> KernelRound:
@@ -333,19 +363,49 @@ class _GreedySweepKernel(RoundKernel):
             mono = columns["mono"]
             check = columns["check"]
             bits_final = columns["bits_final"]
+        state = columns["arrays"]
         messages = 0
         for i in deciders:
             program = programs[i]
-            counts = {color: 0 for color in program.color_list}
-            for j in lower[i]:
-                neighbor_final = finals[j]
-                if neighbor_final in counts:
-                    counts[neighbor_final] += 1
-            chosen = None
-            for color in sorted_lists[i]:
-                if counts[color] <= program.defect_fn[color]:
-                    chosen = color
-                    break
+            row = lower[i]
+            if state is not None and len(row) >= arrays.MIN_TALLY:
+                # Long lower row: gather the committed finals once and
+                # tally against the sorted candidate list in C.  Probing
+                # the unique ascending candidates picks the same color as
+                # the Python scan over the (possibly duplicated) list.
+                np = state["np"]
+                row_np = np.fromiter(row, np.int64, len(row))
+                committed = state["finals"][row_np]
+                slist = sorted_lists[i]
+                candidates = np.unique(
+                    np.fromiter(slist, np.int64, len(slist))
+                )
+                tallies = arrays.membership_counts(np, committed, candidates)
+                chosen = None
+                defect_fn = program.defect_fn
+                for color, count in zip(candidates.tolist(),
+                                        tallies.tolist()):
+                    if count <= defect_fn[color]:
+                        chosen = color
+                        break
+                mono_row = None if chosen is None else tuple(
+                    order[j]
+                    for j in row_np[committed == chosen].tolist()
+                )
+            else:
+                counts = {color: 0 for color in program.color_list}
+                for j in row:
+                    neighbor_final = finals[j]
+                    if neighbor_final in counts:
+                        counts[neighbor_final] += 1
+                chosen = None
+                for color in sorted_lists[i]:
+                    if counts[color] <= program.defect_fn[color]:
+                        chosen = color
+                        break
+                mono_row = None if chosen is None else tuple(
+                    order[j] for j in row if finals[j] == chosen
+                )
             if chosen is None:
                 raise AlgorithmFailure(
                     f"node {program.node!r}: greedy sweep found no "
@@ -353,9 +413,9 @@ class _GreedySweepKernel(RoundKernel):
                     f"most 1"
                 )
             finals[i] = chosen
-            mono[i] = tuple(
-                order[j] for j in lower[i] if finals[j] == chosen
-            )
+            if state is not None:
+                state["finals"][i] = chosen
+            mono[i] = mono_row
             if check is not None:
                 sender = order[i]
                 for j in higher[i]:
@@ -512,12 +572,15 @@ class _ColorReductionKernel(RoundKernel):
         for i, color in enumerate(colors):
             by_color.setdefault(color, []).append(i)
         total_copies, envelopes = fanout_totals(compiled)
+        state = self._prepare_arrays(compiled, colors, target)
         return {
             "programs": programs,
             "order": compiled.order,
             "degrees": compiled.degrees,
             "rows": [indices[indptr[i]:indptr[i + 1]]
                      for i in range(compiled.n)],
+            "arrays": state,
+            "indptr": indptr,
             "colors": colors,
             "by_color": by_color,
             "q": q,
@@ -528,6 +591,31 @@ class _ColorReductionKernel(RoundKernel):
             "check_fanout": (None if type(bandwidth) is LocalModel
                              else bandwidth.check_fanout),
         }
+
+    def _prepare_arrays(self, compiled, colors, target):
+        """NumPy column state for the mex path, or ``None`` to decline.
+
+        Keeps an int64 mirror of the color column next to the CSR index
+        view so a high-degree decider computes its minimum excluded color
+        with one gather + boolean table instead of a Python set loop.
+        The mirror is updated at the same round boundary as the list, so
+        the stale-view semantics are preserved bit-for-bit.  Topologies
+        whose maximum degree stays under ``MIN_TALLY`` decline: no
+        decider would ever take the gather path, so the mirror upkeep
+        would be pure overhead.
+        """
+        np = arrays.get_numpy()
+        if (np is None or compiled.n < arrays.MIN_BATCH
+                or not 0 < target <= arrays.MAX_MATCH_ELEMENTS
+                or max(compiled.degrees, default=0) < arrays.MIN_TALLY):
+            return None
+        try:
+            mirror = np.array(colors, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return None
+        views = compiled.numpy_views()
+        self.backend = "numpy"
+        return {"np": np, "colors": mirror, "indices": views[1]}
 
     def step(self, round_number, columns, inboxes) -> KernelRound:
         colors = columns["colors"]
@@ -566,11 +654,20 @@ class _ColorReductionKernel(RoundKernel):
             degrees = columns["degrees"]
             rows = columns["rows"]
             check_fanout = columns["check_fanout"]
+            state = columns["arrays"]
+            indptr = columns["indptr"]
         for i in deciders:
-            used = {colors[j] for j in rows[i]}
-            new_color = 0
-            while new_color in used:
-                new_color += 1
+            if state is not None and degrees[i] >= arrays.MIN_TALLY:
+                np = state["np"]
+                row_np = state["indices"][indptr[i]:indptr[i + 1]]
+                new_color = arrays.mex_below(
+                    np, state["colors"][row_np], target
+                )
+            else:
+                used = {colors[j] for j in rows[i]}
+                new_color = 0
+                while new_color in used:
+                    new_color += 1
             if new_color >= target:
                 raise AlgorithmFailure(
                     f"node {columns['programs'][i].node!r}: no free color "
@@ -589,8 +686,12 @@ class _ColorReductionKernel(RoundKernel):
                     )
                 messages += degree
                 broadcasts += 1
-        for i, new_color in updates:
-            colors[i] = new_color
+        if updates:
+            mirror = None if state is None else state["colors"]
+            for i, new_color in updates:
+                colors[i] = new_color
+                if mirror is not None:
+                    mirror[i] = new_color
         return KernelRound(
             active=len(colors),
             messages=messages,

@@ -63,6 +63,29 @@ from repro.substrates import (
 CANDIDATE_ENGINES = ("fast", "vectorized")
 
 
+@pytest.fixture(params=["python", "numpy"])
+def backend(request, monkeypatch):
+    """Run the matrix once per kernel column backend.
+
+    The ``numpy`` leg pins the array backend on and drops the size
+    thresholds so even these deliberately small topologies take the
+    batched paths; the ``python`` leg forces the pure-Python columns.
+    Reference stays the oracle in both legs.
+    """
+    from repro.sim import arrays
+
+    if request.param == "numpy":
+        if arrays._import_numpy() is None:
+            pytest.skip("NumPy not installed")
+        monkeypatch.setattr(arrays, "MIN_BATCH", 0)
+        monkeypatch.setattr(arrays, "MIN_TALLY", 0)
+        previous = arrays.set_arrays_override(True)
+    else:
+        previous = arrays.set_arrays_override(False)
+    yield request.param
+    arrays.set_arrays_override(previous)
+
+
 def _ledger_state(ledger: CostLedger):
     return (
         ledger.rounds,
@@ -159,7 +182,7 @@ PROTOCOLS = {
 
 @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
 @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
-def test_engines_agree(protocol, topology):
+def test_engines_agree(protocol, topology, backend):
     build = TOPOLOGIES[topology]
     run = PROTOCOLS[protocol]
     ref_tracer = Tracer()
@@ -251,7 +274,7 @@ def test_congest_model_equivalent():
     ["linial", "color_reduction", "greedy_sweep", "two_sweep",
      "fast_two_sweep"],
 )
-def test_congest_on_kernelized_protocols(protocol):
+def test_congest_on_kernelized_protocols(protocol, backend):
     """CONGEST accounting through the actual round kernels.
 
     These protocols have registered kernels (the Two-Sweep family runs
