@@ -20,8 +20,16 @@ from ..sim.network import Network
 #: not scalar derivations.
 _NETWORK_REGISTRY_LIMIT = 64
 
+#: Topologies above this many nodes are never interned.  The registry is
+#: bounded by *entry count* (64), not bytes, and it rides along in the
+#: substrate-cache snapshot shipped to every pool worker -- a handful of
+#: million-node graphs would pin gigabytes in the parent and again in
+#: each worker.  Above the gate, callers get a fresh build (scale work
+#: shares topologies through ``repro.sim.shm`` instead).
+INTERN_NODE_LIMIT = 1 << 16
 
-def _interned(key: Tuple, build) -> Network:
+
+def _interned(key: Tuple, build, nodes: int = 0):
     """Memoize deterministic generators in the substrate cache.
 
     Benchmark sweeps call the same generator with the same arguments for
@@ -35,8 +43,12 @@ def _interned(key: Tuple, build) -> Network:
     Networks are immutable by repository convention (adjacency is fixed
     at construction; ``compile()`` only attaches a cache), which is what
     makes sharing safe.  ``REPRO_SIM_CACHE=0`` disables interning along
-    with every other process-level memo.
+    with every other process-level memo, and topologies larger than
+    :data:`INTERN_NODE_LIMIT` nodes (``nodes`` is the caller's estimate)
+    bypass the registry entirely so it cannot pin gigabytes.
     """
+    if nodes > INTERN_NODE_LIMIT:
+        return build()
     try:
         from ..substrates import cache as substrate_cache
     except ImportError:  # pragma: no cover - substrates always ship
@@ -74,7 +86,7 @@ def complete_graph(n: int) -> Network:
     """The clique K_n."""
     return _interned(("complete", n), lambda: Network.from_edges(
         range(n), itertools.combinations(range(n), 2)
-    ))
+    ), nodes=n)
 
 
 def complete_bipartite_graph(a: int, b: int) -> Network:
@@ -87,7 +99,7 @@ def star_graph(leaves: int) -> Network:
     """A star: center 0 joined to ``leaves`` leaves."""
     return _interned(("star", leaves), lambda: Network.from_edges(
         range(leaves + 1), [(0, i) for i in range(1, leaves + 1)]
-    ))
+    ), nodes=leaves + 1)
 
 
 def grid_graph(rows: int, cols: int) -> Network:
@@ -114,7 +126,8 @@ def binary_tree(depth: int) -> Network:
             edges.append((i, (i - 1) // 2))
         return Network.from_edges(range(n), edges)
 
-    return _interned(("binary_tree", depth), build)
+    return _interned(("binary_tree", depth), build,
+                     nodes=2 ** (depth + 1) - 1)
 
 
 def gnp_graph(n: int, p: float, seed: int) -> Network:
@@ -131,7 +144,7 @@ def gnp_graph(n: int, p: float, seed: int) -> Network:
         ]
         return Network.from_edges(range(n), edges)
 
-    return _interned(("gnp", n, p, seed), build)
+    return _interned(("gnp", n, p, seed), build, nodes=n)
 
 
 def random_regular_graph(n: int, degree: int, seed: int) -> Network:
@@ -178,7 +191,8 @@ def random_bounded_degree_graph(n: int, max_degree: int, seed: int,
         )
 
     return _interned(
-        ("bounded_degree", n, max_degree, seed, edge_factor), build
+        ("bounded_degree", n, max_degree, seed, edge_factor), build,
+        nodes=n,
     )
 
 

@@ -88,6 +88,40 @@ def _arrays_state() -> Optional[Dict[str, Any]]:
         return None
 
 
+def peak_rss_kb(children: bool = False) -> Optional[int]:
+    """Peak resident set size in KiB, or ``None`` where unmeasurable.
+
+    ``resource.getrusage`` reports ``ru_maxrss`` in kilobytes on Linux
+    and in bytes on macOS; this normalizes to KiB.  ``children=True``
+    reports the high-water mark across reaped child processes (pool
+    workers) instead of this process.  A *physical* quantity: it varies
+    run to run and never participates in logical-stream comparisons.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    try:
+        peak = resource.getrusage(who).ru_maxrss
+    except (OSError, ValueError):  # pragma: no cover - defensive
+        return None
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+def _rss_state() -> Optional[Dict[str, Any]]:
+    """Peak RSS of this process and its reaped children, in KiB."""
+    own = peak_rss_kb()
+    if own is None:
+        return None
+    return {
+        "max_rss_kb": own,
+        "children_max_rss_kb": peak_rss_kb(children=True),
+    }
+
+
 def _cache_state() -> Optional[Dict[str, Any]]:
     try:
         from ..substrates import cache as substrate_cache
@@ -142,6 +176,7 @@ def collect_manifest(engine: Optional[str] = None,
         "kernels": _kernel_counters(),
         "arrays": _arrays_state(),
         "caches": _cache_state(),
+        "rss": _rss_state(),
         "ledger": ledger.to_dict() if ledger is not None else None,
     }
     if extra:

@@ -43,7 +43,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 #: :func:`logical_view` so traces can be compared across engines.
 PHYSICAL_FIELDS = frozenset({
     "t0", "wall_s", "pid", "engine", "kernel", "fallback", "backend",
-    "warmup_s", "worker",
+    "warmup_s", "worker", "rss_kb",
 })
 
 #: Record kinds that are wholly physical: engine-dependent annotations

@@ -37,6 +37,7 @@ from .metrics import CostLedger, PhaseStats, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
 from .parallel import SweepReport, derive_seed, parallel_sweep, run_trials
+from . import shm
 from .scheduler import (
     DEFAULT_MAX_ROUNDS,
     ENGINES,
@@ -96,6 +97,7 @@ __all__ = [
     "run_protocol",
     "run_trials",
     "set_default_engine",
+    "shm",
     "unregister_kernel",
     "use_engine",
 ]

@@ -40,6 +40,16 @@ from typing import Any, Optional
 #: ``REPRO_SIM_ENGINE``) so tests and operators can flip it mid-process.
 ARRAYS_ENV = "REPRO_SIM_ARRAYS"
 
+#: Environment knob: ``REPRO_SIM_CHUNK=<nodes>`` bounds how many nodes a
+#: vectorized kernel round materializes at once.  The dense per-round
+#: temporaries (an ``(n, m)`` evaluation matrix for the algebraic
+#: kernel) become ``(chunk, m)``, keeping peak RSS flat as n grows.
+#: Chunked execution is bit-identical to unchunked -- the chunks are
+#: pure index slices of the same gathers and reductions -- so this is a
+#: memory knob, never a semantics knob.  Unset, ``0``, or unparsable
+#: means "off" (whole-population rounds, the historical behavior).
+CHUNK_ENV = "REPRO_SIM_CHUNK"
+
 #: Largest field size ``m`` the int64 Horner path accepts.  The
 #: accumulator peaks at ``(m - 1) * (m - 1) + (m - 1) < m**2``, and the
 #: flattened pair color is ``x * m + value < m**2``, so ``m <= 2**31``
@@ -132,6 +142,37 @@ def _reset_import_cache() -> None:
     """Forget the import probe (tests simulate NumPy absence)."""
     global _numpy_module
     _numpy_module = _UNSET
+
+
+def chunk_size() -> int:
+    """The configured node-chunk bound; ``0`` disables chunking.
+
+    Re-read from ``REPRO_SIM_CHUNK`` on every call (kernels freeze the
+    value at ``prepare`` time so one run never mixes granularities).
+    """
+    raw = os.environ.get(CHUNK_ENV, "").strip()
+    if not raw:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return value if value > 0 else 0
+
+
+def iter_chunks(total: int, chunk: int):
+    """Yield ``(lo, hi)`` node ranges covering ``0..total``.
+
+    One whole-range pair when ``chunk`` is 0 (chunking off) or already
+    covers the population.
+    """
+    if total <= 0:
+        return
+    if chunk <= 0 or chunk >= total:
+        yield (0, total)
+        return
+    for lo in range(0, total, chunk):
+        yield (lo, min(lo + chunk, total))
 
 
 # ----------------------------------------------------------------------

@@ -98,11 +98,13 @@ def _call_measure(task):
         # record; the parent pops them off and keeps, per pid, the
         # snapshot with the most runs (counters are monotonic, so that
         # is the worker's final state regardless of completion order).
+        from ..obs.manifest import peak_rss_kb
         from .kernels import kernel_stats
         from .scheduler import default_engine
 
         tagged["__worker__"] = dict(
-            kernel_stats(), pid=os.getpid(), engine=default_engine()
+            kernel_stats(), pid=os.getpid(), engine=default_engine(),
+            rss_kb=peak_rss_kb(),
         )
     return tagged
 
@@ -123,9 +125,11 @@ def _substrate_snapshot():
     return substrate_cache.snapshot() or None
 
 
-def _init_worker(state, engine=None, arrays_enabled=None):
+def _init_worker(state, engine=None, arrays_enabled=None,
+                 topologies=None):
     """Pool initializer: seed a worker with the parent's caches,
-    scheduler engine, and kernel array-backend decision.
+    scheduler engine, kernel array-backend decision, and shared-memory
+    topology handles.
 
     The engine is resolved *once in the parent* (explicit argument, else
     the parent's ``default_engine()`` -- which reads ``use_engine`` /
@@ -137,7 +141,16 @@ def _init_worker(state, engine=None, arrays_enabled=None):
     frozen the same way so one sweep never splits across backends.
     Kernel counters are zeroed so per-worker stats describe this sweep
     only (``fork`` otherwise inherits the parent's cumulative counters).
+
+    ``topologies`` carries :mod:`repro.sim.shm` handles for topologies
+    the parent published to shared memory -- a name and a shape per key,
+    a few dozen bytes -- so every worker maps the parent's single CSR
+    copy instead of unpickling (and holding) its own.
     """
+    if topologies:
+        from . import shm
+
+        shm.receive_handles(topologies)
     if engine is not None:
         from .scheduler import set_default_engine
 
@@ -204,11 +217,14 @@ class SweepReport(list):
                 f"{name} x{count}"
                 for name, count in sorted(worker["by_reason"].items())
             ) or "none"
+            rss_kb = worker.get("rss_kb")
+            rss = (f", peak rss {rss_kb / 1024:.1f} MiB"
+                   if rss_kb is not None else "")
             lines.append(
                 f"  worker pid={worker['pid']} engine={worker['engine']}: "
                 f"{worker['hits']}/{worker['runs']} kernel hits "
                 f"[{kernels}], fallbacks [{reasons}], "
-                f"warmup {worker['warmup_s'] * 1e3:.2f} ms"
+                f"warmup {worker['warmup_s'] * 1e3:.2f} ms{rss}"
             )
         if self.trace_events:
             lines.append(
@@ -264,6 +280,8 @@ def _stats_delta(before: Dict[str, Any], after: Dict[str, Any],
             if count - before[field].get(name, 0)
         }
 
+    from ..obs.manifest import peak_rss_kb
+
     return {
         "pid": os.getpid(),
         "engine": engine,
@@ -273,6 +291,7 @@ def _stats_delta(before: Dict[str, Any], after: Dict[str, Any],
         "warmup_s": after["warmup_s"] - before["warmup_s"],
         "by_kernel": sub("by_kernel"),
         "by_reason": sub("by_reason"),
+        "rss_kb": peak_rss_kb(),
     }
 
 
@@ -281,7 +300,9 @@ def parallel_sweep(measure: Measure,
                    max_workers: Optional[int] = None,
                    timing: bool = False,
                    engine: Optional[str] = None,
-                   report: bool = False) -> List[Record]:
+                   report: bool = False,
+                   topologies: Optional[Mapping[Any, Any]] = None
+                   ) -> List[Record]:
     """Run ``measure(**params)`` for every parameter dict, across processes.
 
     A drop-in replacement for :func:`repro.analysis.experiments.sweep`:
@@ -302,12 +323,33 @@ def parallel_sweep(measure: Measure,
     tracer under a ``parallel-sweep`` span (and onto
     ``SweepReport.trace_events``), so a traced sweep profiles exactly
     like a traced serial run, with worker attribution on top.
+
+    ``topologies`` maps streaming-generator keys (e.g.
+    ``("ring-stream", n)``) to
+    :class:`~repro.sim.compiled.CompiledNetwork` instances the parent
+    wants workers to *map*, not copy: each is published once to
+    :mod:`repro.sim.shm` and only the handles travel through the pool
+    initializer, so worker RSS stays flat in the topology size.
+    Publishing is best-effort -- where shared memory is unusable,
+    workers simply rebuild.
     """
     from ..obs.tracer import current_tracer
     from .scheduler import _validate_engine, default_engine, use_engine
 
     resolved = (_validate_engine(engine) if engine is not None
                 else default_engine())
+    topology_handles = None
+    if topologies:
+        from . import shm
+
+        topology_handles = {
+            key: handle
+            for key, handle in (
+                (key, shm.publish(key, compiled))
+                for key, compiled in topologies.items()
+            )
+            if handle is not None
+        } or None
     tracer = current_tracer()
     start = time.perf_counter()
     tasks = [
@@ -333,7 +375,7 @@ def parallel_sweep(measure: Measure,
                 max_workers=workers,
                 initializer=_init_worker,
                 initargs=(_substrate_snapshot(), resolved,
-                          arrays_enabled()),
+                          arrays_enabled(), topology_handles),
             ) as pool:
                 records = list(pool.map(_call_measure, tasks))
             if tracer is not None:

@@ -250,6 +250,8 @@ class Scheduler:
                         "dispatch", kernel=kernel, fallback=fallback,
                         backend=backend, warmup_s=warmup_s,
                     )
+                from ..obs.manifest import peak_rss_kb
+
                 span.attrs.update(
                     rounds=ledger.rounds - before[0],
                     messages=ledger.messages - before[1],
@@ -259,6 +261,9 @@ class Scheduler:
                     kernel=kernel,
                     fallback=fallback,
                     backend=backend,
+                    # Physical field (PHYSICAL_FIELDS): peak RSS so far,
+                    # outside the logical byte-identity contract.
+                    rss_kb=peak_rss_kb(),
                 )
                 tracer.event(
                     "round-batch", "rounds",

@@ -1,0 +1,191 @@
+"""Shared-memory CSR topologies for process-pool sweeps.
+
+``parallel_sweep`` ships work to pool workers by value: the substrate
+cache snapshot and every task's parameters are pickled into each worker.
+For scalar memos that is cheap; for a million-node topology it is the
+dominant cost and the RSS multiplier -- every worker unpickles and holds
+its own full copy of ``indptr``/``indices``/``degrees``.
+
+This module keeps exactly one physical copy.  The parent *publishes* a
+:class:`~repro.sim.compiled.CompiledNetwork` under a key: its CSR arrays
+are copied once into a ``multiprocessing.shared_memory`` segment laid
+out as ``[indptr | indices | degrees]`` (native int64 throughout).  Only
+the tiny handle (segment name plus shape) travels through the pool
+initializer.  Workers *attach* lazily: the first lookup maps the
+segment and wraps zero-copy ``memoryview('q')`` slices in a
+``CompiledNetwork.from_csr`` -- no bytes are duplicated, and the kernel
+code path is unchanged because the compiled network's buffers only need
+the buffer protocol.
+
+Keys are the same tuples the streaming generators intern under (e.g.
+``("ring-stream", n)``), so :mod:`repro.graphs.streaming` transparently
+resolves a published topology before rebuilding it -- a worker whose
+measure function calls ``stream_ring(n)`` gets the mapped segment.
+
+Publishing is best-effort: platforms without usable shared memory (or
+sandboxes denying ``shm_open``) make :func:`publish` return ``None`` and
+sweeps fall back to per-worker rebuilds, trading memory for correctness.
+
+Python 3.8-3.12 ``SharedMemory`` has no ``track=False`` knob, and the
+child's resource tracker would otherwise unlink the parent's segment at
+worker exit; :func:`_attach` therefore de-registers the mapping from the
+worker-side tracker.  The parent owns the lifecycle and unlinks all of
+its segments at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from .compiled import CompiledNetwork
+
+_ITEMSIZE = 8  # native int64, matching array('q') / np.int64
+
+#: Parent side: key -> (SharedMemory, handle, original compiled network).
+_exported: Dict[Hashable, Tuple[Any, dict, CompiledNetwork]] = {}
+
+#: Worker side: key -> handle received through the pool initializer.
+_handles: Dict[Hashable, dict] = {}
+
+#: Worker side: key -> (SharedMemory, attached compiled network).
+_attached: Dict[Hashable, Tuple[Any, CompiledNetwork]] = {}
+
+_cleanup_registered = False
+
+
+def _as_bytes(buffer) -> bytes:
+    """Raw little-endian int64 bytes of an array/memoryview/ndarray."""
+    return bytes(memoryview(buffer))
+
+
+def publish(key: Hashable, compiled: CompiledNetwork) -> Optional[dict]:
+    """Copy ``compiled``'s CSR arrays into shared memory under ``key``.
+
+    Returns the picklable handle to ship to workers, or ``None`` when
+    shared memory is unusable here (the sweep then degrades to
+    per-worker topology rebuilds).  Publishing the same key twice is
+    idempotent and returns the existing handle.
+    """
+    global _cleanup_registered
+    existing = _exported.get(key)
+    if existing is not None:
+        return existing[1]
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib module
+        return None
+    n = compiled.n
+    nnz = len(compiled.indices)
+    size = _ITEMSIZE * ((n + 1) + nnz + n)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(size, 1))
+    except (OSError, PermissionError, ValueError):
+        return None
+    offset = 0
+    for chunk in (compiled.indptr, compiled.indices, compiled.degrees):
+        raw = _as_bytes(chunk)
+        segment.buf[offset:offset + len(raw)] = raw
+        offset += len(raw)
+    handle = {"name": segment.name, "n": n, "nnz": nnz}
+    _exported[key] = (segment, handle, compiled)
+    if not _cleanup_registered:
+        atexit.register(unlink_all)
+        _cleanup_registered = True
+    return handle
+
+
+def export_handles() -> Dict[Hashable, dict]:
+    """Handles for every published topology (pool-initializer payload)."""
+    return {key: entry[1] for key, entry in _exported.items()}
+
+
+def receive_handles(handles: Optional[Dict[Hashable, dict]]) -> None:
+    """Worker side: remember the parent's handles for lazy attachment."""
+    if handles:
+        _handles.update(handles)
+
+
+def _attach(handle: dict):
+    """Map a published segment and wrap it as a zero-copy topology."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib module
+        return None
+    try:
+        segment = shared_memory.SharedMemory(name=handle["name"])
+    except (OSError, PermissionError, FileNotFoundError):
+        return None
+    try:
+        # The worker's resource tracker would unlink the parent's
+        # segment when this process exits; only the parent may do that.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    n = handle["n"]
+    nnz = handle["nnz"]
+    view = memoryview(segment.buf)
+    bound_indptr = _ITEMSIZE * (n + 1)
+    bound_indices = bound_indptr + _ITEMSIZE * nnz
+    bound_degrees = bound_indices + _ITEMSIZE * n
+    indptr = view[0:bound_indptr].cast("q")
+    indices = view[bound_indptr:bound_indices].cast("q")
+    degrees = view[bound_indices:bound_degrees].cast("q")
+    compiled = CompiledNetwork.from_csr(indptr, indices)
+    compiled._degrees = degrees
+    return segment, compiled
+
+
+def lookup(key: Hashable) -> Optional[CompiledNetwork]:
+    """The topology published under ``key``, if reachable from here.
+
+    In the parent this is the original compiled network; in a pool
+    worker it attaches the shared segment on first use and returns the
+    mapped view afterwards.  ``None`` means "not published" -- callers
+    build the topology themselves.
+    """
+    exported = _exported.get(key)
+    if exported is not None:
+        return exported[2]
+    cached = _attached.get(key)
+    if cached is not None:
+        return cached[1]
+    handle = _handles.get(key)
+    if handle is None:
+        return None
+    mapping = _attach(handle)
+    if mapping is None:
+        return None
+    # Keep the SharedMemory object alive alongside its memoryviews.
+    _attached[key] = mapping
+    return mapping[1]
+
+
+def segment_bytes(key: Hashable) -> Optional[int]:
+    """Size in bytes of the published segment for ``key`` (parent side)."""
+    entry = _exported.get(key)
+    return entry[0].size if entry is not None else None
+
+
+def published_keys() -> Tuple[Hashable, ...]:
+    """Keys currently published by this process."""
+    return tuple(_exported)
+
+
+def unlink_all() -> None:
+    """Parent side: close and unlink every published segment."""
+    while _exported:
+        _key, (segment, _handle, _compiled) = _exported.popitem()
+        try:
+            segment.close()
+            segment.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+def _reset_worker_state() -> None:
+    """Forget worker-side handles/attachments (tests only)."""
+    _handles.clear()
+    _attached.clear()

@@ -224,7 +224,26 @@ class AlgebraicRecoloringKernel(RoundKernel):
         edges = (len(compiled.indices) if full_rows
                  else sum(len(row) for row in relevant_ids))
         max_m = max(step.m for step in schedule)
-        if edges * max_m > arrays.MAX_MATCH_ELEMENTS:
+        # Chunked rounds only ever materialize one chunk's match matrix,
+        # so the allocation guard applies to the widest chunk -- this is
+        # what lets million-node populations keep the array path.  The
+        # chunk width is frozen here: one run never mixes granularities.
+        chunk = arrays.chunk_size()
+        if chunk and chunk < n:
+            if full_rows:
+                indptr = compiled.indptr
+                gate_edges = max(
+                    indptr[hi] - indptr[lo]
+                    for lo, hi in arrays.iter_chunks(n, chunk)
+                )
+            else:
+                gate_edges = max(
+                    sum(len(relevant_ids[i]) for i in range(lo, hi))
+                    for lo, hi in arrays.iter_chunks(n, chunk)
+                )
+        else:
+            gate_edges = edges
+        if gate_edges * max_m > arrays.MAX_MATCH_ELEMENTS:
             return None
         try:
             colors = np.array(columns["colors"], dtype=np.int64)
@@ -246,7 +265,8 @@ class AlgebraicRecoloringKernel(RoundKernel):
                 (j for row in relevant_ids for j in row),
                 dtype=np.int64, count=edges,
             )
-        return {"np": np, "colors": colors, "src": src, "dst": dst}
+        return {"np": np, "colors": colors, "src": src, "dst": dst,
+                "chunk": chunk}
 
     def _broadcast_round(self, columns, bits) -> KernelRound:
         """Charge one all-node color broadcast (rounds 1..len(schedule))."""
@@ -403,34 +423,16 @@ class AlgebraicRecoloringKernel(RoundKernel):
         family = columns["families"][step_index]
         old = state["colors"]
         n = old.shape[0]
-        values = family.value_rows(old)
+        chunk = state.get("chunk", 0)
 
-        src = state["src"]
-        dst = state["dst"]
-        rival = old[dst] != old[src]
-        srcs = src[rival]
-        rival_counts = np.bincount(srcs, minlength=n)
-        conflicts = np.zeros((n, m), dtype=np.int64)
-        if srcs.shape[0]:
-            matches = (values[dst[rival]] == values[srcs]).astype(np.int64)
-            # ``srcs`` is sorted, so consecutive starts of the non-empty
-            # segments partition ``matches`` into per-node blocks.
-            nonempty = rival_counts > 0
-            offsets = np.concatenate(
-                ([0], np.cumsum(rival_counts[:-1]))
-            )[nonempty]
-            conflicts[nonempty] = np.add.reduceat(matches, offsets, axis=0)
-
-        failed = None
-        if step.alpha_step != 0.0:
-            best_x = np.argmin(conflicts, axis=1)
+        if chunk and chunk < n:
+            new_colors, rival_counts, failed = self._recolor_chunked(
+                state, step, family, chunk
+            )
         else:
-            feasible = conflicts == 0
-            solvable = feasible.any(axis=1)
-            if not bool(solvable.all()):
-                failed = ~solvable
-            best_x = np.argmax(feasible, axis=1)
-        new_colors = best_x * m + values[np.arange(n), best_x]
+            new_colors, rival_counts, failed = self._recolor_whole(
+                state, step, family
+            )
 
         last = step_index + 1 >= len(schedule)
         check_fanout = None if last else columns["check_fanout"]
@@ -467,6 +469,99 @@ class AlgebraicRecoloringKernel(RoundKernel):
             max_message_bits=next_bits if copies else 0,
             broadcasts=columns["envelopes"],
         )
+
+    @staticmethod
+    def _recolor_whole(state, step, family):
+        """Whole-population recoloring: one ``(n, m)`` value matrix."""
+        np = state["np"]
+        old = state["colors"]
+        n = old.shape[0]
+        m = step.m
+        values = family.value_rows(old)
+        src = state["src"]
+        dst = state["dst"]
+        rival = old[dst] != old[src]
+        srcs = src[rival]
+        rival_counts = np.bincount(srcs, minlength=n)
+        conflicts = np.zeros((n, m), dtype=np.int64)
+        if srcs.shape[0]:
+            matches = (values[dst[rival]] == values[srcs]).astype(np.int64)
+            # ``srcs`` is sorted, so consecutive starts of the non-empty
+            # segments partition ``matches`` into per-node blocks.
+            nonempty = rival_counts > 0
+            offsets = np.concatenate(
+                ([0], np.cumsum(rival_counts[:-1]))
+            )[nonempty]
+            conflicts[nonempty] = np.add.reduceat(matches, offsets, axis=0)
+
+        failed = None
+        if step.alpha_step != 0.0:
+            best_x = np.argmin(conflicts, axis=1)
+        else:
+            feasible = conflicts == 0
+            solvable = feasible.any(axis=1)
+            if not bool(solvable.all()):
+                failed = ~solvable
+            best_x = np.argmax(feasible, axis=1)
+        new_colors = best_x * m + values[np.arange(n), best_x]
+        return new_colors, rival_counts, failed
+
+    @staticmethod
+    def _recolor_chunked(state, step, family, chunk):
+        """The same round in node chunks: peak temporaries ``(chunk, m)``.
+
+        Each chunk's slice of the sorted ``src`` edge array is found with
+        ``searchsorted``; the per-chunk gathers and reductions are index
+        slices of the whole-population computation, so the resulting
+        colors, rival counts, and failure mask are bit-identical to
+        :meth:`_recolor_whole` -- only the allocation shape changes.
+        """
+        np = state["np"]
+        old = state["colors"]
+        n = old.shape[0]
+        m = step.m
+        src = state["src"]
+        dst = state["dst"]
+        defective = step.alpha_step != 0.0
+        new_colors = np.empty(n, dtype=np.int64)
+        rival_counts = np.zeros(n, dtype=np.int64)
+        failed_full = None if defective else np.zeros(n, dtype=bool)
+        any_failed = False
+        for lo, hi in arrays.iter_chunks(n, chunk):
+            width = hi - lo
+            begin, end = np.searchsorted(src, (lo, hi))
+            src_c = src[begin:end]
+            dst_c = dst[begin:end]
+            values_c = family.value_rows(old[lo:hi])
+            rival = old[dst_c] != old[src_c]
+            srcs = src_c[rival] - lo
+            counts = np.bincount(srcs, minlength=width)
+            rival_counts[lo:hi] = counts
+            conflicts = np.zeros((width, m), dtype=np.int64)
+            if srcs.shape[0]:
+                matches = (
+                    family.value_rows(old[dst_c[rival]]) == values_c[srcs]
+                ).astype(np.int64)
+                nonempty = counts > 0
+                offsets = np.concatenate(
+                    ([0], np.cumsum(counts[:-1]))
+                )[nonempty]
+                conflicts[nonempty] = np.add.reduceat(
+                    matches, offsets, axis=0
+                )
+            if defective:
+                best_x = np.argmin(conflicts, axis=1)
+            else:
+                feasible = conflicts == 0
+                solvable = feasible.any(axis=1)
+                if not bool(solvable.all()):
+                    failed_full[lo:hi] = ~solvable
+                    any_failed = True
+                best_x = np.argmax(feasible, axis=1)
+            new_colors[lo:hi] = (
+                best_x * m + values_c[np.arange(width), best_x]
+            )
+        return new_colors, rival_counts, failed_full if any_failed else None
 
     @staticmethod
     def _raise_no_point(columns, i, step, rival_counts):

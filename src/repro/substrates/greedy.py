@@ -565,8 +565,6 @@ class _ColorReductionKernel(RoundKernel):
             if (program.q != q or program.target != target
                     or program.neighbor_colors):
                 return None
-        indptr = compiled.indptr
-        indices = compiled.indices
         colors = [program.color for program in programs]
         by_color: Dict[int, list] = {}
         for i, color in enumerate(colors):
@@ -577,10 +575,12 @@ class _ColorReductionKernel(RoundKernel):
             "programs": programs,
             "order": compiled.order,
             "degrees": compiled.degrees,
-            "rows": [indices[indptr[i]:indptr[i + 1]]
-                     for i in range(compiled.n)],
+            # Deciders slice their CSR row on demand: each node decides
+            # exactly once, so pre-materializing n row copies would only
+            # double the topology's footprint at scale.
+            "indices": compiled.indices,
             "arrays": state,
-            "indptr": indptr,
+            "indptr": compiled.indptr,
             "colors": colors,
             "by_color": by_color,
             "q": q,
@@ -652,7 +652,7 @@ class _ColorReductionKernel(RoundKernel):
         if deciders:
             order = columns["order"]
             degrees = columns["degrees"]
-            rows = columns["rows"]
+            indices = columns["indices"]
             check_fanout = columns["check_fanout"]
             state = columns["arrays"]
             indptr = columns["indptr"]
@@ -664,7 +664,7 @@ class _ColorReductionKernel(RoundKernel):
                     np, state["colors"][row_np], target
                 )
             else:
-                used = {colors[j] for j in rows[i]}
+                used = {colors[j] for j in indices[indptr[i]:indptr[i + 1]]}
                 new_color = 0
                 while new_color in used:
                     new_color += 1

@@ -1,0 +1,252 @@
+"""The streaming CSR topology builders and their equivalence contract.
+
+The contract: a streamed topology is *byte-identical* to the
+materialized one.  For the deterministic families
+(ring/grid/tree) the streams replay the materialized generators' edge
+order, so ``stream_ring(n)`` equals ``ring_graph(n).compile()`` buffer
+for buffer; for the randomized families (gnp/regular) the stream is a
+seeded distribution of its own and is pinned byte-identical against
+``Network.from_edges`` over the same stream.  The NumPy and Python CSR
+fills must agree bit for bit, large topologies must bypass the
+interning registry, and the seed colorings driving the scale workloads
+must be proper.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+
+from repro.graphs import (
+    binary_tree,
+    gnp_graph,
+    grid_graph,
+    ring_graph,
+)
+from repro.graphs import generators
+from repro.graphs.streaming import (
+    csr_from_edges,
+    gnp_edges,
+    greedy_seed_coloring,
+    grid_edges,
+    inflated_seed_coloring,
+    regular_edges,
+    ring_edges,
+    stream_gnp,
+    stream_grid,
+    stream_regular,
+    stream_ring,
+    stream_tree,
+    tree_edges,
+    _csr_fill_numpy,
+    _csr_fill_python,
+)
+from repro.sim import CompiledNetwork, Network
+from repro.sim.errors import NetworkError
+
+
+def _csr_bytes(compiled: CompiledNetwork):
+    return (bytes(memoryview(compiled.indptr)),
+            bytes(memoryview(compiled.indices)))
+
+
+# ----------------------------------------------------------------------
+# Byte-identity against the materialized generators
+# ----------------------------------------------------------------------
+class TestDeterministicTwins:
+    @pytest.mark.parametrize("n", [3, 4, 17, 100])
+    def test_ring(self, n):
+        assert _csr_bytes(stream_ring(n)) == \
+            _csr_bytes(ring_graph(n).compile())
+
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (1, 5), (4, 4), (5, 7)])
+    def test_grid(self, rows, cols):
+        assert _csr_bytes(stream_grid(rows, cols)) == \
+            _csr_bytes(grid_graph(rows, cols).compile())
+
+    @pytest.mark.parametrize("depth", [0, 1, 4, 6])
+    def test_tree(self, depth):
+        assert _csr_bytes(stream_tree(depth)) == \
+            _csr_bytes(binary_tree(depth).compile())
+
+    def test_dense_order_matches(self):
+        compiled = stream_ring(12)
+        assert list(compiled.order) == list(range(12))
+        materialized = ring_graph(12).compile()
+        assert list(compiled.order) == list(materialized.order)
+
+
+class TestRandomizedStreams:
+    """gnp/regular are distributions of their own; the CSR contract is
+    byte-identity against ``Network.from_edges`` over the same stream."""
+
+    @pytest.mark.parametrize("n,p,seed", [
+        (60, 0.1, 7), (40, 0.5, 1), (25, 1.0, 0), (30, 0.0, 3), (0, 0.3, 5),
+    ])
+    def test_gnp_matches_from_edges(self, n, p, seed):
+        stream = list(gnp_edges(n, p, seed))
+        materialized = Network.from_edges(range(n), stream).compile()
+        assert _csr_bytes(stream_gnp(n, p, seed)) == _csr_bytes(materialized)
+
+    @pytest.mark.parametrize("n,degree,seed", [
+        (40, 4, 3), (20, 3, 9), (12, 0, 1),
+    ])
+    def test_regular_matches_from_edges(self, n, degree, seed):
+        stream = list(regular_edges(n, degree, seed))
+        materialized = Network.from_edges(range(n), stream).compile()
+        assert _csr_bytes(stream_regular(n, degree, seed)) == \
+            _csr_bytes(materialized)
+
+    def test_regular_is_regular_and_simple(self):
+        stream = list(regular_edges(50, 4, 11))
+        assert len(stream) == 50 * 4 // 2
+        assert len({tuple(sorted(edge)) for edge in stream}) == len(stream)
+        degrees = [0] * 50
+        for u, v in stream:
+            assert u != v
+            degrees[u] += 1
+            degrees[v] += 1
+        assert set(degrees) == {4}
+
+    def test_gnp_is_seeded(self):
+        assert list(gnp_edges(50, 0.2, 3)) == list(gnp_edges(50, 0.2, 3))
+        assert list(gnp_edges(50, 0.2, 3)) != list(gnp_edges(50, 0.2, 4))
+
+
+class TestCSRFills:
+    def test_numpy_fill_matches_python(self):
+        numpy = pytest.importorskip("numpy")
+        for n, p, seed in [(300, 0.05, 5), (50, 0.4, 2), (10, 0.0, 1)]:
+            pairs = array("q")
+            for u, v in gnp_edges(n, p, seed):
+                pairs.append(u)
+                pairs.append(v)
+            py_indptr, py_indices = _csr_fill_python(n, pairs)
+            np_indptr, np_indices = _csr_fill_numpy(numpy, n, pairs)
+            assert bytes(memoryview(py_indptr)) == \
+                bytes(memoryview(np_indptr))
+            assert bytes(memoryview(py_indices)) == \
+                bytes(memoryview(np_indices))
+
+    def test_empty_graph(self):
+        indptr, indices = csr_from_edges(5, iter(()))
+        assert list(indptr) == [0] * 6
+        assert len(indices) == 0
+        indptr, indices = csr_from_edges(0, iter(()))
+        assert list(indptr) == [0]
+
+
+class TestErrors:
+    def test_ring_too_small(self):
+        with pytest.raises(NetworkError):
+            list(ring_edges(2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NetworkError):
+            csr_from_edges(3, iter([(1, 1)]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NetworkError):
+            csr_from_edges(3, iter([(0, 3)]))
+        with pytest.raises(NetworkError):
+            csr_from_edges(3, iter([(-1, 0)]))
+
+    def test_gnp_probability_range(self):
+        with pytest.raises(NetworkError):
+            list(gnp_edges(5, 1.5, 0))
+        with pytest.raises(NetworkError):
+            stream_gnp(5, -0.1, 0)
+
+    def test_regular_parity_and_degree(self):
+        with pytest.raises(NetworkError):
+            list(regular_edges(5, 3, 0))  # odd n * degree
+        with pytest.raises(NetworkError):
+            list(regular_edges(4, 4, 0))  # degree >= n
+        with pytest.raises(NetworkError):
+            stream_regular(4, 5, 0)
+
+
+# ----------------------------------------------------------------------
+# Interning gate and shared-memory lookup
+# ----------------------------------------------------------------------
+class TestInterning:
+    def test_small_topologies_are_interned(self):
+        assert stream_ring(64) is stream_ring(64)
+
+    def test_large_topologies_bypass_registry(self, monkeypatch):
+        monkeypatch.setattr(generators, "INTERN_NODE_LIMIT", 10)
+        first = stream_ring(64)
+        second = stream_ring(64)
+        assert first is not second
+        assert _csr_bytes(first) == _csr_bytes(second)
+
+    def test_published_topology_wins(self):
+        from repro.sim import shm
+
+        key = ("ring-stream", 23)
+        indptr, indices = csr_from_edges(23, ring_edges(23))
+        published = CompiledNetwork.from_csr(indptr, indices)
+        if shm.publish(key, published) is None:
+            pytest.skip("shared memory unusable here")
+        try:
+            assert stream_ring(23) is published
+        finally:
+            shm.unlink_all()
+
+
+# ----------------------------------------------------------------------
+# Seed colorings
+# ----------------------------------------------------------------------
+class TestSeedColorings:
+    def _assert_proper(self, compiled, colors):
+        indptr, indices = compiled.indptr, compiled.indices
+        for i in range(compiled.n):
+            for j in indices[indptr[i]:indptr[i + 1]]:
+                assert colors[i] != colors[j]
+
+    @pytest.mark.parametrize("builder", [
+        lambda: stream_ring(31),
+        lambda: stream_gnp(80, 0.1, 5),
+        lambda: stream_regular(30, 4, 2),
+    ])
+    def test_greedy_seed_is_proper_and_small(self, builder):
+        compiled = builder()
+        seed = greedy_seed_coloring(compiled)
+        self._assert_proper(compiled, seed)
+        assert max(seed) <= compiled.raw_max_degree()
+
+    def test_inflated_is_proper_within_palette(self):
+        compiled = stream_gnp(60, 0.15, 9)
+        colors, q_used = inflated_seed_coloring(compiled, 40)
+        assert q_used <= 40
+        assert set(colors) == set(compiled.order)
+        assert all(0 <= colors[node] < q_used for node in colors)
+        dense = [colors[node] for node in compiled.order]
+        self._assert_proper(compiled, dense)
+
+    def test_inflated_rejects_tiny_palette(self):
+        compiled = stream_gnp(60, 0.3, 1)
+        seed = greedy_seed_coloring(compiled)
+        classes = max(seed) + 1
+        with pytest.raises(NetworkError):
+            inflated_seed_coloring(compiled, classes - 1)
+
+    def test_matches_scheduler_engines(self):
+        """The streamed facade feeds all three engines identically."""
+        from repro.sim import CostLedger, use_engine
+        from repro.substrates.greedy import greedy_color_reduction
+
+        compiled = stream_gnp(70, 0.12, 3)
+        target = compiled.raw_max_degree() + 1
+        colors, q = inflated_seed_coloring(compiled, 4 * target)
+        results = {}
+        for engine in ("reference", "fast", "vectorized"):
+            ledger = CostLedger()
+            with use_engine(engine):
+                out = greedy_color_reduction(compiled, colors, q, target,
+                                             ledger=ledger)
+            results[engine] = (sorted(out.items()),
+                               (ledger.rounds, ledger.messages, ledger.bits))
+        assert results["reference"] == results["fast"] == \
+            results["vectorized"]

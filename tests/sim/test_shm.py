@@ -1,0 +1,195 @@
+"""Shared-memory CSR topologies: publish, attach, lookup, lifecycle.
+
+Pool workers forked on this platform inherit the parent's ``_exported``
+table, so a live sweep never exercises the handle-attach path a
+spawn-start worker would take.  These tests therefore *simulate* the
+spawn worker: snapshot the handles, hide the parent-side table, reset
+the worker-side state, and attach through ``receive_handles`` +
+``lookup`` -- asserting the mapped view is byte-identical to the
+original and feeds the kernels unchanged.  Publishing must degrade to
+``None`` (per-worker rebuilds) when shared memory is unusable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.streaming import csr_from_edges, ring_edges
+from repro.sim import CompiledNetwork, CostLedger, parallel_sweep, shm, \
+    use_engine
+from repro.substrates.greedy import greedy_color_reduction
+
+
+def _ring_compiled(n: int) -> CompiledNetwork:
+    indptr, indices = csr_from_edges(n, ring_edges(n))
+    return CompiledNetwork.from_csr(indptr, indices)
+
+
+def _publish_or_skip(key, compiled):
+    handle = shm.publish(key, compiled)
+    if handle is None:
+        pytest.skip("shared memory unusable here")
+    return handle
+
+
+def measure_shared_ring(seed: int, n: int) -> dict:
+    """Module-level so pool workers can unpickle it by reference."""
+    from repro.graphs.streaming import inflated_seed_coloring, stream_ring
+
+    compiled = shm.lookup(("ring-stream", n)) or stream_ring(n)
+    colors, q = inflated_seed_coloring(compiled, 8)
+    result = greedy_color_reduction(compiled, colors, q,
+                                    compiled.raw_max_degree() + 1)
+    return {"distinct": len(set(result.values()))}
+
+
+class TestPublish:
+    def test_handle_and_segment_shape(self):
+        compiled = _ring_compiled(40)
+        key = ("test-shm", "shape")
+        try:
+            handle = _publish_or_skip(key, compiled)
+            assert handle["n"] == 40
+            assert handle["nnz"] == len(compiled.indices) == 80
+            assert key in shm.published_keys()
+            # [indptr | indices | degrees], int64 throughout.
+            assert shm.segment_bytes(key) >= 8 * (41 + 80 + 40)
+        finally:
+            shm.unlink_all()
+
+    def test_publish_is_idempotent(self):
+        compiled = _ring_compiled(12)
+        key = ("test-shm", "idem")
+        try:
+            first = _publish_or_skip(key, compiled)
+            assert shm.publish(key, compiled) == first
+            assert len([k for k in shm.published_keys() if k == key]) == 1
+        finally:
+            shm.unlink_all()
+
+    def test_parent_lookup_returns_original(self):
+        compiled = _ring_compiled(9)
+        key = ("test-shm", "parent")
+        try:
+            _publish_or_skip(key, compiled)
+            assert shm.lookup(key) is compiled
+        finally:
+            shm.unlink_all()
+
+    def test_unlink_all_clears(self):
+        compiled = _ring_compiled(6)
+        key = ("test-shm", "unlink")
+        _publish_or_skip(key, compiled)
+        shm.unlink_all()
+        assert shm.published_keys() == ()
+        assert shm.segment_bytes(key) is None
+        assert shm.lookup(key) is None
+
+    def test_publish_degrades_to_none(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shm here")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", refuse)
+        assert shm.publish(("test-shm", "refused"), _ring_compiled(5)) \
+            is None
+        assert ("test-shm", "refused") not in shm.published_keys()
+
+
+class TestWorkerAttach:
+    def test_spawn_worker_round_trip(self, monkeypatch):
+        """Handle -> attach -> byte-identical mapped view -> kernels."""
+        compiled = _ring_compiled(64)
+        key = ("ring-stream", 64)
+        try:
+            _publish_or_skip(key, compiled)
+            handles = shm.export_handles()
+            assert key in handles
+
+            # Simulate a spawn worker: no parent-side table, fresh
+            # worker-side state, only the pickled handles arrive.
+            monkeypatch.setattr(shm, "_exported", {})
+            shm._reset_worker_state()
+            assert shm.lookup(key) is None
+            shm.receive_handles(handles)
+
+            attached = shm.lookup(key)
+            assert attached is not None
+            assert attached is not compiled
+            assert attached.n == compiled.n
+            assert bytes(memoryview(attached.indptr)) == \
+                bytes(memoryview(compiled.indptr))
+            assert bytes(memoryview(attached.indices)) == \
+                bytes(memoryview(compiled.indices))
+            assert bytes(memoryview(attached.degrees)) == \
+                bytes(memoryview(compiled.degrees))
+            # Attachment is cached; the same mapped object comes back.
+            assert shm.lookup(key) is attached
+
+            # The mapped view drives the vectorized kernels unchanged.
+            from repro.graphs.streaming import inflated_seed_coloring
+
+            colors, q = inflated_seed_coloring(attached, 8)
+            ledger = CostLedger()
+            with use_engine("vectorized"):
+                result = greedy_color_reduction(
+                    attached, colors, q, attached.raw_max_degree() + 1,
+                    ledger=ledger,
+                )
+            assert ledger.rounds > 0
+            for i in range(64):
+                assert result[i] != result[(i + 1) % 64]
+        finally:
+            # The monkeypatched table is restored by the fixture; the
+            # worker-side attachment stays mapped (releasing it while
+            # its memoryviews live would raise) and the parent unlinks.
+            shm.unlink_all()
+
+    def test_receive_none_is_noop(self):
+        shm.receive_handles(None)
+        shm.receive_handles({})
+        assert shm.lookup(("test-shm", "missing")) is None
+
+    def test_attach_missing_segment_degrades(self, monkeypatch):
+        monkeypatch.setattr(shm, "_exported", {})
+        shm._reset_worker_state()
+        shm.receive_handles({
+            ("test-shm", "gone"): {"name": "repro-no-such-segment",
+                                   "n": 4, "nnz": 8},
+        })
+        assert shm.lookup(("test-shm", "gone")) is None
+        shm._reset_worker_state()
+
+
+class TestSweepIntegration:
+    def test_sweep_with_published_topology(self):
+        """End to end: topology rides shm, workers report peak RSS."""
+        from repro.graphs.streaming import stream_ring
+
+        n = 512
+        compiled = stream_ring(n)
+        try:
+            report = parallel_sweep(
+                measure_shared_ring,
+                [{"seed": s, "n": n} for s in range(3)],
+                max_workers=2, report=True,
+                topologies={("ring-stream", n): compiled},
+            )
+            # Reduced to at most Delta + 1 = 3 colors on the ring.
+            assert all(2 <= r["distinct"] <= 3 for r in report)
+            assert len(set(tuple(sorted(r.items())) for r in report)) >= 1
+            assert report.workers
+            for worker in report.workers:
+                assert worker.get("rss_kb") is None or \
+                    worker["rss_kb"] > 0
+        finally:
+            shm.unlink_all()
+
+    def test_sweep_without_topologies_still_works(self):
+        records = parallel_sweep(
+            measure_shared_ring,
+            [{"seed": 0, "n": 128}],
+            max_workers=1,
+        )
+        assert 2 <= records[0]["distinct"] <= 3
