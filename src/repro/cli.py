@@ -274,11 +274,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     errors = validate_trace_file(args.file)
     if errors:
-        print(f"INVALID trace ({len(errors)} schema violations):")
-        for error in errors[:10]:
-            print(f"  {error}")
+        if args.json:
+            import json as _json
+
+            from .serve.schema import envelope
+
+            print(_json.dumps(envelope(
+                "trace-summary", status="invalid", file=args.file,
+                errors=errors[:10],
+            )))
+        else:
+            print(f"INVALID trace ({len(errors)} schema violations):")
+            for error in errors[:10]:
+                print(f"  {error}")
         return 1
     manifest, events = load_trace_file(args.file)
+    if args.json:
+        import json as _json
+
+        from .serve.schema import envelope
+
+        kinds: dict = {}
+        for event in events:
+            kind = event.get("kind", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        print(_json.dumps(envelope(
+            "trace-summary",
+            status="ok",
+            file=args.file,
+            events=len(events),
+            by_kind=dict(sorted(kinds.items())),
+            manifest=manifest,
+        )))
+        return 0
     if args.logical:
         # Engine-invariant byte form: what the CI equivalence diff reads.
         print(canonical_lines(events))
@@ -338,27 +366,100 @@ def cmd_scale(args: argparse.Namespace) -> int:
                                     ledger=ledger)
     solve_s = time.perf_counter() - solve_start
 
+    invalid = None
     if not args.no_validate:
         for i, j in compiled.edge_ids():
             if result[i] == result[j]:
-                print(f"INVALID: edge ({i}, {j}) is monochromatic")
-                return 1
-        if result and max(result.values()) >= target:
-            print(f"INVALID: color >= target {target}")
-            return 1
+                invalid = f"edge ({i}, {j}) is monochromatic"
+                break
+        if invalid is None and result and max(result.values()) >= target:
+            invalid = f"color >= target {target}"
     rate = compiled.n / solve_s if solve_s > 0 else float("inf")
+    rss_kb = peak_rss_kb()
+    if args.json:
+        import json as _json
+
+        from .serve.schema import envelope
+
+        global _last_ledger
+        _last_ledger = ledger
+        print(_json.dumps(envelope(
+            "scale-run",
+            status="invalid" if invalid else "ok",
+            topology={"kind": args.topology, "n": compiled.n,
+                      "m": compiled.m, "max_degree": delta},
+            result={"q": q, "target": target,
+                    "color_count": len(set(result.values())),
+                    "valid": None if args.no_validate else not invalid,
+                    **({"invalid_reason": invalid} if invalid else {})},
+            ledger=ledger.to_dict(),
+            timing={"build_s": build_s, "solve_s": solve_s,
+                    "nodes_per_s": rate},
+            rss_kb=rss_kb,
+        )))
+        return 1 if invalid else 0
+    if invalid:
+        print(f"INVALID: {invalid}")
+        return 1
     print(
         f"scale: {args.topology} n={compiled.n} m={compiled.m} "
         f"Delta={delta} -- q={q} reduced to {target} colors"
         f"{'' if args.no_validate else ' (validated)'}"
     )
-    rss_kb = peak_rss_kb()
     _print_ledger(ledger, [
         ["build wall s", f"{build_s:.3f}"],
         ["solve wall s", f"{solve_s:.3f}"],
         ["nodes per s", f"{rate:,.0f}"],
         ["peak rss MiB", "n/a" if rss_kb is None else f"{rss_kb / 1024:.1f}"],
     ])
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent coloring daemon (see ``repro.serve``)."""
+    import asyncio
+    import json as _json
+    import signal
+
+    from .serve import ColoringServer
+
+    prewarm = []
+    for raw in args.prewarm or ():
+        try:
+            prewarm.append(_json.loads(raw))
+        except _json.JSONDecodeError as error:
+            print(f"bad --prewarm spec {raw!r}: {error}")
+            return 2
+
+    server = ColoringServer(
+        host=args.host, port=args.port, workers=args.workers,
+        mode=args.mode, max_batch=args.max_batch,
+        max_queue=args.max_queue, prewarm=tuple(prewarm),
+    )
+
+    async def run() -> None:
+        await server.start()
+        pool = server.supervisor.stats()
+        # The "serving on" line is the daemon's readiness contract:
+        # benchmark harnesses parse the bound port from it (--port 0).
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(mode={pool['mode']}, workers={pool['workers']}, "
+              f"engine={pool['engine']})", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("shutting down", flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
     return 0
 
 
@@ -499,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(physical fields stripped) -- byte-comparable across "
              "engines",
     )
+    p_tr.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable repro-result/v1 summary (shared "
+             "schema with the repro.serve daemon's responses)",
+    )
     p_tr.set_defaults(func=cmd_trace)
 
     p_sc = sub.add_parser(
@@ -529,7 +635,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-validate", action="store_true",
         help="skip the O(m) final properness scan",
     )
+    p_sc.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable repro-result/v1 record (shared "
+             "schema with the repro.serve daemon's responses)",
+    )
     p_sc.set_defaults(func=cmd_scale)
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the persistent coloring daemon (HTTP, warm worker "
+             "pool, request batching)",
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8421,
+                      help="TCP port (0 picks a free one; the bound "
+                           "port is printed on the 'serving on' line)")
+    p_sv.add_argument("--workers", type=int, default=None,
+                      help="pool size (default: REPRO_PARALLEL_WORKERS "
+                           "or the CPU count)")
+    p_sv.add_argument("--mode", choices=["process", "thread"],
+                      default="process",
+                      help="worker pool mode (thread = single in-process "
+                           "lane, deterministic and fork-free)")
+    p_sv.add_argument("--max-batch", type=int, default=8,
+                      help="micro-batch size cap per pool dispatch")
+    p_sv.add_argument("--max-queue", type=int, default=256,
+                      help="admission queue bound (full queue -> 503)")
+    p_sv.add_argument(
+        "--prewarm", action="append", metavar="SPEC",
+        help="topology spec (JSON) to build and publish at boot, e.g. "
+             "'{\"kind\": \"ring-stream\", \"n\": 100000}'; repeatable",
+    )
+    p_sv.set_defaults(func=cmd_serve)
 
     p_info = sub.add_parser("info", help="version and command overview")
     p_info.set_defaults(func=cmd_info)

@@ -59,6 +59,7 @@ def _interned(key: Tuple, build, nodes: int = 0):
         "networks", limit=_NETWORK_REGISTRY_LIMIT
     )
     network = table.get(key)
+    substrate_cache.record_lookup("networks", network is not None)
     if network is None:
         network = table[key] = build()
     return network

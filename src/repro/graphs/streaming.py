@@ -255,8 +255,13 @@ def _csr_fill_numpy(np, n: int, pairs: array):
 # ----------------------------------------------------------------------
 def _stream_compiled(key, n: int, factory) -> CompiledNetwork:
     from ..sim import shm
+    from ..substrates.cache import record_lookup
 
     shared = shm.lookup(key)
+    # "topologies" counts shared-memory resolution (the daemon's warm
+    # topology table); an shm miss may still hit the interned "networks"
+    # registry below.
+    record_lookup("topologies", shared is not None)
     if shared is not None:
         return shared
 

@@ -129,6 +129,8 @@ def _cache_state() -> Optional[Dict[str, Any]]:
         return {
             "enabled": substrate_cache.cache_enabled(),
             "registries": substrate_cache.registry_sizes(),
+            "counters": substrate_cache.cache_counters(),
+            "disk": substrate_cache.disk_state(),
         }
     except ImportError:  # pragma: no cover - substrates always ship
         return None

@@ -1,0 +1,186 @@
+"""Admission control and micro-batching for the coloring daemon.
+
+Requests enter a bounded :class:`asyncio.Queue` (a full queue is an
+immediate 503 -- the daemon sheds load instead of buffering unboundedly)
+and leave in *micro-batches*: consecutive waiting requests that share a
+batch key (same topology identity + same algorithm class, see
+:func:`repro.serve.schema.batch_key`) are coalesced into one pool
+dispatch, so the mapped topology and its derived caches are paid for
+once per batch rather than once per request.
+
+Batching is opportunistic, not windowed: a batch is whatever compatible
+work is *already waiting* when the dispatcher looks -- an idle daemon
+adds zero latency, a loaded one amortizes naturally.  Non-matching
+requests stay in a holdover deque in arrival order, so heterogeneous
+traffic cannot starve.
+
+Dispatches run concurrently (each batch is its own task awaiting its
+pool future), which keeps all pool workers busy under mixed traffic.  A
+batch whose worker dies is retried once on a freshly restarted pool;
+requests in a batch that fails terminally get the exception, and the
+daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .pool import PoolSupervisor
+from .schema import batch_key
+
+
+class ServerBusy(Exception):
+    """The admission queue is full (HTTP 503)."""
+
+
+class _Pending:
+    __slots__ = ("spec", "key", "future", "enqueued")
+
+    def __init__(self, spec: Dict[str, Any], future: "asyncio.Future"):
+        self.spec = spec
+        self.key = batch_key(spec)
+        self.future = future
+        self.enqueued = time.perf_counter()
+
+
+class Batcher:
+    """Queue -> micro-batch -> pool bridge; one per server."""
+
+    def __init__(self, supervisor: PoolSupervisor,
+                 max_batch: int = 8, max_queue: int = 256):
+        self.supervisor = supervisor
+        self.max_batch = max(1, max_batch)
+        self.max_queue = max_queue
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue(max_queue)
+        self._holdover: Deque[_Pending] = deque()
+        self._task: Optional["asyncio.Task"] = None
+        self._dispatches: set = set()
+        self.batches = 0
+        self.batched_requests = 0
+        self.largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit one request; resolves to its executor payload."""
+        if self._queue.full():
+            raise ServerBusy(
+                f"admission queue full ({self.max_queue} waiting)"
+            )
+        item = _Pending(spec, asyncio.get_running_loop().create_future())
+        self._queue.put_nowait(item)
+        return await item.future
+
+    def depth(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return self._queue.qsize() + len(self._holdover)
+
+    def stats(self) -> Dict[str, Any]:
+        batches = self.batches
+        return {
+            "depth": self.depth(),
+            "capacity": self.max_queue,
+            "max_batch": self.max_batch,
+            "batches": batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch": (self.batched_requests / batches
+                           if batches else 0.0),
+            "largest_batch": self.largest_batch,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-serve-batcher"
+            )
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        # Let in-flight dispatches deliver their responses.
+        if self._dispatches:
+            await asyncio.gather(*tuple(self._dispatches),
+                                 return_exceptions=True)
+
+    async def _run(self) -> None:
+        while True:
+            batch = await self._next_batch()
+            task = asyncio.get_running_loop().create_task(
+                self._dispatch(batch)
+            )
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+
+    async def _next_batch(self) -> List[_Pending]:
+        """Form the next micro-batch from waiting compatible requests."""
+        if not self._holdover:
+            self._holdover.append(await self._queue.get())
+        # Sweep everything already admitted into the holdover so the
+        # batch sees the full waiting set, not just the queue head.
+        while not self._queue.empty():
+            self._holdover.append(self._queue.get_nowait())
+        first = self._holdover.popleft()
+        batch = [first]
+        rest: Deque[_Pending] = deque()
+        while self._holdover and len(batch) < self.max_batch:
+            item = self._holdover.popleft()
+            if item.key == first.key:
+                batch.append(item)
+            else:
+                rest.append(item)
+        rest.extend(self._holdover)
+        self._holdover = rest
+        return batch
+
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        specs = [item.spec for item in batch]
+        dispatched = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        payloads: Optional[List[Dict[str, Any]]] = None
+        error: Optional[BaseException] = None
+        for attempt in (0, 1):
+            try:
+                future = await loop.run_in_executor(
+                    None, self.supervisor.submit_batch, specs
+                )
+                payloads = await asyncio.wrap_future(future)
+                error = None
+                break
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - fault barrier
+                # Typically BrokenProcessPool from a worker killed
+                # mid-batch; rebuild the pool and retry this batch once.
+                error = exc
+                if attempt == 0:
+                    await loop.run_in_executor(
+                        None, self.supervisor.restart
+                    )
+        self.batches += 1
+        self.batched_requests += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        for index, item in enumerate(batch):
+            if item.future.done():  # client went away
+                continue
+            if error is not None or payloads is None:
+                item.future.set_exception(
+                    RuntimeError(f"batch execution failed: {error}")
+                )
+                continue
+            payload = payloads[index]
+            timing = payload.setdefault("timing", {})
+            timing["queue_wait_s"] = dispatched - item.enqueued
+            payload["batch"] = {"size": len(batch), "index": index}
+            item.future.set_result(payload)

@@ -1,0 +1,71 @@
+"""A minimal keep-alive client for the coloring daemon.
+
+Shared by the harness tests and ``benchmarks/bench_serve.py`` so both
+talk to the daemon the same way: one persistent ``http.client``
+connection per client, JSON in, JSON out.  Not a public SDK -- just
+enough to measure and verify the server without duplicating plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServeClient:
+    """One keep-alive connection to a running daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.conn = HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None
+                ) -> Tuple[int, Dict[str, Any]]:
+        """Send one request; returns ``(status, decoded_json)``.
+
+        Retries once on a dropped keep-alive connection (the server may
+        close between requests), never on an HTTP error.
+        """
+        payload = None if body is None else json.dumps(body)
+        headers = {} if payload is None else {
+            "Content-Type": "application/json",
+        }
+        for attempt in (0, 1):
+            try:
+                self.conn.request(method, path, body=payload,
+                                  headers=headers)
+                response = self.conn.getresponse()
+                data = response.read()
+                return response.status, json.loads(data.decode("utf-8"))
+            except (ConnectionError, OSError):
+                self.conn.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def color(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/color", body)
+
+    def upload(self, n: int, edges) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", "/graphs",
+                            {"n": n, "edges": [list(e) for e in edges]})
+
+    def stats(self) -> Dict[str, Any]:
+        status, payload = self.request("GET", "/stats")
+        assert status == 200, payload
+        return payload
+
+    def healthz(self) -> Dict[str, Any]:
+        status, payload = self.request("GET", "/healthz")
+        assert status == 200, payload
+        return payload
+
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -36,7 +36,14 @@ from .message import (
 from .metrics import CostLedger, PhaseStats, ensure_ledger
 from .network import Network
 from .node import NodeProgram, RoundContext
-from .parallel import SweepReport, derive_seed, parallel_sweep, run_trials
+from .parallel import (
+    PoolUnavailable,
+    SweepReport,
+    WorkerPool,
+    derive_seed,
+    parallel_sweep,
+    run_trials,
+)
 from . import shm
 from .scheduler import (
     DEFAULT_MAX_ROUNDS,
@@ -77,7 +84,9 @@ __all__ = [
     "Scheduler",
     "SchedulerError",
     "SimulationError",
+    "PoolUnavailable",
     "SweepReport",
+    "WorkerPool",
     "clear_payload_memo",
     "color_bits",
     "default_engine",

@@ -30,8 +30,18 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+)
 
 Record = Dict[str, Any]
 Measure = Callable[..., Record]
@@ -171,6 +181,252 @@ def _init_worker(state, engine=None, arrays_enabled=None,
     substrate_cache.restore(state)
 
 
+def _probe(task):
+    """Trivial worker warmup target (must be importable for pickling)."""
+    return task
+
+
+class PoolUnavailable(RuntimeError):
+    """Raised when a worker pool cannot be created or used on this
+    platform (no POSIX semaphores, denied ``fork``, missing module).
+    Callers choose the degradation: :func:`parallel_sweep` retries
+    serially, the serve supervisor drops to a thread pool."""
+
+
+class _EngineCall:
+    """Wrap a call so thread-mode pools apply the pool's engine.
+
+    Process workers get their engine through the pool initializer; a
+    thread shares the parent's process state, so the resolved engine is
+    applied around each call instead.  A class (not a closure) to stay
+    picklable by accident of use, and cheap to construct per submit.
+    """
+
+    __slots__ = ("engine", "fn")
+
+    def __init__(self, engine: str, fn: Callable[..., Any]):
+        self.engine = engine
+        self.fn = fn
+
+    def __call__(self, *args: Any) -> Any:
+        from .scheduler import use_engine
+
+        with use_engine(self.engine):
+            return self.fn(*args)
+
+
+class WorkerPool:
+    """A worker pool whose lifetime *outlives a single sweep*.
+
+    Historically :func:`parallel_sweep` owned the whole process
+    lifecycle: it created a pool, shipped the warm caches, ran one sweep,
+    and tore everything down -- so every sweep (and every would-be
+    server request) repaid worker spawn, cache transfer, and topology
+    publication.  ``WorkerPool`` splits "process lifecycle" from "one
+    run": it owns the executor, the engine/array-backend decision (frozen
+    at construction), the substrate-cache snapshot shipped to workers,
+    and the shared-memory topologies it published (refcounted via
+    :func:`repro.sim.shm.publish` and released on :meth:`close`).  One
+    pool can serve many :func:`parallel_sweep` calls (pass ``pool=``) or
+    a long-running daemon's request stream (:mod:`repro.serve`).
+
+    Two modes: ``"process"`` (a ``ProcessPoolExecutor`` with the warm
+    initializer) and ``"thread"`` (a single-thread executor sharing the
+    parent's caches -- the degradation target where process pools are
+    unusable, and the deterministic choice for tests).  :meth:`warm`
+    spawns the workers eagerly and degrades ``process -> thread``
+    automatically, recording ``fallback_reason``.
+
+    Occupancy counters (``submitted`` / ``completed`` / ``in_flight``)
+    are maintained on every dispatch for the daemon's ``/stats``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 engine: Optional[str] = None,
+                 topologies: Optional[Mapping[Hashable, Any]] = None,
+                 mode: str = "process"):
+        from .scheduler import _validate_engine, default_engine
+
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown pool mode: {mode!r}")
+        self.engine = (_validate_engine(engine) if engine is not None
+                       else default_engine())
+        self.workers = resolve_workers(max_workers)
+        self.mode = mode
+        self.fallback_reason: Optional[str] = None
+        self.warmup_s: Optional[float] = None
+        self.submitted = 0
+        self.completed = 0
+        self._lock = threading.Lock()
+        self._executor = None
+        self._closed = False
+        self._topology_keys: List[Hashable] = []
+        if topologies:
+            self.add_topologies(topologies)
+
+    # -- lifecycle ------------------------------------------------------
+    def _make_executor(self):
+        if self.mode == "process":
+            from concurrent.futures import ProcessPoolExecutor
+
+            from . import shm
+            from .arrays import arrays_enabled
+
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(_substrate_snapshot(), self.engine,
+                          arrays_enabled(), shm.export_handles() or None),
+            )
+        from concurrent.futures import ThreadPoolExecutor
+
+        # One thread: the work is CPU-bound pure Python (no GIL win from
+        # more), and a single lane keeps engine overrides and kernel
+        # counters serialized.
+        return ThreadPoolExecutor(max_workers=1)
+
+    @property
+    def executor(self):
+        """The live executor, created lazily on first dispatch."""
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        if self._executor is None:
+            try:
+                self._executor = self._make_executor()
+            except (ImportError, OSError, PermissionError) as error:
+                raise PoolUnavailable(
+                    f"cannot create {self.mode} pool: {error}"
+                ) from error
+        return self._executor
+
+    def warm(self) -> float:
+        """Spawn the workers now and measure the cold-start cost.
+
+        A long-lived daemon pays worker spawn, cache shipping, and
+        import cost *once, at boot* instead of on the first unlucky
+        request.  Where a process pool turns out unusable, the pool
+        degrades to thread mode (``fallback_reason`` records why) rather
+        than failing -- serving must start.  Returns the warmup wall
+        seconds (also kept as ``warmup_s``).
+        """
+        start = time.perf_counter()
+        try:
+            assert self.map(_probe, list(range(self.workers))) == \
+                list(range(self.workers))
+        except PoolUnavailable as error:
+            if self.mode != "process":
+                raise
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+                self._executor = None
+            self.mode = "thread"
+            self.fallback_reason = str(error)
+            assert self.map(_probe, [0]) == [0]
+        self.warmup_s = time.perf_counter() - start
+        return self.warmup_s
+
+    def close(self) -> None:
+        """Shut the executor down and release published topologies."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        from . import shm
+
+        for key in self._topology_keys:
+            shm.release(key)
+        self._topology_keys.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- topologies -----------------------------------------------------
+    def add_topologies(self, topologies: Mapping[Hashable, Any]
+                       ) -> Dict[Hashable, dict]:
+        """Publish compiled topologies to shared memory under this
+        pool's ownership (released at :meth:`close`).
+
+        Returns the handle map.  Workers spawned *before* a publication
+        receive the handles with each task rather than through the
+        initializer, so late additions still resolve.
+        """
+        from . import shm
+
+        handles: Dict[Hashable, dict] = {}
+        for key, compiled in topologies.items():
+            handle = shm.publish(key, compiled)
+            if handle is not None:
+                self._topology_keys.append(key)
+                handles[key] = handle
+        return handles
+
+    def topology_handles(self) -> Optional[Dict[Hashable, dict]]:
+        """Every handle published by this process (task payload form)."""
+        from . import shm
+
+        return shm.export_handles() or None
+
+    # -- dispatch -------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self.submitted - self.completed
+
+    def _count_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.submitted += n
+
+    def _count_done(self, _future: Any = None) -> None:
+        with self._lock:
+            self.completed += 1
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        """Dispatch one call; returns a ``concurrent.futures.Future``."""
+        executor = self.executor
+        call = fn if self.mode == "process" else _EngineCall(self.engine, fn)
+        try:
+            future = executor.submit(call, *args)
+        except (OSError, PermissionError, RuntimeError) as error:
+            raise PoolUnavailable(str(error)) from error
+        self._count_submit()
+        future.add_done_callback(self._count_done)
+        return future
+
+    def map(self, fn: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
+        """Ordered results of ``fn`` over ``tasks`` (one sweep's runs)."""
+        executor = self.executor
+        call = fn if self.mode == "process" else _EngineCall(self.engine, fn)
+        self._count_submit(len(tasks))
+        try:
+            return list(executor.map(call, tasks))
+        except (ImportError, OSError, PermissionError) as error:
+            raise PoolUnavailable(str(error)) from error
+        finally:
+            with self._lock:
+                self.completed += len(tasks)
+
+    def stats(self) -> Dict[str, Any]:
+        """Occupancy/provenance snapshot for ``/stats`` and manifests."""
+        with self._lock:
+            submitted, completed = self.submitted, self.completed
+        return {
+            "mode": self.mode,
+            "workers": self.workers if self.mode == "process" else 1,
+            "engine": self.engine,
+            "submitted": submitted,
+            "completed": completed,
+            "in_flight": submitted - completed,
+            "warmup_s": self.warmup_s,
+            "fallback_reason": self.fallback_reason,
+            "topologies": len(self._topology_keys),
+        }
+
+
 class SweepReport(list):
     """The records of a sweep plus per-worker engine/kernel telemetry.
 
@@ -301,7 +557,8 @@ def parallel_sweep(measure: Measure,
                    timing: bool = False,
                    engine: Optional[str] = None,
                    report: bool = False,
-                   topologies: Optional[Mapping[Any, Any]] = None
+                   topologies: Optional[Mapping[Any, Any]] = None,
+                   pool: Optional[WorkerPool] = None
                    ) -> List[Record]:
     """Run ``measure(**params)`` for every parameter dict, across processes.
 
@@ -332,24 +589,39 @@ def parallel_sweep(measure: Measure,
     initializer, so worker RSS stays flat in the topology size.
     Publishing is best-effort -- where shared memory is unusable,
     workers simply rebuild.
+
+    ``pool`` reuses a live :class:`WorkerPool` instead of paying pool
+    creation and cache shipping per sweep: the pool's frozen engine
+    wins (passing a *different* explicit ``engine`` is an error), its
+    workers stay warm across calls, and it is **not** closed here --
+    the caller owns the process lifecycle.  Topologies passed alongside
+    an external pool are published under the pool's refcount and
+    released when the pool closes.
     """
     from ..obs.tracer import current_tracer
     from .scheduler import _validate_engine, default_engine, use_engine
 
-    resolved = (_validate_engine(engine) if engine is not None
-                else default_engine())
-    topology_handles = None
-    if topologies:
-        from . import shm
-
-        topology_handles = {
-            key: handle
-            for key, handle in (
-                (key, shm.publish(key, compiled))
-                for key, compiled in topologies.items()
+    if pool is not None:
+        resolved = pool.engine
+        if engine is not None and _validate_engine(engine) != resolved:
+            raise ValueError(
+                f"engine {engine!r} conflicts with the pool's frozen "
+                f"engine {resolved!r}"
             )
-            if handle is not None
-        } or None
+        if topologies:
+            pool.add_topologies(topologies)
+    else:
+        resolved = (_validate_engine(engine) if engine is not None
+                    else default_engine())
+        if topologies:
+            # Sweep-owned publications deliberately skip the refcounted
+            # release: they stay warm for follow-up sweeps and are
+            # unlinked by the exit/signal cleanup, the pre-WorkerPool
+            # contract every benchmark relies on.
+            from . import shm
+
+            for key, compiled in topologies.items():
+                shm.publish(key, compiled)
     tracer = current_tracer()
     start = time.perf_counter()
     tasks = [
@@ -360,44 +632,50 @@ def parallel_sweep(measure: Measure,
     records: Optional[List[Record]] = None
     worker_stats: List[Dict[str, Any]] = []
     trace_events: List[Dict[str, Any]] = []
-    if workers > 1 and len(tasks) > 1:
-        try:
-            from concurrent.futures import ProcessPoolExecutor
+    own_pool: Optional[WorkerPool] = None
+    dispatch = pool
+    if dispatch is None and workers > 1 and len(tasks) > 1:
+        # One sweep, one ephemeral pool: warm substrate caches
+        # (schedules, polynomial families, prime tables, interned
+        # networks with their compiled CSR topologies) computed in this
+        # process are shipped to every worker once, instead of each
+        # worker re-deriving them per trial; the resolved engine choice
+        # rides along.
+        dispatch = own_pool = WorkerPool(max_workers=workers,
+                                         engine=resolved)
+    try:
+        if dispatch is not None:
+            try:
+                records = dispatch.map(_call_measure, tasks)
+            except PoolUnavailable:
+                # No usable pool on this platform; results are
+                # identical either way, only wall-clock differs.
+                records = None
+            else:
+                if tracer is not None:
+                    with tracer.span("algorithm", "parallel-sweep",
+                                     trials=len(tasks), engine=resolved):
+                        trace_events = _pop_worker_traces(records, tracer)
+                worker_stats = _pop_worker_stats(records)
+        if records is None:
+            from .kernels import kernel_stats
 
-            # Warm substrate caches (schedules, polynomial families,
-            # prime tables, interned networks with their compiled CSR
-            # topologies) computed in this process are shipped to every
-            # worker once, instead of each worker re-deriving them per
-            # trial; the resolved engine choice rides along.
-            from .arrays import arrays_enabled
-
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(_substrate_snapshot(), resolved,
-                          arrays_enabled(), topology_handles),
-            ) as pool:
-                records = list(pool.map(_call_measure, tasks))
-            if tracer is not None:
-                with tracer.span("algorithm", "parallel-sweep",
-                                 trials=len(tasks), engine=resolved):
-                    trace_events = _pop_worker_traces(records, tracer)
-            worker_stats = _pop_worker_stats(records)
-        except (ImportError, OSError, PermissionError):
-            # No usable process pool on this platform; results are
-            # identical either way, only wall-clock differs.
-            records = None
-    if records is None:
-        from .kernels import kernel_stats
-
-        # The serial fallback runs in-process, where the parent's tracer
-        # is already ambient: trials trace straight into it, no merge.
-        serial_tasks = [(m, p, t, False, False) for (m, p, t, _, _) in tasks]
-        before = kernel_stats() if report else None
-        with use_engine(resolved):
-            records = [_call_measure(task) for task in serial_tasks]
-        if report:
-            worker_stats = [_stats_delta(before, kernel_stats(), resolved)]
+            # The serial fallback runs in-process, where the parent's
+            # tracer is already ambient: trials trace straight into it,
+            # no merge.
+            serial_tasks = [
+                (m, p, t, False, False) for (m, p, t, _, _) in tasks
+            ]
+            before = kernel_stats() if report else None
+            with use_engine(resolved):
+                records = [_call_measure(task) for task in serial_tasks]
+            if report:
+                worker_stats = [
+                    _stats_delta(before, kernel_stats(), resolved)
+                ]
+    finally:
+        if own_pool is not None:
+            own_pool.close()
     if not report:
         return records
     return SweepReport(

@@ -29,13 +29,20 @@ sweeps fall back to per-worker rebuilds, trading memory for correctness.
 Python 3.8-3.12 ``SharedMemory`` has no ``track=False`` knob, and the
 child's resource tracker would otherwise unlink the parent's segment at
 worker exit; :func:`_attach` therefore de-registers the mapping from the
-worker-side tracker.  The parent owns the lifecycle and unlinks all of
-its segments at interpreter exit.
+worker-side tracker.  The parent owns the lifecycle: segments are
+refcounted (:func:`publish` increments, :func:`release` decrements and
+unlinks at zero), and whatever is still published is force-unlinked at
+interpreter exit.  Long-lived daemons additionally call
+:func:`install_signal_cleanup` so a SIGTERM-killed process never leaves
+orphan ``/dev/shm`` segments behind -- ``atexit`` alone does not run on
+a fatal signal.  A *worker* dying (even ``SIGKILL``) can never leak a
+segment: workers only ever map, they never own.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from .compiled import CompiledNetwork
@@ -44,6 +51,12 @@ _ITEMSIZE = 8  # native int64, matching array('q') / np.int64
 
 #: Parent side: key -> (SharedMemory, handle, original compiled network).
 _exported: Dict[Hashable, Tuple[Any, dict, CompiledNetwork]] = {}
+
+#: Parent side: key -> number of outstanding :func:`publish` calls.
+_refcounts: Dict[Hashable, int] = {}
+
+#: Signals a cleanup handler has been installed for (idempotence).
+_signal_cleanup_installed: Dict[int, Any] = {}
 
 #: Worker side: key -> handle received through the pool initializer.
 _handles: Dict[Hashable, dict] = {}
@@ -65,11 +78,16 @@ def publish(key: Hashable, compiled: CompiledNetwork) -> Optional[dict]:
     Returns the picklable handle to ship to workers, or ``None`` when
     shared memory is unusable here (the sweep then degrades to
     per-worker topology rebuilds).  Publishing the same key twice is
-    idempotent and returns the existing handle.
+    idempotent and returns the existing handle, with the segment's
+    refcount incremented: each successful ``publish`` must eventually be
+    matched by a :func:`release` (or rely on the exit/signal cleanup --
+    sweeps that never release simply keep their segments warm for the
+    life of the process).
     """
     global _cleanup_registered
     existing = _exported.get(key)
     if existing is not None:
+        _refcounts[key] = _refcounts.get(key, 0) + 1
         return existing[1]
     try:
         from multiprocessing import shared_memory
@@ -89,10 +107,41 @@ def publish(key: Hashable, compiled: CompiledNetwork) -> Optional[dict]:
         offset += len(raw)
     handle = {"name": segment.name, "n": n, "nnz": nnz}
     _exported[key] = (segment, handle, compiled)
+    _refcounts[key] = 1
     if not _cleanup_registered:
         atexit.register(unlink_all)
         _cleanup_registered = True
     return handle
+
+
+def release(key: Hashable) -> bool:
+    """Drop one :func:`publish` reference; unlink the segment at zero.
+
+    Returns True when this call actually unlinked the segment.  Releasing
+    an unknown (or already-unlinked) key is a no-op: the exit cleanup may
+    legitimately race an explicit release during daemon shutdown.
+    """
+    entry = _exported.get(key)
+    if entry is None:
+        return False
+    remaining = _refcounts.get(key, 1) - 1
+    if remaining > 0:
+        _refcounts[key] = remaining
+        return False
+    _exported.pop(key, None)
+    _refcounts.pop(key, None)
+    segment = entry[0]
+    try:
+        segment.close()
+        segment.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover - best effort
+        pass
+    return True
+
+
+def refcount(key: Hashable) -> int:
+    """Outstanding publish references for ``key`` (0 when unpublished)."""
+    return _refcounts.get(key, 0) if key in _exported else 0
 
 
 def export_handles() -> Dict[Hashable, dict]:
@@ -175,7 +224,12 @@ def published_keys() -> Tuple[Hashable, ...]:
 
 
 def unlink_all() -> None:
-    """Parent side: close and unlink every published segment."""
+    """Parent side: close and unlink every published segment.
+
+    Force-drops all refcounts -- this is the exit/signal backstop, not
+    the polite path (:func:`release` is).
+    """
+    _refcounts.clear()
     while _exported:
         _key, (segment, _handle, _compiled) = _exported.popitem()
         try:
@@ -183,6 +237,51 @@ def unlink_all() -> None:
             segment.unlink()
         except (OSError, FileNotFoundError):  # pragma: no cover
             pass
+
+
+def install_signal_cleanup(signums: Optional[Tuple[int, ...]] = None) -> Tuple[int, ...]:
+    """Unlink published segments when a fatal signal arrives.
+
+    ``atexit`` does not run when the process dies to SIGTERM, so a
+    killed daemon would leak its ``/dev/shm`` segments until reboot.
+    This installs a handler (default: SIGTERM, plus SIGHUP where it
+    exists) that unlinks everything, restores the previous disposition,
+    and re-raises the signal so the process still dies with the normal
+    signal exit status.  Idempotent; returns the signals actually
+    hooked.  Only the segment *owner* (the daemon / sweep parent) should
+    call this -- workers have nothing to unlink.
+    """
+    try:
+        import signal
+    except ImportError:  # pragma: no cover - stdlib module
+        return ()
+    if signums is None:
+        signums = (signal.SIGTERM,) + (
+            (signal.SIGHUP,) if hasattr(signal, "SIGHUP") else ()
+        )
+
+    def _cleanup_and_reraise(signum, frame):
+        unlink_all()
+        previous = _signal_cleanup_installed.get(signum, signal.SIG_DFL)
+        if callable(previous):
+            previous(signum, frame)
+            return
+        signal.signal(signum, previous if previous is not None
+                      else signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    hooked = []
+    for signum in signums:
+        if signum in _signal_cleanup_installed:
+            hooked.append(signum)
+            continue
+        try:
+            previous = signal.signal(signum, _cleanup_and_reraise)
+        except (OSError, ValueError):  # pragma: no cover - non-main thread
+            continue
+        _signal_cleanup_installed[signum] = previous
+        hooked.append(signum)
+    return tuple(hooked)
 
 
 def _reset_worker_state() -> None:

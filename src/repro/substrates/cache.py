@@ -60,6 +60,17 @@ _enabled = os.environ.get(CACHE_ENV, "1") != "0"
 #: on first use so this module stays agnostic of what is cached.
 _registries: Dict[str, Dict[Any, Any]] = {}
 
+#: ``registry name -> {"hits": int, "misses": int}``.  Consumers that
+#: want their lookups observable call :func:`record_lookup`; the serve
+#: daemon and run manifests read :func:`cache_counters` to report how
+#: warm a request or run actually was.
+_counters: Dict[str, Dict[str, int]] = {}
+
+#: What :func:`load_from_disk` / :func:`save_to_disk` last did, for
+#: ``/stats`` and manifests (the difference between "no disk cache
+#: configured" and "configured but cold" matters operationally).
+_disk_state: Dict[str, Any] = {"path": None, "loaded": False, "saved": False}
+
 
 def cache_enabled() -> bool:
     """Whether the substrate registries are active."""
@@ -94,6 +105,40 @@ def registry(name: str, limit: int = REGISTRY_LIMIT) -> Dict[Any, Any]:
     elif len(table) >= limit:
         table.clear()
     return table
+
+
+def record_lookup(name: str, hit: bool) -> None:
+    """Count one registry lookup, for :func:`cache_counters`.
+
+    Instrumented at the consumer (e.g. ``shared_family``) rather than in
+    :func:`registry`, because only the consumer knows whether its
+    ``get`` was a hit.  Counting is unconditional on cache state so a
+    disabled cache shows up as all-misses, not as silence.
+    """
+    entry = _counters.get(name)
+    if entry is None:
+        entry = _counters[name] = {"hits": 0, "misses": 0}
+    entry["hits" if hit else "misses"] += 1
+
+
+def cache_counters() -> Dict[str, Dict[str, int]]:
+    """``{registry name: {"hits", "misses"}}`` for every counted lookup.
+
+    Counters are cumulative for the process; callers wanting per-request
+    attribution snapshot before and after (see
+    :func:`repro.serve.executor.counters_delta`).
+    """
+    return {name: dict(entry) for name, entry in _counters.items()}
+
+
+def reset_cache_counters() -> None:
+    """Zero the hit/miss counters (tests and per-worker accounting)."""
+    _counters.clear()
+
+
+def disk_state() -> Dict[str, Any]:
+    """What the persistent spill last did in this process."""
+    return dict(_disk_state)
 
 
 def clear_substrate_cache() -> None:
@@ -192,6 +237,7 @@ def save_to_disk(path: Optional[str] = None) -> Optional[str]:
             raise
     except (OSError, pickle.PicklingError):
         return None
+    _disk_state.update(path=destination, saved=True)
     return destination
 
 
@@ -206,6 +252,7 @@ def load_from_disk(path: Optional[str] = None) -> bool:
     source = cache_file_path(path)
     if source is None or not _enabled:
         return False
+    _disk_state.update(path=source, loaded=False)
     try:
         with open(source, "rb") as handle:
             payload = pickle.load(handle)
@@ -225,4 +272,5 @@ def load_from_disk(path: Optional[str] = None) -> bool:
     if not state:
         return False
     restore(state)
+    _disk_state["loaded"] = True
     return True

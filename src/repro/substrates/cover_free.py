@@ -21,7 +21,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..sim import arrays
-from .cache import ARRAY_REGISTRY_LIMIT, cache_enabled, registry
+from .cache import (
+    ARRAY_REGISTRY_LIMIT,
+    cache_enabled,
+    record_lookup,
+    registry,
+)
 
 #: Largest full evaluation table (``q * m`` int64 entries) exported for
 #: the NumPy kernel backend; larger families are evaluated per round on
@@ -217,10 +222,12 @@ def shared_family(q: int, m: int, k: int) -> PolynomialFamily:
     fresh instance when caching is disabled.
     """
     if not cache_enabled():
+        record_lookup("families", False)
         return PolynomialFamily(q, m, k)
     memo = registry("families")
     key = (q, m, k)
     family = memo.get(key)
+    record_lookup("families", family is not None)
     if family is None:
         family = memo[key] = PolynomialFamily(q, m, k)
     return family
@@ -316,8 +323,11 @@ def proper_schedule(q: int, avoid: int) -> List[RecoloringStep]:
     memo = registry("proper_schedule") if cache_enabled() else None
     if memo is not None:
         cached = memo.get((q, avoid))
+        record_lookup("proper_schedule", cached is not None)
         if cached is not None:
             return list(cached)
+    else:
+        record_lookup("proper_schedule", False)
     steps = _proper_schedule_raw(q, avoid)
     if memo is not None:
         memo[(q, avoid)] = tuple(steps)
@@ -355,8 +365,11 @@ def defective_schedule(q: int, alpha: float) -> List[RecoloringStep]:
     memo = registry("defective_schedule") if cache_enabled() else None
     if memo is not None:
         cached = memo.get((q, alpha))
+        record_lookup("defective_schedule", cached is not None)
         if cached is not None:
             return list(cached)
+    else:
+        record_lookup("defective_schedule", False)
     steps = _defective_schedule_raw(q, alpha)
     if memo is not None:
         memo[(q, alpha)] = tuple(steps)

@@ -1,0 +1,163 @@
+"""Tests for the serve request/response protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.schema import (
+    RequestError,
+    SCHEMA_VERSION,
+    batch_key,
+    edges_digest,
+    envelope,
+    parse_algorithm,
+    parse_request,
+    parse_topology,
+    topology_key,
+)
+
+
+class TestEnvelope:
+    def test_stamps_schema_and_kind(self):
+        body = envelope("coloring", status="ok", x=1)
+        assert body["schema"] == SCHEMA_VERSION
+        assert body["kind"] == "coloring"
+        assert body["x"] == 1
+
+
+class TestTopologyParsing:
+    def test_ring_stream(self):
+        spec = parse_topology({"kind": "ring-stream", "n": 100})
+        assert spec == {"kind": "ring-stream", "n": 100}
+        assert topology_key(spec) == ("ring-stream", 100)
+
+    def test_stream_keys_match_streaming_registry(self):
+        # The daemon's keys must be the exact keys stream_* interns
+        # under, so a daemon request reuses a prior scale run's topology.
+        spec = parse_topology({"kind": "gnp-stream", "n": 50,
+                               "p": 0.1, "seed": 3})
+        assert topology_key(spec) == ("gnp-stream", 50, 0.1, 3)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(RequestError, match="unknown topology kind"):
+            parse_topology({"kind": "torus", "n": 10})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(RequestError):
+            parse_topology("ring")
+
+    def test_bounds_checked(self):
+        with pytest.raises(RequestError, match="must lie in"):
+            parse_topology({"kind": "ring-stream", "n": 2})
+        with pytest.raises(RequestError, match="must lie in"):
+            parse_topology({"kind": "ring-stream", "n": 10 ** 9})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(RequestError, match="must be an integer"):
+            parse_topology({"kind": "ring-stream", "n": True})
+
+    def test_regular_parity(self):
+        with pytest.raises(RequestError, match="even"):
+            parse_topology({"kind": "regular-stream", "n": 5,
+                            "degree": 3})
+
+    def test_edges_validated_and_digested(self):
+        spec = parse_topology({
+            "kind": "edges", "n": 3, "edges": [[0, 1], [1, 2]],
+        })
+        assert spec["edges"] == [(0, 1), (1, 2)]
+        assert spec["id"] == edges_digest(3, [(0, 1), (1, 2)])
+        assert topology_key(spec) == ("uploaded", spec["id"])
+
+    def test_edges_order_is_identity(self):
+        # Adjacency order is part of the simulation's identity.
+        a = edges_digest(3, [(0, 1), (1, 2)])
+        b = edges_digest(3, [(1, 2), (0, 1)])
+        assert a != b
+
+    def test_edge_bounds(self):
+        with pytest.raises(RequestError, match="out of bounds"):
+            parse_topology({"kind": "edges", "n": 2, "edges": [[0, 5]]})
+        with pytest.raises(RequestError, match="out of bounds"):
+            parse_topology({"kind": "edges", "n": 3, "edges": [[1, 1]]})
+        with pytest.raises(RequestError, match="malformed"):
+            parse_topology({"kind": "edges", "n": 3, "edges": [[0]]})
+
+    def test_graph_handle_needs_id(self):
+        with pytest.raises(RequestError, match="string 'id'"):
+            parse_topology({"kind": "graph"})
+
+
+class TestAlgorithmParsing:
+    def test_name_shorthand(self):
+        spec = parse_algorithm("greedy-reduction")
+        assert spec["name"] == "greedy-reduction"
+        assert spec["colors"] == 16
+        assert spec["validate"] is True
+
+    def test_sweep_defaults(self):
+        spec = parse_algorithm({"name": "two-sweep"})
+        assert spec["p"] == 2
+        assert spec["seed"] == 0
+        assert spec["lists"] == "random"
+        assert "epsilon" not in spec
+
+    def test_fast_sweep_epsilon(self):
+        spec = parse_algorithm({"name": "fast-two-sweep",
+                                "epsilon": 0.5})
+        assert spec["epsilon"] == 0.5
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(RequestError, match="unknown algorithm"):
+            parse_algorithm({"name": "magic"})
+
+    def test_lists_mode_checked(self):
+        with pytest.raises(RequestError, match="'lists'"):
+            parse_algorithm({"name": "two-sweep", "lists": "evil"})
+
+
+class TestRequestParsing:
+    def test_full_request(self):
+        spec = parse_request({
+            "topology": {"kind": "ring-stream", "n": 32},
+            "algorithm": "greedy-reduction",
+            "include_colors": True,
+        })
+        assert spec["include_colors"] is True
+        assert spec["trace"] is True
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(RequestError, match="unknown request fields"):
+            parse_request({
+                "topology": {"kind": "ring-stream", "n": 32},
+                "algorithm": "greedy-reduction",
+                "sudo": True,
+            })
+
+    def test_non_object_body(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            parse_request([1, 2, 3])
+
+
+class TestBatchKey:
+    def test_same_topology_same_algorithm_coalesce(self):
+        a = parse_request({"topology": {"kind": "ring-stream", "n": 32},
+                           "algorithm": {"name": "greedy-reduction"}})
+        b = parse_request({"topology": {"kind": "ring-stream", "n": 32},
+                           "algorithm": {"name": "greedy-reduction",
+                                         "colors": 32}})
+        assert batch_key(a) == batch_key(b)
+
+    def test_different_topology_splits(self):
+        a = parse_request({"topology": {"kind": "ring-stream", "n": 32},
+                           "algorithm": "greedy-reduction"})
+        b = parse_request({"topology": {"kind": "ring-stream", "n": 33},
+                           "algorithm": "greedy-reduction"})
+        assert batch_key(a) != batch_key(b)
+
+    def test_different_algorithm_splits(self):
+        a = parse_request({"topology": {"kind": "ring-stream", "n": 32},
+                           "algorithm": "greedy-reduction"})
+        b = parse_request({"topology": {"kind": "ring-stream", "n": 32},
+                           "algorithm": {"name": "two-sweep"}})
+        assert batch_key(a) != batch_key(b)

@@ -193,3 +193,133 @@ class TestSweepIntegration:
             max_workers=1,
         )
         assert 2 <= records[0]["distinct"] <= 3
+
+
+class TestRefcounting:
+    def test_release_unlinks_at_zero(self):
+        compiled = _ring_compiled(10)
+        key = ("test-shm", "refcount")
+        try:
+            _publish_or_skip(key, compiled)
+            shm.publish(key, compiled)
+            assert shm.refcount(key) == 2
+            assert shm.release(key) is False  # one reference remains
+            assert key in shm.published_keys()
+            assert shm.release(key) is True  # last reference unlinks
+            assert key not in shm.published_keys()
+            assert shm.lookup(key) is None
+        finally:
+            shm.unlink_all()
+
+    def test_release_unknown_key_is_noop(self):
+        assert shm.release(("test-shm", "never-published")) is False
+        assert shm.refcount(("test-shm", "never-published")) == 0
+
+    def test_segment_actually_gone_after_release(self):
+        """release() must unlink the OS object, not just forget it."""
+        from multiprocessing import shared_memory
+
+        compiled = _ring_compiled(8)
+        key = ("test-shm", "gone-after-release")
+        try:
+            handle = _publish_or_skip(key, compiled)
+            assert shm.release(key) is True
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=handle["name"])
+        finally:
+            shm.unlink_all()
+
+    def test_unlink_all_force_drops_refcounts(self):
+        compiled = _ring_compiled(6)
+        key = ("test-shm", "force")
+        _publish_or_skip(key, compiled)
+        shm.publish(key, compiled)  # refcount 2
+        shm.unlink_all()
+        assert shm.refcount(key) == 0
+        assert shm.lookup(key) is None
+
+
+class TestWorkerDeath:
+    def test_killed_worker_does_not_unlink_parent_segment(self):
+        """A worker that dies hard (SIGKILL mid-attachment) must leave
+        the parent's segment mapped, readable, and releasable -- workers
+        only map, they never own."""
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        compiled = _ring_compiled(32)
+        key = ("test-shm", "worker-death")
+        try:
+            handle = _publish_or_skip(key, compiled)
+            script = textwrap.dedent(f"""
+                import os, sys
+                sys.path.insert(0, {repr("src")})
+                from repro.sim import shm
+                shm.receive_handles({{("k",): {handle!r}}})
+                attached = shm.lookup(("k",))
+                assert attached is not None and attached.n == 32
+                print("attached", flush=True)
+                os.kill(os.getpid(), {int(signal.SIGKILL)})
+            """)
+            proc = subprocess.Popen(
+                [sys.executable, "-c", script], cwd="/root/repo",
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            out, err = proc.communicate(timeout=60)
+            assert "attached" in out, err
+            assert proc.returncode == -signal.SIGKILL
+            # The parent's segment survived the worker's death intact.
+            survivor = shm.lookup(key)
+            assert survivor is compiled
+            assert shm.segment_bytes(key) is not None
+            assert shm.release(key) is True
+        finally:
+            shm.unlink_all()
+
+    def test_sigterm_cleanup_unlinks_published_segments(self):
+        """A SIGTERM-killed daemon must not leak /dev/shm segments:
+        install_signal_cleanup unlinks everything before dying."""
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import sys, time
+            sys.path.insert(0, "src")
+            from repro.graphs.streaming import csr_from_edges, ring_edges
+            from repro.sim import shm
+            from repro.sim.compiled import CompiledNetwork
+
+            indptr, indices = csr_from_edges(16, ring_edges(16))
+            compiled = CompiledNetwork.from_csr(indptr, indices)
+            handle = shm.publish(("daemon", 16), compiled)
+            if handle is None:
+                print("SKIP", flush=True)
+                sys.exit(0)
+            assert shm.install_signal_cleanup()
+            print(handle["name"], flush=True)
+            time.sleep(60)
+        """)
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], cwd="/root/repo",
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            name = proc.stdout.readline().strip()
+            if name == "SKIP":
+                proc.wait(timeout=30)
+                pytest.skip("shared memory unusable here")
+            assert name
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGTERM
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)

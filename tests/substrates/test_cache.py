@@ -15,6 +15,7 @@ from repro.substrates import (
     set_cache_enabled,
     shared_family,
 )
+from repro.substrates import cache
 from repro.substrates.cache import (
     CACHE_DIR_ENV,
     CACHE_FILE_VERSION,
@@ -242,3 +243,82 @@ class TestDiskSpill:
         set_cache_enabled(False)
         assert not load_from_disk(source)
         assert save_to_disk(source) is None
+
+
+class TestCounters:
+    def setup_method(self):
+        cache.reset_cache_counters()
+
+    def teardown_method(self):
+        cache.reset_cache_counters()
+
+    def test_record_lookup_counts_hits_and_misses(self):
+        cache.record_lookup("widgets", False)
+        cache.record_lookup("widgets", True)
+        cache.record_lookup("widgets", True)
+        assert cache.cache_counters() == {
+            "widgets": {"hits": 2, "misses": 1}
+        }
+
+    def test_counters_are_copies(self):
+        cache.record_lookup("widgets", True)
+        counters = cache.cache_counters()
+        counters["widgets"]["hits"] = 99
+        assert cache.cache_counters()["widgets"]["hits"] == 1
+
+    def test_shared_family_counts(self):
+        from repro.substrates.cover_free import shared_family
+
+        cache.clear_substrate_cache()
+        cache.reset_cache_counters()
+        shared_family(9, 3, 1)
+        shared_family(9, 3, 1)
+        counters = cache.cache_counters()["families"]
+        assert counters == {"hits": 1, "misses": 1}
+
+    def test_disabled_cache_counts_all_misses(self):
+        from repro.substrates.cover_free import shared_family
+
+        previous = cache.set_cache_enabled(False)
+        try:
+            cache.reset_cache_counters()
+            shared_family(9, 3, 1)
+            shared_family(9, 3, 1)
+            assert cache.cache_counters()["families"] == {
+                "hits": 0, "misses": 2
+            }
+        finally:
+            cache.set_cache_enabled(previous)
+
+    def test_interned_network_counts(self):
+        from repro.graphs.generators import star_graph
+
+        cache.clear_substrate_cache()
+        cache.reset_cache_counters()
+        star_graph(23)
+        star_graph(23)
+        counters = cache.cache_counters()["networks"]
+        assert counters["misses"] == 1 and counters["hits"] == 1
+
+    def test_manifest_carries_counters_and_disk_state(self):
+        from repro.obs import collect_manifest
+
+        cache.record_lookup("widgets", True)
+        caches = collect_manifest()["caches"]
+        assert caches["counters"]["widgets"]["hits"] >= 1
+        assert set(caches["disk"]) == {"path", "loaded", "saved"}
+
+
+class TestDiskState:
+    def test_load_marks_state(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(cache.CACHE_DIR_ENV, str(tmp_path))
+        cache.registry("disk_state_probe")["k"] = "v"
+        try:
+            assert cache.save_to_disk() is not None
+            assert cache.disk_state()["saved"] is True
+            assert cache.load_from_disk() is True
+            state = cache.disk_state()
+            assert state["loaded"] is True
+            assert state["path"].endswith("substrate_cache.pkl")
+        finally:
+            cache.registry("disk_state_probe").clear()
