@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Warn-only benchmark drift gate for CI.
+
+Compares headline metrics between a committed full-scale benchmark
+report (``BENCH_*.json``) and the smoke-sized rerun CI just produced.
+Shared runners are far too noisy for hard throughput gates, so a
+regression never fails the build: a metric landing below its floor
+prints a GitHub Actions ``::warning`` annotation and the process still
+exits 0.  The value of the gate is the annotation trail -- a real
+regression shows up as the same warning on every push, noise does not.
+
+Usage::
+
+    python scripts/check_bench_drift.py BENCH_engine.json \\
+        BENCH_engine_smoke.json \\
+        --metric headline.speedup:0.7 \\
+        --metric "workloads[workload=linial_algebraic].vectorized_vs_fast"
+
+Each ``--metric`` is a dotted path resolved in *both* reports, with an
+optional ``:FACTOR`` floor (default 0.9 -- warn on a >10% slowdown).
+A path segment may select a row from a list of objects with
+``key[field=value]``.  Paths missing from either report are reported
+and skipped rather than failing: smoke reports legitimately trail the
+committed schema while a benchmark is being extended.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Any
+
+#: Default floor: warn when the smoke metric drops more than 10% below
+#: the committed one.
+DEFAULT_FACTOR = 0.9
+
+_ROW_SELECTOR = re.compile(r"(\w+)\[(\w+)=([^\]]+)\]\Z")
+
+
+def resolve(report: Any, path: str) -> Any:
+    """Walk ``path`` into ``report``; raises KeyError when absent.
+
+    Segments are dict keys, except ``key[field=value]`` which indexes
+    into a list of objects by matching ``field`` (string-compared, so
+    numeric literals work unquoted).
+    """
+    node = report
+    for segment in path.split("."):
+        selector = _ROW_SELECTOR.match(segment)
+        if selector:
+            key, field, value = selector.groups()
+            rows = node[key]
+            for row in rows:
+                if str(row.get(field)) == value:
+                    node = row
+                    break
+            else:
+                raise KeyError(f"{key}[{field}={value}]")
+        else:
+            node = node[segment]
+    return node
+
+
+def check_metric(committed: Any, smoke: Any, spec: str,
+                 name: str) -> bool:
+    """Compare one metric spec; returns True when a warning fired."""
+    path, _, raw_factor = spec.partition(":")
+    factor = float(raw_factor) if raw_factor else DEFAULT_FACTOR
+    try:
+        want = resolve(committed, path)
+    except (KeyError, IndexError, TypeError):
+        print(f"{path}: missing from committed report, skipped")
+        return False
+    try:
+        got = resolve(smoke, path)
+    except (KeyError, IndexError, TypeError):
+        print(f"{path}: missing from smoke report, skipped")
+        return False
+    if got is None or want is None:
+        print(f"{path}: unmeasured (None), skipped")
+        return False
+    if got < factor * want:
+        print(
+            f"::warning title={name} drift::{path}: smoke {got} vs "
+            f"committed {want} (floor {factor}x)"
+        )
+        return True
+    print(f"{path}: smoke {got} vs committed {want} "
+          f"(floor {factor}x): ok")
+    return False
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warn-only committed-vs-smoke benchmark comparison",
+    )
+    parser.add_argument("committed", help="committed full-scale report")
+    parser.add_argument("smoke", help="freshly produced smoke report")
+    parser.add_argument(
+        "--metric", action="append", required=True,
+        metavar="PATH[:FACTOR]",
+        help="dotted metric path, optional warn floor "
+             f"(default {DEFAULT_FACTOR} = warn on >10%% slowdown); "
+             "repeatable",
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="benchmark name for warning titles "
+             "(default: committed filename)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.committed, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    with open(args.smoke, encoding="utf-8") as handle:
+        smoke = json.load(handle)
+    name = args.name or args.committed
+    warned = sum(
+        check_metric(committed, smoke, spec, name)
+        for spec in args.metric
+    )
+    if warned:
+        print(f"{warned} drift warning(s) -- warn-only, exiting 0")
+    else:
+        print("no drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Contiguous CSR partitions for sharded single-graph execution.
+
+The sharded engine (:mod:`repro.sim.sharded`) splits one compiled CSR
+topology into ``k`` contiguous dense-id ranges and runs each range's
+kernel columns in its own worker.  Contiguity is what makes the split
+cheap and deterministic: a shard is fully described by two ints, shard
+index order equals ascending node-id order (so merging per-shard
+results in shard order reproduces the serial engine's global node
+order byte-for-byte), and a node's owner is one ``bisect`` away.
+
+Shards are balanced *by edges*, not by node count: per-round kernel
+work is proportional to the CSR rows a shard touches, and on skewed
+degree sequences an equal-node split can put almost all edges in one
+shard.  The indptr array is exactly the edge-count prefix sum, so the
+balanced cut points are ``k - 1`` binary searches -- no edge scan.
+
+:func:`bfs_relabel` is a standalone, *opt-in* locality pass: a BFS
+order tightens the CSR bandwidth so contiguous shards cut fewer edges.
+It returns a relabeled copy and is never applied inside the engine --
+relabeling changes node identities, which would break the byte-identity
+contract with serial execution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "Partition",
+    "bfs_relabel",
+    "partition_by_edges",
+    "shard_boundaries",
+]
+
+
+class Partition:
+    """``k`` contiguous shards over dense node ids ``0..n-1``.
+
+    ``bounds`` has ``k + 1`` entries; shard ``s`` owns the half-open
+    range ``[bounds[s], bounds[s + 1])``.  Empty shards are legal (more
+    shards than nodes) and simply do nothing each round.
+    """
+
+    __slots__ = ("n", "bounds")
+
+    def __init__(self, n: int, bounds: Sequence[int]):
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != n:
+            raise ValueError("bounds must run from 0 to n")
+        previous = 0
+        for bound in bounds:
+            if bound < previous:
+                raise ValueError("bounds must be non-decreasing")
+            previous = bound
+        self.n = n
+        self.bounds = tuple(bounds)
+
+    @property
+    def shards(self) -> int:
+        return len(self.bounds) - 1
+
+    def range_of(self, shard: int) -> Tuple[int, int]:
+        """The ``[lo, hi)`` dense-id range owned by ``shard``."""
+        return self.bounds[shard], self.bounds[shard + 1]
+
+    def owner_of(self, node: int) -> int:
+        """The shard owning dense id ``node``."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} outside 0..{self.n - 1}")
+        # bisect on the upper bounds: first shard whose hi exceeds node.
+        return bisect_left(self.bounds, node + 1, 1) - 1
+
+    def sizes(self) -> List[int]:
+        bounds = self.bounds
+        return [bounds[s + 1] - bounds[s] for s in range(self.shards)]
+
+    def __repr__(self) -> str:
+        return f"Partition(n={self.n}, bounds={list(self.bounds)})"
+
+
+def partition_by_edges(indptr: Sequence[int], shards: int) -> Partition:
+    """Split ``0..n-1`` into ``shards`` contiguous ranges of ~equal edges.
+
+    ``indptr`` is the CSR row-pointer array (length ``n + 1``); its
+    final entry is the total directed edge count ``nnz``.  Cut point
+    ``s`` lands on the smallest node whose edge prefix reaches
+    ``s * nnz / shards``, clamped so bounds stay non-decreasing.  Cost:
+    ``O(shards * log n)``.
+    """
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    n = len(indptr) - 1
+    if n < 0:
+        raise ValueError("indptr must have at least one entry")
+    nnz = indptr[n]
+    bounds = [0]
+    for s in range(1, shards):
+        if nnz:
+            cut = bisect_left(indptr, (s * nnz) // shards, 0, n)
+        else:
+            cut = (s * n) // shards  # edgeless graph: balance by nodes
+        bounds.append(min(n, max(bounds[-1], cut)))
+    bounds.append(n)
+    return Partition(n, bounds)
+
+
+def shard_boundaries(indptr: Sequence[int], indices: Sequence[int],
+                     partition: Partition, shard: int
+                     ) -> Tuple[List[int], List[int], int]:
+    """``(boundary, halo, cut_edges)`` of one shard, ids ascending.
+
+    ``boundary`` lists the shard's own nodes with at least one neighbor
+    owned by another shard -- the only nodes whose updates must be
+    published each round.  ``halo`` lists the *foreign* nodes the shard
+    reads (neighbors outside its range), and ``cut_edges`` counts the
+    directed CSR entries crossing the range.  One pass over the shard's
+    rows; no global state.
+    """
+    lo, hi = partition.range_of(shard)
+    boundary: List[int] = []
+    halo_set = set()
+    cut = 0
+    for i in range(lo, hi):
+        external = False
+        for k in range(indptr[i], indptr[i + 1]):
+            j = indices[k]
+            if j < lo or j >= hi:
+                external = True
+                cut += 1
+                halo_set.add(j)
+        if external:
+            boundary.append(i)
+    return boundary, sorted(halo_set), cut
+
+
+def bfs_relabel(indptr: Sequence[int], indices: Sequence[int]
+                ) -> List[int]:
+    """A bandwidth-reducing BFS permutation: ``perm[old_id] = new_id``.
+
+    Breadth-first order from the lowest-id node of each component keeps
+    neighbors close in the new numbering, so contiguous edge-balanced
+    shards of the *relabeled* CSR cut fewer edges.  Apply it before
+    compiling a topology whose natural order scatters neighborhoods
+    (e.g. a shuffled edge list); never inside a run -- relabeling
+    changes node identities.
+    """
+    n = len(indptr) - 1
+    perm = [-1] * n
+    counter = 0
+    for root in range(n):
+        if perm[root] >= 0:
+            continue
+        perm[root] = counter
+        counter += 1
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            i = queue[head]
+            head += 1
+            for k in range(indptr[i], indptr[i + 1]):
+                j = indices[k]
+                if perm[j] < 0:
+                    perm[j] = counter
+                    counter += 1
+                    queue.append(j)
+    return perm

@@ -177,9 +177,23 @@ def _run_greedy_reduction(compiled: Any, params: Dict[str, Any],
     target = delta + 1
     colors, q = inflated_seed_coloring(compiled,
                                        max(params["colors"], 2 * target))
-    result = greedy_color_reduction(compiled, colors, q, target,
-                                    ledger=ledger)
+    shards = params.get("shards", 1)
+    if shards > 1:
+        from ..sim.scheduler import use_engine
+        from ..sim.sharded import use_shards
+
+        # Inside a pool worker the sharded engine runs its shards
+        # serially in-process (workers never nest pools), so the result
+        # is byte-identical to the vectorized path by construction.
+        with use_shards(shards), use_engine("sharded"):
+            result = greedy_color_reduction(compiled, colors, q, target,
+                                            ledger=ledger)
+    else:
+        result = greedy_color_reduction(compiled, colors, q, target,
+                                        ledger=ledger)
     payload: Dict[str, Any] = {"q": q, "target": target}
+    if shards > 1:
+        payload["shards"] = shards
     if params["validate"]:
         violations = sum(
             1 for i, j in compiled.edge_ids() if result[i] == result[j]
@@ -303,6 +317,8 @@ def execute_request(spec: Dict[str, Any]) -> Dict[str, Any]:
         payload["status"] = "ok"
         payload["result"] = result
         payload["timing"] = {"build_s": build_s, "solve_s": solve_s}
+        payload["nodes_per_s"] = (round(compiled.n / solve_s)
+                                  if solve_s > 0 else None)
     except (SimulationError, RequestError) as exc:
         payload["status"] = "error"
         payload["error"] = {
@@ -310,9 +326,12 @@ def execute_request(spec: Dict[str, Any]) -> Dict[str, Any]:
             "message": str(exc),
         }
         payload["timing"] = {}
+    from ..obs.manifest import peak_rss_kb
+
     payload["ledger"] = ledger.to_dict()
     payload["trace"] = logical_view(tracer.events) if tracer else None
     payload["timing"]["total_s"] = time.perf_counter() - started
+    payload["peak_rss_kb"] = peak_rss_kb()
     payload["manifest"] = {
         "engine": default_engine(),
         "pid": os.getpid(),

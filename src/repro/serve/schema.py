@@ -32,7 +32,11 @@ import hashlib
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 #: Version stamp carried by every response body this repo emits.
-SCHEMA_VERSION = "repro-result/v1"
+#: v2 (over v1): ``scale-run`` and daemon results carry ``peak_rss_kb``
+#: (renamed from ``rss_kb``), a top-level ``nodes_per_s``, and a
+#: ``colors_blake2b`` checksum of the final color column; the
+#: ``greedy-reduction`` algorithm spec accepts a ``shards`` count.
+SCHEMA_VERSION = "repro-result/v2"
 
 #: Node-count ceiling for a single request (the scale frontier's regime;
 #: anything bigger should go through the offline ``repro scale`` path).
@@ -183,6 +187,10 @@ def parse_algorithm(spec: Any) -> Dict[str, Any]:
     if name == "greedy-reduction":
         out["colors"] = _require_int(spec, "colors", 2, 1 << 20, default=16)
         out["validate"] = bool(spec.get("validate", True))
+        # shards > 1 routes the run through the sharded engine; inside
+        # a pool worker the shards execute serially (identical bytes),
+        # so this is a layout knob, never a correctness one.
+        out["shards"] = _require_int(spec, "shards", 1, 4096, default=1)
         return out
     out["p"] = _require_int(spec, "p", 1, 64, default=2)
     out["seed"] = _require_int(spec, "seed", 0, 2 ** 31 - 1, default=0)

@@ -34,6 +34,12 @@ class RoundLimitExceeded(SchedulerError):
             f"({still_active} nodes still active)"
         )
 
+    def __reduce__(self):
+        # Default Exception pickling replays ``args`` (the formatted
+        # message) into ``__init__``; replay the real constructor args so
+        # the exception survives a pool worker -> parent round trip.
+        return (type(self), (self.limit, self.still_active))
+
 
 class BandwidthExceeded(SimulationError):
     """Raised in CONGEST mode when a message exceeds the per-edge budget."""
@@ -50,6 +56,11 @@ class BandwidthExceeded(SimulationError):
             f"{target} exceeds the {budget}-bit per-edge round budget"
         )
 
+    def __reduce__(self):
+        # See RoundLimitExceeded.__reduce__: picklable across pools.
+        return (type(self), (self.bits, self.budget, self.sender,
+                             self.receiver))
+
 
 class InstanceError(SimulationError):
     """Raised for structurally malformed coloring instances."""
@@ -64,7 +75,11 @@ class InfeasibleInstanceError(SimulationError):
 
     def __init__(self, node, message: str):
         self.node = node
+        self.message = message
         super().__init__(f"node {node!r}: {message}")
+
+    def __reduce__(self):
+        return (type(self), (self.node, self.message))
 
 
 class AlgorithmFailure(SimulationError):

@@ -136,7 +136,7 @@ def _substrate_snapshot():
 
 
 def _init_worker(state, engine=None, arrays_enabled=None,
-                 topologies=None):
+                 topologies=None, shards=None):
     """Pool initializer: seed a worker with the parent's caches,
     scheduler engine, kernel array-backend decision, and shared-memory
     topology handles.
@@ -161,6 +161,13 @@ def _init_worker(state, engine=None, arrays_enabled=None,
         from . import shm
 
         shm.receive_handles(topologies)
+    # A pool worker never spawns nested shard pools; the sharded engine
+    # executes its shards serially in-process when this flag is set.
+    from . import sharded as _sharded
+
+    _sharded._mark_worker()
+    if shards is not None:
+        _sharded.set_default_shards(shards)
     if engine is not None:
         from .scheduler import set_default_engine
 
@@ -202,16 +209,22 @@ class _EngineCall:
     picklable by accident of use, and cheap to construct per submit.
     """
 
-    __slots__ = ("engine", "fn")
+    __slots__ = ("engine", "fn", "shards")
 
-    def __init__(self, engine: str, fn: Callable[..., Any]):
+    def __init__(self, engine: str, fn: Callable[..., Any],
+                 shards: Optional[int] = None):
         self.engine = engine
         self.fn = fn
+        self.shards = shards
 
     def __call__(self, *args: Any) -> Any:
         from .scheduler import use_engine
+        from .sharded import use_shards
 
         with use_engine(self.engine):
+            if self.shards is not None:
+                with use_shards(self.shards):
+                    return self.fn(*args)
             return self.fn(*args)
 
 
@@ -244,13 +257,21 @@ class WorkerPool:
     def __init__(self, max_workers: Optional[int] = None,
                  engine: Optional[str] = None,
                  topologies: Optional[Mapping[Hashable, Any]] = None,
-                 mode: str = "process"):
+                 mode: str = "process",
+                 shards: Optional[int] = None):
         from .scheduler import _validate_engine, default_engine
+        from .sharded import default_shards
 
         if mode not in ("process", "thread"):
             raise ValueError(f"unknown pool mode: {mode!r}")
         self.engine = (_validate_engine(engine) if engine is not None
                        else default_engine())
+        # Resolved once in the parent, like the engine: a worker running
+        # engine="sharded" executes its shards serially in-process, so
+        # the count only shapes partitioning, never nested pools.
+        self.shards = int(shards) if shards is not None else default_shards()
+        if self.shards < 1:
+            raise ValueError("shards must be positive")
         self.workers = resolve_workers(max_workers)
         self.mode = mode
         self.fallback_reason: Optional[str] = None
@@ -276,7 +297,8 @@ class WorkerPool:
                 max_workers=self.workers,
                 initializer=_init_worker,
                 initargs=(_substrate_snapshot(), self.engine,
-                          arrays_enabled(), shm.export_handles() or None),
+                          arrays_enabled(), shm.export_handles() or None,
+                          self.shards),
             )
         from concurrent.futures import ThreadPoolExecutor
 
@@ -388,7 +410,8 @@ class WorkerPool:
     def submit(self, fn: Callable[..., Any], *args: Any):
         """Dispatch one call; returns a ``concurrent.futures.Future``."""
         executor = self.executor
-        call = fn if self.mode == "process" else _EngineCall(self.engine, fn)
+        call = (fn if self.mode == "process"
+                else _EngineCall(self.engine, fn, self.shards))
         try:
             future = executor.submit(call, *args)
         except (OSError, PermissionError, RuntimeError) as error:
@@ -400,7 +423,8 @@ class WorkerPool:
     def map(self, fn: Callable[[Any], Any], tasks: List[Any]) -> List[Any]:
         """Ordered results of ``fn`` over ``tasks`` (one sweep's runs)."""
         executor = self.executor
-        call = fn if self.mode == "process" else _EngineCall(self.engine, fn)
+        call = (fn if self.mode == "process"
+                else _EngineCall(self.engine, fn, self.shards))
         self._count_submit(len(tasks))
         try:
             return list(executor.map(call, tasks))
@@ -418,6 +442,7 @@ class WorkerPool:
             "mode": self.mode,
             "workers": self.workers if self.mode == "process" else 1,
             "engine": self.engine,
+            "shards": self.shards,
             "submitted": submitted,
             "completed": completed,
             "in_flight": submitted - completed,
@@ -558,7 +583,8 @@ def parallel_sweep(measure: Measure,
                    engine: Optional[str] = None,
                    report: bool = False,
                    topologies: Optional[Mapping[Any, Any]] = None,
-                   pool: Optional[WorkerPool] = None
+                   pool: Optional[WorkerPool] = None,
+                   shards: Optional[int] = None
                    ) -> List[Record]:
     """Run ``measure(**params)`` for every parameter dict, across processes.
 
@@ -590,6 +616,12 @@ def parallel_sweep(measure: Measure,
     Publishing is best-effort -- where shared memory is unusable,
     workers simply rebuild.
 
+    ``shards`` pins the sharded engine's shard count for every trial,
+    resolved in the parent exactly like ``engine`` (``None`` means the
+    parent's current :func:`repro.sim.sharded.default_shards`).  Inside
+    pool workers the sharded engine always executes its shards serially
+    in-process, so the count shapes partitioning, never nested pools.
+
     ``pool`` reuses a live :class:`WorkerPool` instead of paying pool
     creation and cache shipping per sweep: the pool's frozen engine
     wins (passing a *different* explicit ``engine`` is an error), its
@@ -600,6 +632,7 @@ def parallel_sweep(measure: Measure,
     """
     from ..obs.tracer import current_tracer
     from .scheduler import _validate_engine, default_engine, use_engine
+    from .sharded import default_shards, use_shards
 
     if pool is not None:
         resolved = pool.engine
@@ -608,11 +641,21 @@ def parallel_sweep(measure: Measure,
                 f"engine {engine!r} conflicts with the pool's frozen "
                 f"engine {resolved!r}"
             )
+        resolved_shards = pool.shards
+        if shards is not None and int(shards) != resolved_shards:
+            raise ValueError(
+                f"shards {shards!r} conflicts with the pool's frozen "
+                f"shard count {resolved_shards!r}"
+            )
         if topologies:
             pool.add_topologies(topologies)
     else:
         resolved = (_validate_engine(engine) if engine is not None
                     else default_engine())
+        resolved_shards = (int(shards) if shards is not None
+                           else default_shards())
+        if resolved_shards < 1:
+            raise ValueError("shards must be positive")
         if topologies:
             # Sweep-owned publications deliberately skip the refcounted
             # release: they stay warm for follow-up sweeps and are
@@ -642,7 +685,8 @@ def parallel_sweep(measure: Measure,
         # worker re-deriving them per trial; the resolved engine choice
         # rides along.
         dispatch = own_pool = WorkerPool(max_workers=workers,
-                                         engine=resolved)
+                                         engine=resolved,
+                                         shards=resolved_shards)
     try:
         if dispatch is not None:
             try:
@@ -667,7 +711,7 @@ def parallel_sweep(measure: Measure,
                 (m, p, t, False, False) for (m, p, t, _, _) in tasks
             ]
             before = kernel_stats() if report else None
-            with use_engine(resolved):
+            with use_engine(resolved), use_shards(resolved_shards):
                 records = [_call_measure(task) for task in serial_tasks]
             if report:
                 worker_stats = [

@@ -42,6 +42,17 @@ Three execution engines implement the same semantics:
     fall back to the fast engine, so ``engine="vectorized"`` is always
     safe to request.
 
+``sharded``
+    The multi-core path for *large single-graph* runs.  The compiled
+    CSR is partitioned into contiguous node shards
+    (:mod:`repro.graphs.partition`), each shard's kernel columns run in
+    a pinned worker process, and workers synchronize once per round by
+    exchanging only boundary ("halo") state through a shared-memory
+    segment (:mod:`repro.sim.sharded`).  Populations the sharded
+    registry does not cover fall through to the vectorized engine, and
+    small or non-CSR-direct runs execute their shards serially
+    in-process -- in every case byte-identical to serial execution.
+
 ``reference``
     The direct transcription of the model definition that the repository
     started from.  It is kept as the executable specification: the
@@ -86,7 +97,7 @@ Node = Hashable
 DEFAULT_MAX_ROUNDS = 1_000_000
 
 #: The engines understood by :meth:`Scheduler.run`.
-ENGINES = ("fast", "reference", "vectorized")
+ENGINES = ("fast", "reference", "vectorized", "sharded")
 
 #: Environment variable naming the process-default engine.
 ENGINE_ENV = "REPRO_SIM_ENGINE"
@@ -200,6 +211,8 @@ class Scheduler:
             return self._run_reference(max_rounds)
         if name == "vectorized":
             return self._run_vectorized(max_rounds)
+        if name == "sharded":
+            return self._run_sharded(max_rounds)
         return self._run_fast(max_rounds)
 
     def _run_traced(self, tracer, name: str,
@@ -223,7 +236,13 @@ class Scheduler:
         ledger = self.ledger
         before = (ledger.rounds, ledger.messages, ledger.bits,
                   ledger.broadcasts)
-        kstats_before = kernel_stats() if name == "vectorized" else None
+        kernelized = name in ("vectorized", "sharded")
+        kstats_before = kernel_stats() if kernelized else None
+        sstats_before = None
+        if name == "sharded":
+            from .sharded import shard_stats
+
+            sstats_before = shard_stats()
         with tracer.span("run", "scheduler",
                          nodes=len(self.programs)) as span:
             try:
@@ -250,8 +269,37 @@ class Scheduler:
                         "dispatch", kernel=kernel, fallback=fallback,
                         backend=backend, warmup_s=warmup_s,
                     )
+                shards = halo_bytes = barrier_wait_s = None
+                if sstats_before is not None:
+                    from .sharded import shard_stats
+
+                    sstats = shard_stats()
+                    last = sstats["last_run"]
+                    if (sstats["engaged"] > sstats_before["engaged"]
+                            and last is not None):
+                        shards = last["shards"]
+                        halo_bytes = last["halo_bytes"]
+                        barrier_wait_s = last["barrier_wait_s"]
+                        # Physical records (kind="kernel" is in
+                        # PHYSICAL_KINDS): per-shard stats never enter
+                        # the logical byte-identity contract.
+                        for entry in last["per_shard"]:
+                            tracer.annotate(
+                                "shard",
+                                shard=entry["shard"],
+                                shards=shards,
+                                halo_bytes=(entry["halo_in_bytes"]
+                                            + entry["halo_out_bytes"]),
+                                barrier_wait_s=entry["barrier_wait_s"],
+                            )
                 from ..obs.manifest import peak_rss_kb
 
+                if shards is not None:
+                    span.attrs.update(
+                        shards=shards,
+                        halo_bytes=halo_bytes,
+                        barrier_wait_s=barrier_wait_s,
+                    )
                 span.attrs.update(
                     rounds=ledger.rounds - before[0],
                     messages=ledger.messages - before[1],
@@ -600,6 +648,25 @@ class Scheduler:
         kernel.finalize(columns, programs)
         self.rounds_executed = round_number
         return ledger
+
+    # ------------------------------------------------------------------
+    # Sharded engine
+    # ------------------------------------------------------------------
+    def _run_sharded(self, max_rounds: int) -> CostLedger:
+        """Partitioned multi-worker execution of one run.
+
+        Eligible homogeneous populations (see
+        :func:`repro.sim.sharded.register_sharded`) execute shard-wise
+        -- in parallel worker processes with per-round halo exchange on
+        large CSR-direct topologies, serially in-process otherwise --
+        byte-identical to the serial engines.  Everything else falls
+        through to :meth:`_run_vectorized` and its fallback chain, so
+        ``engine="sharded"`` is always safe to request.
+        """
+        # Local import: the sharded module imports kernel-layer helpers.
+        from .sharded import run_sharded
+
+        return run_sharded(self, max_rounds)
 
     # ------------------------------------------------------------------
     # Reference engine

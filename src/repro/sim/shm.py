@@ -43,11 +43,19 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from .compiled import CompiledNetwork
 
 _ITEMSIZE = 8  # native int64, matching array('q') / np.int64
+
+#: Guards the parent-side registries.  A serve supervisor restarting a
+#: crashed pool releases topologies from its monitor thread while the
+#: request path may be publishing the same key; without the lock the
+#: read-decrement-pop sequence in :func:`release` can run twice for one
+#: reference and either double-unlink or leak the segment until exit.
+_lock = threading.RLock()
 
 #: Parent side: key -> (SharedMemory, handle, original compiled network).
 _exported: Dict[Hashable, Tuple[Any, dict, CompiledNetwork]] = {}
@@ -85,10 +93,11 @@ def publish(key: Hashable, compiled: CompiledNetwork) -> Optional[dict]:
     life of the process).
     """
     global _cleanup_registered
-    existing = _exported.get(key)
-    if existing is not None:
-        _refcounts[key] = _refcounts.get(key, 0) + 1
-        return existing[1]
+    with _lock:
+        existing = _exported.get(key)
+        if existing is not None:
+            _refcounts[key] = _refcounts.get(key, 0) + 1
+            return existing[1]
     try:
         from multiprocessing import shared_memory
     except ImportError:  # pragma: no cover - stdlib module
@@ -106,11 +115,27 @@ def publish(key: Hashable, compiled: CompiledNetwork) -> Optional[dict]:
         segment.buf[offset:offset + len(raw)] = raw
         offset += len(raw)
     handle = {"name": segment.name, "n": n, "nnz": nnz}
-    _exported[key] = (segment, handle, compiled)
-    _refcounts[key] = 1
-    if not _cleanup_registered:
-        atexit.register(unlink_all)
-        _cleanup_registered = True
+    with _lock:
+        racer = _exported.get(key)
+        if racer is not None:
+            # Another thread published the same key while we copied;
+            # keep theirs, drop ours, count ourselves as a reference.
+            _refcounts[key] = _refcounts.get(key, 0) + 1
+            handle = racer[1]
+            discard = segment
+        else:
+            _exported[key] = (segment, handle, compiled)
+            _refcounts[key] = 1
+            discard = None
+        if not _cleanup_registered:
+            atexit.register(unlink_all)
+            _cleanup_registered = True
+    if discard is not None:
+        try:
+            discard.close()
+            discard.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
     return handle
 
 
@@ -121,15 +146,19 @@ def release(key: Hashable) -> bool:
     an unknown (or already-unlinked) key is a no-op: the exit cleanup may
     legitimately race an explicit release during daemon shutdown.
     """
-    entry = _exported.get(key)
-    if entry is None:
-        return False
-    remaining = _refcounts.get(key, 1) - 1
-    if remaining > 0:
-        _refcounts[key] = remaining
-        return False
-    _exported.pop(key, None)
-    _refcounts.pop(key, None)
+    with _lock:
+        entry = _exported.get(key)
+        if entry is None:
+            return False
+        remaining = _refcounts.get(key, 1) - 1
+        if remaining > 0:
+            _refcounts[key] = remaining
+            return False
+        # Pop before touching the segment: a concurrent release (or the
+        # exit backstop) then sees an unknown key and no-ops, so the
+        # close/unlink pair below runs exactly once per segment.
+        _exported.pop(key, None)
+        _refcounts.pop(key, None)
     segment = entry[0]
     try:
         segment.close()
@@ -155,6 +184,31 @@ def receive_handles(handles: Optional[Dict[Hashable, dict]]) -> None:
         _handles.update(handles)
 
 
+def _attach_untracked(shared_memory, name: str):
+    """Map an existing segment without registering it with the resource
+    tracker.
+
+    Only the segment's *owner* may track it: a worker's registration is
+    worse than useless either way.  Under ``spawn`` the worker's own
+    tracker would unlink the parent's live segment when the worker
+    exits; under ``fork`` the tracker process is *shared*, its cache is
+    a set, so the worker's register is a no-op and the matching
+    ``unregister`` (the historical workaround here) silently deletes
+    the parent's entry -- the parent's eventual ``unlink`` then crashes
+    the tracker thread with a KeyError traceback on stderr.  Supplying
+    ``track=False`` needs Python >= 3.13, so instead the register call
+    is stubbed out for the duration of the constructor.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
 def _attach(handle: dict):
     """Map a published segment and wrap it as a zero-copy topology."""
     try:
@@ -162,17 +216,9 @@ def _attach(handle: dict):
     except ImportError:  # pragma: no cover - stdlib module
         return None
     try:
-        segment = shared_memory.SharedMemory(name=handle["name"])
+        segment = _attach_untracked(shared_memory, handle["name"])
     except (OSError, PermissionError, FileNotFoundError):
         return None
-    try:
-        # The worker's resource tracker would unlink the parent's
-        # segment when this process exits; only the parent may do that.
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
     n = handle["n"]
     nnz = handle["nnz"]
     view = memoryview(segment.buf)
@@ -229,9 +275,11 @@ def unlink_all() -> None:
     Force-drops all refcounts -- this is the exit/signal backstop, not
     the polite path (:func:`release` is).
     """
-    _refcounts.clear()
-    while _exported:
-        _key, (segment, _handle, _compiled) = _exported.popitem()
+    with _lock:
+        _refcounts.clear()
+        doomed = list(_exported.values())
+        _exported.clear()
+    for segment, _handle, _compiled in doomed:
         try:
             segment.close()
             segment.unlink()

@@ -30,6 +30,7 @@ from ..sim.errors import (
 )
 from ..sim.kernels import KernelRound, RoundKernel, fanout_totals, register_kernel
 from ..sim.message import Message, color_bits, intern_broadcast
+from ..sim.sharded import ShardSpec, register_sharded
 from ..sim.metrics import CostLedger, ensure_ledger
 from ..sim.network import Network
 from ..sim.node import NodeProgram, RoundContext
@@ -706,6 +707,47 @@ class _ColorReductionKernel(RoundKernel):
 
 
 register_kernel(_ColorReductionProgram, _ColorReductionKernel)
+
+
+def _restore_reduction_colors(colors, programs) -> None:
+    """Sharded finalize: write the final color column back (parent side)."""
+    for program, color in zip(programs, colors):
+        program.color = color
+
+
+def _color_reduction_shard_spec(compiled, programs, bandwidth):
+    """Flatten a color-reduction population for the sharded engine.
+
+    Same eligibility gate as :meth:`_ColorReductionKernel.prepare`
+    (uniform ``q``/``target``, no mid-run state), plus an int-only color
+    check: shard workers round-trip colors through an int64 segment, so
+    bools or exotic int subclasses -- which would also intern into
+    differently-typed broadcast payloads -- decline to the serial path.
+    """
+    first = programs[0]
+    q = first.q
+    target = first.target
+    colors = []
+    for program in programs:
+        if (program.q != q or program.target != target
+                or program.neighbor_colors):
+            return None
+        color = program.color
+        if type(color) is not int:
+            return None
+        colors.append(color)
+    return ShardSpec(
+        colors=colors,
+        q=q,
+        target=target,
+        bits=color_bits(q),
+        tag=_ColorReductionProgram._TAG,
+        finalize=_restore_reduction_colors,
+        name="ColorReduction",
+    )
+
+
+register_sharded(_ColorReductionProgram, _color_reduction_shard_spec)
 
 
 def greedy_color_reduction(network: Network,

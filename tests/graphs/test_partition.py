@@ -1,0 +1,170 @@
+"""Contiguous CSR partitions: balance, ownership, halos, relabeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Partition,
+    bfs_relabel,
+    partition_by_edges,
+    shard_boundaries,
+)
+from repro.graphs.streaming import (
+    csr_from_edges,
+    gnp_edges,
+    grid_edges,
+    ring_edges,
+)
+
+
+def _ring_csr(n):
+    return csr_from_edges(n, ring_edges(n))
+
+
+class TestPartition:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Partition(10, [0, 5])  # last bound != n
+        with pytest.raises(ValueError):
+            Partition(10, [1, 10])  # first bound != 0
+        with pytest.raises(ValueError):
+            Partition(10, [0, 7, 3, 10])  # decreasing
+        with pytest.raises(ValueError):
+            Partition(10, [10])  # too short
+
+    def test_ranges_cover_exactly(self):
+        part = Partition(10, [0, 3, 3, 10])
+        assert part.shards == 3
+        assert part.range_of(0) == (0, 3)
+        assert part.range_of(1) == (3, 3)  # empty shard is legal
+        assert part.range_of(2) == (3, 10)
+        assert part.sizes() == [3, 0, 7]
+        assert sum(part.sizes()) == part.n
+
+    def test_owner_of_matches_ranges(self):
+        part = Partition(20, [0, 5, 11, 20])
+        for node in range(20):
+            owner = part.owner_of(node)
+            lo, hi = part.range_of(owner)
+            assert lo <= node < hi
+        with pytest.raises(ValueError):
+            part.owner_of(-1)
+        with pytest.raises(ValueError):
+            part.owner_of(20)
+
+    def test_owner_of_skips_empty_shards(self):
+        part = Partition(6, [0, 3, 3, 6])
+        assert part.owner_of(2) == 0
+        assert part.owner_of(3) == 2
+
+
+class TestPartitionByEdges:
+    def test_rejects_bad_shard_count(self):
+        indptr, _ = _ring_csr(8)
+        with pytest.raises(ValueError):
+            partition_by_edges(indptr, 0)
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7])
+    def test_covers_all_nodes(self, shards):
+        indptr, _ = _ring_csr(30)
+        part = partition_by_edges(indptr, shards)
+        assert part.shards == shards
+        assert part.bounds[0] == 0 and part.bounds[-1] == 30
+        assert sum(part.sizes()) == 30
+
+    def test_uniform_degrees_split_evenly(self):
+        indptr, _ = _ring_csr(100)
+        part = partition_by_edges(indptr, 4)
+        assert part.sizes() == [25, 25, 25, 25]
+
+    def test_skewed_degrees_balance_by_edges(self):
+        # A star center at node 0 with 60 leaves: an equal-node split
+        # would give shard 0 virtually all edges; the edge-balanced cut
+        # must isolate the hub instead.
+        edges = [(0, leaf) for leaf in range(1, 61)]
+        indptr, _ = csr_from_edges(61, edges)
+        part = partition_by_edges(indptr, 2)
+        lo, hi = part.range_of(0)
+        first_edges = indptr[hi] - indptr[lo]
+        total = indptr[61]
+        assert hi - lo < 10  # the hub shard is node-skinny...
+        assert first_edges >= total // 3  # ...but edge-heavy
+
+    def test_more_shards_than_nodes(self):
+        indptr, _ = _ring_csr(3)
+        part = partition_by_edges(indptr, 8)
+        assert part.shards == 8
+        assert sum(part.sizes()) == 3
+
+    def test_edgeless_graph_balances_by_nodes(self):
+        indptr = [0] * 9  # 8 isolated nodes
+        part = partition_by_edges(indptr, 4)
+        assert part.sizes() == [2, 2, 2, 2]
+
+
+class TestShardBoundaries:
+    def test_ring_boundaries_are_the_endpoints(self):
+        indptr, indices = _ring_csr(12)
+        part = partition_by_edges(indptr, 3)
+        boundary, halo, cut = shard_boundaries(indptr, indices, part, 0)
+        lo, hi = part.range_of(0)
+        # On a ring only the two endpoint nodes touch other shards.
+        assert boundary == [lo, hi - 1]
+        assert cut == 2
+        assert all(j < lo or j >= hi for j in halo)
+        assert halo == sorted(halo)
+
+    def test_cut_edges_symmetric_across_shards(self):
+        indptr, indices = csr_from_edges(80, gnp_edges(80, 0.1, seed=3))
+        part = partition_by_edges(indptr, 4)
+        cuts = [shard_boundaries(indptr, indices, part, s)[2]
+                for s in range(4)]
+        # Every crossing CSR entry (i -> j) has a mirror (j -> i), so
+        # the total over shards is even.
+        assert sum(cuts) % 2 == 0
+
+    def test_single_shard_has_no_boundary(self):
+        indptr, indices = _ring_csr(10)
+        part = partition_by_edges(indptr, 1)
+        boundary, halo, cut = shard_boundaries(indptr, indices, part, 0)
+        assert boundary == [] and halo == [] and cut == 0
+
+
+class TestBfsRelabel:
+    def test_is_a_permutation(self):
+        indptr, indices = csr_from_edges(50, gnp_edges(50, 0.08, seed=5))
+        perm = bfs_relabel(indptr, indices)
+        assert sorted(perm) == list(range(50))
+
+    def test_covers_disconnected_components(self):
+        # Two disjoint triangles.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        indptr, indices = csr_from_edges(6, edges)
+        perm = bfs_relabel(indptr, indices)
+        assert sorted(perm) == list(range(6))
+        # BFS from node 0 stays inside the first component.
+        assert {perm[0], perm[1], perm[2]} == {0, 1, 2}
+
+    def test_reduces_grid_cut_edges(self):
+        # Scatter a grid's ids, then check BFS relabeling recovers
+        # locality: the 2-shard cut of the relabeled CSR is no worse
+        # than the scrambled one.
+        import random
+
+        rows, cols = 8, 8
+        n = rows * cols
+        shuffle = list(range(n))
+        random.Random(11).shuffle(shuffle)
+        edges = [(shuffle[u], shuffle[v]) for u, v in grid_edges(rows, cols)]
+        indptr, indices = csr_from_edges(n, edges)
+        perm = bfs_relabel(indptr, indices)
+        relabeled = [(perm[u], perm[v]) for u, v in edges]
+        r_indptr, r_indices = csr_from_edges(n, relabeled)
+
+        def cut(ip, ix):
+            part = partition_by_edges(ip, 2)
+            return sum(shard_boundaries(ip, ix, part, s)[2]
+                       for s in range(2))
+
+        assert cut(r_indptr, r_indices) <= cut(indptr, indices)

@@ -88,12 +88,28 @@ class TestTopologyParsing:
             parse_topology({"kind": "graph"})
 
 
+class TestSchemaVersion:
+    def test_v2_stamp(self):
+        # v2 added peak_rss_kb / nodes_per_s / colors_blake2b to the
+        # scale payloads and the shards knob to greedy-reduction.
+        assert SCHEMA_VERSION == "repro-result/v2"
+
+
 class TestAlgorithmParsing:
     def test_name_shorthand(self):
         spec = parse_algorithm("greedy-reduction")
         assert spec["name"] == "greedy-reduction"
         assert spec["colors"] == 16
         assert spec["validate"] is True
+        assert spec["shards"] == 1
+
+    def test_shards_validated(self):
+        spec = parse_algorithm({"name": "greedy-reduction", "shards": 4})
+        assert spec["shards"] == 4
+        with pytest.raises(RequestError, match="must lie in"):
+            parse_algorithm({"name": "greedy-reduction", "shards": 0})
+        with pytest.raises(RequestError, match="must be an integer"):
+            parse_algorithm({"name": "greedy-reduction", "shards": "2"})
 
     def test_sweep_defaults(self):
         spec = parse_algorithm({"name": "two-sweep"})

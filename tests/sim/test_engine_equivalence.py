@@ -51,6 +51,7 @@ from repro.sim import (
     run_protocol,
     set_default_engine,
     use_engine,
+    use_shards,
 )
 from repro.substrates import (
     greedy_arbdefective_sweep,
@@ -59,8 +60,11 @@ from repro.substrates import (
     randomized_delta_plus_one,
 )
 
-#: The engines measured against the reference oracle.
-CANDIDATE_ENGINES = ("fast", "vectorized")
+#: The engines measured against the reference oracle.  ``sharded`` at
+#: the default single shard exercises its fallback chain (it must be as
+#: invisible as the vectorized engine's); real multi-shard execution is
+#: covered by ``test_sharded_engine_agrees`` below.
+CANDIDATE_ENGINES = ("fast", "vectorized", "sharded")
 
 
 @pytest.fixture(params=["python", "numpy"])
@@ -203,6 +207,45 @@ def test_engines_agree(protocol, topology, backend):
         assert canonical_lines(tracer.events) == ref_stream, engine
 
 
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_sharded_engine_agrees(topology, shards, backend):
+    """Multi-shard execution is byte-identical to the reference engine.
+
+    Color reduction is the protocol with a registered shard spec, so
+    these runs genuinely partition the graph (serially in-process at
+    this size) rather than falling back.  Outputs, the full ledger
+    state, and the canonical logical trace stream must all match for
+    every shard count.
+    """
+    build = TOPOLOGIES[topology]
+    ref_tracer = Tracer()
+    with use_engine("reference"), use_tracer(ref_tracer):
+        ref_out, ref_ledger = run_color_reduction(build(seed=5))
+    tracer = Tracer()
+    with use_engine("sharded"), use_shards(shards), use_tracer(tracer):
+        out, ledger = run_color_reduction(build(seed=5))
+    assert out == ref_out, shards
+    assert _ledger_state(ledger) == _ledger_state(ref_ledger), shards
+    assert canonical_lines(tracer.events) == \
+        canonical_lines(ref_tracer.events), shards
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_congest_agrees(shards, backend):
+    """CONGEST accounting through real shards matches the reference."""
+    states = {}
+    outputs = {}
+    for engine, count in (("reference", 1), ("sharded", shards)):
+        network = gnp_graph(50, 0.12, seed=13)
+        with use_engine(engine), use_shards(count):
+            out, ledger = _with_congest(run_color_reduction, network)
+        outputs[engine] = out
+        states[engine] = _ledger_state(ledger)
+    assert outputs["sharded"] == outputs["reference"]
+    assert states["sharded"] == states["reference"]
+
+
 class _EchoHalt(NodeProgram):
     """Broadcast once, record round-2 inbox, halt."""
 
@@ -231,7 +274,7 @@ def test_inbox_order_matches_reference():
     """
     network = gnp_graph(40, 0.2, seed=9)
     results = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         programs = {node: _EchoHalt(node) for node in network}
         outputs, _ = run_protocol(network, programs, engine=engine)
         results[engine] = outputs
@@ -244,7 +287,7 @@ def test_observer_sees_identical_records():
     path, so all three engines produce identical records."""
     network = gnp_graph(25, 0.2, seed=3)
     records = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         programs = {node: _EchoHalt(node) for node in network}
         observer = RoundObserver()
         scheduler = Scheduler(network, programs, observer=observer)
@@ -257,7 +300,7 @@ def test_observer_sees_identical_records():
 def test_congest_model_equivalent():
     network = gnp_graph(30, 0.15, seed=7)
     states = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         programs = {node: _EchoHalt(node) for node in network}
         ledger = CostLedger()
         run_protocol(
@@ -286,7 +329,7 @@ def test_congest_on_kernelized_protocols(protocol, backend):
     run = PROTOCOLS[protocol]
     states = {}
     outputs = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         network = gnp_graph(50, 0.12, seed=13)
         with use_engine(engine):
             out, ledger = _with_congest(run, network)
@@ -356,7 +399,7 @@ def test_mixed_program_population_falls_back():
     network = gnp_graph(30, 0.15, seed=21)
     results = {}
     states = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         programs = {
             node: (_Storm(node, 3) if node % 2 else _EchoHalt(node))
             for node in network
@@ -407,7 +450,7 @@ def test_broadcast_storm_on_clique_matches(congest):
     size, rounds = 12, 7
     outputs = {}
     states = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         network = complete_graph(size)
         programs = {node: _Storm(node, rounds) for node in network}
         ledger = CostLedger()
@@ -441,7 +484,7 @@ def test_late_messages_to_halted_nodes_match():
             ctx.halt()
 
     rounds = {}
-    for engine in ("reference", "fast", "vectorized"):
+    for engine in ("reference",) + CANDIDATE_ENGINES:
         network = complete_graph(2)
         programs = {0: HaltNow(), 1: SendThenHalt()}
         _, ledger = run_protocol(network, programs, engine=engine)

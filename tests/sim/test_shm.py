@@ -239,6 +239,98 @@ class TestRefcounting:
         assert shm.lookup(key) is None
 
 
+class TestConcurrentLifecycle:
+    """A serve supervisor restarting a crashed pool releases topologies
+    from its monitor thread while the request path publishes the same
+    key; the close/unlink pair must run exactly once per segment."""
+
+    def test_concurrent_release_unlinks_exactly_once(self):
+        import threading
+
+        compiled = _ring_compiled(24)
+        key = ("test-shm", "race-release")
+        try:
+            _publish_or_skip(key, compiled)  # refcount 1
+            barrier = threading.Barrier(8)
+            unlinked = []
+
+            def racer():
+                barrier.wait()
+                if shm.release(key):
+                    unlinked.append(True)
+
+            threads = [threading.Thread(target=racer) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(unlinked) == 1
+            assert key not in shm.published_keys()
+        finally:
+            shm.unlink_all()
+
+    def test_publish_release_storm_stays_consistent(self):
+        import threading
+
+        compiled = _ring_compiled(16)
+        key = ("test-shm", "race-storm")
+        if shm.publish(key, compiled) is None:
+            pytest.skip("shared memory unusable here")
+        shm.release(key)
+        failures = []
+
+        def churn():
+            try:
+                for _ in range(40):
+                    if shm.publish(key, compiled) is None:
+                        return
+                    shm.release(key)
+            except Exception as error:  # pragma: no cover - the bug
+                failures.append(error)
+
+        try:
+            threads = [threading.Thread(target=churn) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            # Balanced publish/release pairs: nothing left behind.
+            assert shm.refcount(key) == 0
+        finally:
+            shm.unlink_all()
+
+    def test_attach_never_registers_with_resource_tracker(self):
+        """Workers must not touch the resource tracker at all.
+
+        Under fork the tracker process is shared, so a worker-side
+        register/unregister pair deletes the *parent's* cache entry and
+        the parent's eventual unlink crashes the tracker thread with a
+        KeyError traceback.  The attach path therefore stubs out
+        registration entirely."""
+        from multiprocessing import resource_tracker
+
+        compiled = _ring_compiled(20)
+        key = ("test-shm", "no-track")
+        registered = []
+        original = resource_tracker.register
+        try:
+            handle = _publish_or_skip(key, compiled)
+            resource_tracker.register = \
+                lambda *args, **kwargs: registered.append(args)
+            try:
+                from multiprocessing import shared_memory
+
+                segment = shm._attach_untracked(shared_memory,
+                                                handle["name"])
+            finally:
+                resource_tracker.register = original
+            assert registered == []
+            segment.close()
+        finally:
+            shm.unlink_all()
+
+
 class TestWorkerDeath:
     def test_killed_worker_does_not_unlink_parent_segment(self):
         """A worker that dies hard (SIGKILL mid-attachment) must leave
