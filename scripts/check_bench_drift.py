@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Warn-only benchmark drift gate for CI.
+"""Hard-fail benchmark drift gate for CI.
 
 Compares headline metrics between a committed full-scale benchmark
 report (``BENCH_*.json``) and the smoke-sized rerun CI just produced.
-Shared runners are far too noisy for hard throughput gates, so a
-regression never fails the build: a metric landing below its floor
-prints a GitHub Actions ``::warning`` annotation and the process still
-exits 0.  The value of the gate is the annotation trail -- a real
-regression shows up as the same warning on every push, noise does not.
+A metric landing below its floor prints a GitHub Actions ``::error``
+annotation and the process exits 1, failing the build.
+
+Two escape hatches keep shared-runner noise manageable:
+
+* ``--warn-only`` restores the historical behaviour -- annotate with
+  ``::warning`` and exit 0 regardless -- for branches where the gate is
+  informational;
+* ``--allowlist FILE`` names metric paths (one per line, ``#`` comments)
+  whose regressions only warn.  Absolute throughputs on shared runners
+  (``headline.nodes_per_s``) belong here; dimensionless ratios measured
+  within one run (``headline.speedup``) do not, because both sides see
+  the same machine.
 
 Usage::
 
     python scripts/check_bench_drift.py BENCH_engine.json \\
         BENCH_engine_smoke.json \\
         --metric headline.speedup:0.7 \\
-        --metric "workloads[workload=linial_algebraic].vectorized_vs_fast"
+        --metric "workloads[workload=linial_algebraic].vectorized_vs_fast" \\
+        --allowlist scripts/bench_drift_allowlist.txt
 
 Each ``--metric`` is a dotted path resolved in *both* reports, with an
-optional ``:FACTOR`` floor (default 0.9 -- warn on a >10% slowdown).
+optional ``:FACTOR`` floor (default 0.9 -- fail on a >10% slowdown).
 A path segment may select a row from a list of objects with
 ``key[field=value]``.  Paths missing from either report are reported
 and skipped rather than failing: smoke reports legitimately trail the
@@ -30,9 +39,9 @@ import argparse
 import json
 import re
 import sys
-from typing import Any
+from typing import Any, FrozenSet
 
-#: Default floor: warn when the smoke metric drops more than 10% below
+#: Default floor: fail when the smoke metric drops more than 10% below
 #: the committed one.
 DEFAULT_FACTOR = 0.9
 
@@ -63,9 +72,24 @@ def resolve(report: Any, path: str) -> Any:
     return node
 
 
-def check_metric(committed: Any, smoke: Any, spec: str,
-                 name: str) -> bool:
-    """Compare one metric spec; returns True when a warning fired."""
+def load_allowlist(path: str) -> FrozenSet[str]:
+    """Metric paths that only warn: one per line, ``#`` starts a comment."""
+    entries = set()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            entry = line.split("#", 1)[0].strip()
+            if entry:
+                entries.add(entry)
+    return frozenset(entries)
+
+
+def check_metric(committed: Any, smoke: Any, spec: str, name: str,
+                 warn_only: bool = False) -> bool:
+    """Compare one metric spec; returns True on a blocking regression.
+
+    ``warn_only`` (from ``--warn-only`` or an allowlist hit) downgrades
+    the annotation to ``::warning`` and makes the return value False.
+    """
     path, _, raw_factor = spec.partition(":")
     factor = float(raw_factor) if raw_factor else DEFAULT_FACTOR
     try:
@@ -82,11 +106,12 @@ def check_metric(committed: Any, smoke: Any, spec: str,
         print(f"{path}: unmeasured (None), skipped")
         return False
     if got < factor * want:
+        level = "warning" if warn_only else "error"
         print(
-            f"::warning title={name} drift::{path}: smoke {got} vs "
+            f"::{level} title={name} drift::{path}: smoke {got} vs "
             f"committed {want} (floor {factor}x)"
         )
-        return True
+        return not warn_only
     print(f"{path}: smoke {got} vs committed {want} "
           f"(floor {factor}x): ok")
     return False
@@ -94,36 +119,51 @@ def check_metric(committed: Any, smoke: Any, spec: str,
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Warn-only committed-vs-smoke benchmark comparison",
+        description="Committed-vs-smoke benchmark regression gate",
     )
     parser.add_argument("committed", help="committed full-scale report")
     parser.add_argument("smoke", help="freshly produced smoke report")
     parser.add_argument(
         "--metric", action="append", required=True,
         metavar="PATH[:FACTOR]",
-        help="dotted metric path, optional warn floor "
-             f"(default {DEFAULT_FACTOR} = warn on >10%% slowdown); "
+        help="dotted metric path, optional regression floor "
+             f"(default {DEFAULT_FACTOR} = fail on >10%% slowdown); "
              "repeatable",
     )
     parser.add_argument(
         "--name", default=None,
-        help="benchmark name for warning titles "
+        help="benchmark name for annotation titles "
              "(default: committed filename)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="annotate regressions as warnings and always exit 0 "
+             "(the pre-gate behaviour)",
+    )
+    parser.add_argument(
+        "--allowlist", default=None, metavar="FILE",
+        help="file of metric paths (one per line, # comments) whose "
+             "regressions warn instead of failing",
     )
     args = parser.parse_args(argv)
     with open(args.committed, encoding="utf-8") as handle:
         committed = json.load(handle)
     with open(args.smoke, encoding="utf-8") as handle:
         smoke = json.load(handle)
+    allowlist = (load_allowlist(args.allowlist)
+                 if args.allowlist else frozenset())
     name = args.name or args.committed
-    warned = sum(
-        check_metric(committed, smoke, spec, name)
-        for spec in args.metric
-    )
-    if warned:
-        print(f"{warned} drift warning(s) -- warn-only, exiting 0")
-    else:
-        print("no drift")
+    failed = 0
+    for spec in args.metric:
+        path = spec.partition(":")[0]
+        failed += check_metric(
+            committed, smoke, spec, name,
+            warn_only=args.warn_only or path in allowlist,
+        )
+    if failed:
+        print(f"{failed} blocking regression(s) -- failing the build")
+        return 1
+    print("no blocking drift")
     return 0
 
 

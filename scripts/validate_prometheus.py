@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition output (format 0.0.4).
+
+A small dependency-free checker for the ``GET /metrics`` endpoint of the
+coloring daemon, used by CI's serve-smoke job and available standalone::
+
+    python scripts/validate_prometheus.py metrics.txt
+    curl -s localhost:8421/metrics | python scripts/validate_prometheus.py -
+
+Checks the structural rules a scraper relies on:
+
+* every sample line parses as ``name{labels} value`` with a legal metric
+  name and quoted, escaped label values;
+* every ``# TYPE`` names a known kind and precedes its samples;
+* samples appear under a matching ``# TYPE`` family (histogram samples
+  under their ``_bucket``/``_sum``/``_count`` suffixes);
+* histogram ``le`` buckets are cumulative (non-decreasing counts), end
+  in ``+Inf``, and the ``+Inf`` bucket equals ``_count``;
+* sample values parse as floats (``NaN``/``+Inf``/``-Inf`` included);
+* no metric family or labelset is emitted twice.
+
+Exits 0 when the text passes, 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+KINDS = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*\Z"
+)
+_LABEL = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)='
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|\Z)'
+)
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    if raw in ("+Inf", "Inf"):
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str) -> Optional[Dict[str, str]]:
+    labels: Dict[str, str] = {}
+    position = 0
+    while position < len(raw):
+        match = _LABEL.match(raw, position)
+        if match is None:
+            return None
+        labels[match.group("name")] = match.group("value")
+        position = match.end()
+    return labels
+
+
+def _family_of(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample belongs to, honoring suffixes."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) in ("histogram", "summary"):
+                return base
+    return None
+
+
+def validate_text(text: str) -> List[str]:
+    """All structural violations in an exposition body (empty = valid)."""
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    helped: set = set()
+    seen_series: set = set()
+    # family -> labelset-without-le -> [(le, value)]
+    buckets: Dict[str, Dict[Tuple, List[Tuple[float, float]]]] = {}
+    counts: Dict[str, Dict[Tuple, float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment
+            _, directive, name = parts[:3]
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: bad metric name {name!r}")
+                continue
+            if directive == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in KINDS:
+                    errors.append(
+                        f"line {lineno}: unknown TYPE {kind!r} for {name}"
+                    )
+                if name in types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {name}"
+                    )
+                types[name] = kind
+            else:
+                if name in helped:
+                    errors.append(
+                        f"line {lineno}: duplicate HELP for {name}"
+                    )
+                helped.add(name)
+            continue
+
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: bad value {match.group('value')!r}"
+            )
+            continue
+        labels = _parse_labels(match.group("labels") or "")
+        if labels is None:
+            errors.append(
+                f"line {lineno}: unparsable labels in {line!r}"
+            )
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding TYPE"
+            )
+            continue
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            errors.append(
+                f"line {lineno}: duplicate series {name}{labels}"
+            )
+        seen_series.add(series_key)
+
+        if types.get(family) == "histogram":
+            base_labels = tuple(sorted(
+                item for item in labels.items() if item[0] != "le"
+            ))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: _bucket without le label"
+                    )
+                    continue
+                edge = _parse_value(labels["le"])
+                if edge is None:
+                    errors.append(
+                        f"line {lineno}: bad le value {labels['le']!r}"
+                    )
+                    continue
+                buckets.setdefault(family, {}).setdefault(
+                    base_labels, []
+                ).append((edge, value))
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[base_labels] = value
+
+    for family, by_labels in buckets.items():
+        for base_labels, series in by_labels.items():
+            ordered = sorted(series, key=lambda pair: pair[0])
+            label_text = dict(base_labels) or ""
+            if not ordered or not math.isinf(ordered[-1][0]):
+                errors.append(
+                    f"{family}{label_text}: missing +Inf bucket"
+                )
+                continue
+            cumulative = [count for _, count in ordered]
+            if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+                errors.append(
+                    f"{family}{label_text}: bucket counts not cumulative"
+                )
+            total = counts.get(family, {}).get(base_labels)
+            if total is not None and ordered[-1][1] != total:
+                errors.append(
+                    f"{family}{label_text}: +Inf bucket "
+                    f"{ordered[-1][1]} != _count {total}"
+                )
+    return errors
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: validate_prometheus.py FILE|-", file=sys.stderr)
+        return 2
+    if args[0] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args[0], encoding="utf-8") as handle:
+            text = handle.read()
+    errors = validate_text(text)
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"{len(errors)} violation(s)")
+        return 1
+    families = sum(
+        1 for line in text.splitlines() if line.startswith("# TYPE")
+    )
+    samples = sum(
+        1 for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+    print(f"ok: {families} metric families, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

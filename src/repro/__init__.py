@@ -34,7 +34,7 @@ Quick start::
 
 from . import analysis, coloring, core, graphs, obs, sim, substrates
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",

@@ -485,6 +485,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Metrics console over a live daemon or a flushed JSONL file."""
+    from .obs.top import (
+        render_top,
+        snapshot_from_jsonl,
+        snapshot_from_url,
+        summarize_metrics,
+        watch,
+    )
+
+    if bool(args.url) == bool(args.file):
+        print("repro top: give exactly one source -- --url URL for a "
+              "live daemon, or a metrics JSONL file (from --metrics)")
+        return 2
+
+    def fetch():
+        if args.url:
+            snap, uptime = snapshot_from_url(args.url)
+            return snap, uptime, args.url
+        snap, uptime = snapshot_from_jsonl(args.file)
+        return snap, uptime, args.file
+
+    if args.watch:
+        return watch(fetch, interval_s=args.interval)
+    try:
+        snap, uptime, label = fetch()
+    except (OSError, ValueError) as error:
+        print(f"repro top: {error}")
+        return 1
+    print(render_top(summarize_metrics(snap, uptime), source=label))
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     print(f"repro {__version__} -- reproduction of Fuchs & Kuhn, "
           f"PODC 2024 (list defective coloring)")
@@ -544,6 +577,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace file format: 'jsonl' (one record per line, first "
              "line is the manifest; read it back with 'repro trace') or "
              "'chrome' (chrome://tracing / Perfetto trace_event JSON)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="flush the unified metrics registry to PATH as JSONL "
+             "(one snapshot per flush; always a final flush at exit; "
+             "read it back with 'repro top PATH')",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=0.0, metavar="SECONDS",
+        help="also flush --metrics periodically every SECONDS while the "
+             "command runs (default: 0, final flush only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -699,6 +743,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sv.set_defaults(func=cmd_serve)
 
+    p_top = sub.add_parser(
+        "top",
+        help="metrics console: request rate, latency percentiles, "
+             "queue/pool pressure, kernel and cache hit-rates, shard "
+             "skew -- from a live daemon or a --metrics JSONL file",
+    )
+    p_top.add_argument(
+        "file", nargs="?", default=None,
+        help="metrics JSONL file written by --metrics (reads the "
+             "latest flushed snapshot)",
+    )
+    p_top.add_argument(
+        "--url", default=None, metavar="URL",
+        help="scrape a live daemon instead (base URL or host:port; "
+             "/stats is appended)",
+    )
+    p_top.add_argument(
+        "--watch", action="store_true",
+        help="repaint continuously until Ctrl-C",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch repaints (default: 2)",
+    )
+    p_top.set_defaults(func=cmd_top)
+
     p_info = sub.add_parser("info", help="version and command overview")
     p_info.set_defaults(func=cmd_info)
     return parser
@@ -754,15 +824,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             from .sim import set_default_engine
 
             set_default_engine("sharded")
-    if args.trace is not None:
-        from .obs import Tracer, use_tracer
+    def run_traced() -> int:
+        if args.trace is not None:
+            from .obs import Tracer, use_tracer
 
-        tracer = Tracer()
-        with use_tracer(tracer):
-            status = _run_command(args)
-        _write_trace(args, tracer, status)
+            tracer = Tracer()
+            with use_tracer(tracer):
+                inner = _run_command(args)
+            _write_trace(args, tracer, inner)
+            return inner
+        return _run_command(args)
+
+    if args.metrics is not None:
+        from .obs.metrics import MetricsFlusher
+
+        with MetricsFlusher(args.metrics,
+                            interval_s=args.metrics_interval):
+            status = run_traced()
+        print(f"metrics written to {args.metrics}")
     else:
-        status = _run_command(args)
+        status = run_traced()
     if args.kernel_stats:
         from .sim import kernel_stats
 

@@ -25,6 +25,27 @@ produced the numbers.  Three pieces:
 
 from .export import chrome_trace, write_chrome, write_jsonl, write_manifest
 from .manifest import MANIFEST_VERSION, collect_manifest
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsFlusher,
+    MetricsRegistry,
+    counter,
+    exposition,
+    gauge,
+    histogram,
+    log_buckets,
+    merge,
+    metrics_enabled,
+    nearest_rank,
+    percentile,
+    record_run,
+    reset_metrics,
+    snapshot,
+    snapshot_delta,
+)
 from .schema import (
     TRACE_SCHEMA,
     load_trace_file,
@@ -46,7 +67,13 @@ from .tracer import (
 )
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
     "MANIFEST_VERSION",
+    "MetricError",
+    "MetricsFlusher",
+    "MetricsRegistry",
     "PHYSICAL_FIELDS",
     "PHYSICAL_KINDS",
     "Span",
@@ -55,10 +82,23 @@ __all__ = [
     "canonical_lines",
     "chrome_trace",
     "collect_manifest",
+    "counter",
     "current_tracer",
+    "exposition",
+    "gauge",
+    "histogram",
     "load_trace_file",
+    "log_buckets",
     "logical_view",
+    "merge",
+    "metrics_enabled",
+    "nearest_rank",
+    "percentile",
+    "record_run",
+    "reset_metrics",
     "set_tracer",
+    "snapshot",
+    "snapshot_delta",
     "summarize_trace",
     "use_tracer",
     "validate_events",

@@ -142,6 +142,22 @@ def _rss_state() -> Optional[Dict[str, Any]]:
     }
 
 
+def _metrics_state() -> Optional[Dict[str, Any]]:
+    """The unified metrics registry's snapshot, or ``None`` if empty.
+
+    An empty registry (nothing instrumented ran) is recorded as
+    ``None`` rather than ``{}`` so manifests stay compact for runs that
+    predate -- or never touch -- the metrics layer.
+    """
+    try:
+        from .metrics import snapshot
+
+        snap = snapshot()
+        return snap or None
+    except ImportError:  # pragma: no cover - obs always ships
+        return None
+
+
 def _cache_state() -> Optional[Dict[str, Any]]:
     try:
         from ..substrates import cache as substrate_cache
@@ -200,6 +216,7 @@ def collect_manifest(engine: Optional[str] = None,
         "sharded": _sharded_state(),
         "caches": _cache_state(),
         "rss": _rss_state(),
+        "metrics": _metrics_state(),
         "ledger": ledger.to_dict() if ledger is not None else None,
     }
     if extra:

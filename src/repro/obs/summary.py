@@ -176,4 +176,12 @@ def summarize_trace(manifest: Optional[Dict[str, Any]],
             lines.append(
                 f"worker skew: busiest/idlest = {busiest / idlest:.2f}x"
             )
+
+    metrics = (manifest or {}).get("metrics")
+    if metrics:
+        from .top import render_top, summarize_metrics
+
+        lines.append("")
+        lines.append("metrics registry at capture:")
+        lines.append(render_top(summarize_metrics(metrics)))
     return "\n".join(lines)

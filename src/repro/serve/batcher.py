@@ -24,10 +24,12 @@ daemon keeps serving.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
+from ..obs import metrics as obs_metrics
 from .pool import PoolSupervisor
 from .schema import batch_key
 
@@ -155,7 +157,8 @@ class Batcher:
                 future = await loop.run_in_executor(
                     None, self.supervisor.submit_batch, specs
                 )
-                payloads = await asyncio.wrap_future(future)
+                result = await asyncio.wrap_future(future)
+                payloads = self._unwrap(result)
                 error = None
                 break
             except asyncio.CancelledError:
@@ -171,6 +174,22 @@ class Batcher:
         self.batches += 1
         self.batched_requests += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
+        # One batch-size observation per batch and one queue-wait
+        # observation per dispatched request, so the histogram
+        # invariants hold by construction: batch-size count == batches,
+        # batch-size sum == batched_requests, queue-wait count ==
+        # batched_requests.
+        obs_metrics.histogram(
+            "repro_batch_size", "Requests coalesced per pool dispatch",
+            buckets=obs_metrics.SIZE_BUCKETS,
+        ).observe(len(batch))
+        wait_hist = obs_metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Admission-to-dispatch wait per request",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        )
+        for item in batch:
+            wait_hist.observe(dispatched - item.enqueued)
         for index, item in enumerate(batch):
             if item.future.done():  # client went away
                 continue
@@ -184,3 +203,25 @@ class Batcher:
             timing["queue_wait_s"] = dispatched - item.enqueued
             payload["batch"] = {"size": len(batch), "index": index}
             item.future.set_result(payload)
+
+    @staticmethod
+    def _unwrap(result: Any) -> List[Dict[str, Any]]:
+        """Extract payloads from a pool result, folding in worker metrics.
+
+        The supervisor dispatches
+        :func:`~repro.serve.executor.execute_batch_metrics`, which wraps
+        the payload list with the worker's registry delta and pid; a
+        plain list (tests driving :func:`execute_batch` directly) passes
+        through untouched.  Same-pid deltas -- thread-mode pools share
+        this process, whose registry already saw the updates -- are
+        dropped to avoid double-counting.
+        """
+        if not isinstance(result, dict):
+            return result
+        delta = result.get("metrics")
+        if delta and result.get("pid") != os.getpid():
+            try:
+                obs_metrics.merge(delta)
+            except obs_metrics.MetricError:
+                pass  # foreign layout must not fail the batch
+        return result["payloads"]

@@ -56,6 +56,25 @@ class ServeClient:
         assert status == 200, payload
         return payload
 
+    def metrics(self) -> str:
+        """Scrape ``GET /metrics``; returns the raw Prometheus text.
+
+        Bypasses :meth:`request` because the exposition format is plain
+        text, not JSON.
+        """
+        for attempt in (0, 1):
+            try:
+                self.conn.request("GET", "/metrics")
+                response = self.conn.getresponse()
+                data = response.read()
+                assert response.status == 200, data
+                return data.decode("utf-8")
+            except (ConnectionError, OSError):
+                self.conn.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
     def healthz(self) -> Dict[str, Any]:
         status, payload = self.request("GET", "/healthz")
         assert status == 200, payload

@@ -358,3 +358,28 @@ def execute_batch(specs: List[Dict[str, Any]],
 
         shm.receive_handles(handles)
     return [execute_request(spec) for spec in specs]
+
+
+def execute_batch_metrics(specs: List[Dict[str, Any]],
+                          handles: Optional[Dict[Hashable, Any]] = None
+                          ) -> Dict[str, Any]:
+    """:func:`execute_batch` plus this batch's metrics-registry delta.
+
+    The daemon's dispatch path: the worker ships back
+    ``{"payloads", "pid", "metrics"}`` so the serving process can fold
+    the worker's counters (kernel hits, cache lookups, per-run ledger
+    totals) into its own registry.  A *delta*, not a cumulative
+    snapshot, so repeated batches on a long-lived worker stay additive;
+    stamped with the pid so a thread-mode pool (same process, updates
+    already landed) is merged zero times, not twice.
+    """
+    from ..obs import metrics as obs_metrics
+
+    before = obs_metrics.snapshot()
+    payloads = execute_batch(specs, handles)
+    return {
+        "payloads": payloads,
+        "pid": os.getpid(),
+        "metrics": obs_metrics.snapshot_delta(before,
+                                              obs_metrics.snapshot()),
+    }

@@ -21,7 +21,7 @@ import threading
 from typing import Any, Dict, Hashable, Mapping, Optional
 
 from ..sim.parallel import PoolUnavailable, WorkerPool
-from .executor import execute_batch
+from .executor import execute_batch_metrics
 
 
 class PoolSupervisor:
@@ -65,10 +65,10 @@ class PoolSupervisor:
         """
         handles = self.pool.topology_handles()
         try:
-            return self.pool.submit(execute_batch, specs, handles)
+            return self.pool.submit(execute_batch_metrics, specs, handles)
         except PoolUnavailable:
             self.restart()
-            return self.pool.submit(execute_batch, specs, handles)
+            return self.pool.submit(execute_batch_metrics, specs, handles)
 
     def restart(self) -> None:
         """Replace a broken pool with a fresh warm one.

@@ -21,6 +21,7 @@ method   path       purpose
 =======  =========  ====================================================
 GET      /healthz   liveness + uptime
 GET      /stats     occupancy, latency percentiles, cache/pool counters
+GET      /metrics   the unified registry in Prometheus text format
 POST     /graphs    upload an edge list; returns a reusable graph handle
 POST     /color     run one coloring request (see ``serve.schema``)
 =======  =========  ====================================================
@@ -39,6 +40,8 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import percentile
 from .batcher import Batcher, ServerBusy
 from .executor import resolve_topology
 from .pool import PoolSupervisor
@@ -63,13 +66,12 @@ _STATUS_TEXT = {
 }
 
 
-def percentile(values, fraction: float) -> Optional[float]:
-    """Nearest-rank percentile of an unsorted sequence (None if empty)."""
-    if not values:
-        return None
-    ordered = sorted(values)
-    rank = max(1, min(len(ordered), round(fraction * len(ordered))))
-    return ordered[rank - 1]
+# ``percentile`` is re-exported from :mod:`repro.obs.metrics`: the
+# ceil-based upper nearest rank, shared with ``Histogram.quantile`` so
+# the rolling window and the histogram view agree (the old local copy
+# used ``round()``, whose banker's rounding resolved p50 of ``[1, 2]``
+# to rank 1 and quietly accepted ``fraction=0.0``).
+__all__ = ["ColoringServer", "ServerHandle", "percentile"]
 
 
 class ColoringServer:
@@ -221,12 +223,19 @@ class ColoringServer:
         return method, path, headers, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: Dict[str, Any],
+                       payload: Any,
                        keep_alive: bool = False) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        # A ``str`` payload is served verbatim as Prometheus text
+        # (``GET /metrics``); everything else is a JSON envelope.
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -248,6 +257,11 @@ class ColoringServer:
             if method != "GET":
                 return self._method_not_allowed()
             return 200, self._stats_payload()
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed()
+            self._refresh_gauges()
+            return 200, obs_metrics.exposition()
         if path == "/graphs":
             if method != "POST":
                 return self._method_not_allowed()
@@ -264,7 +278,8 @@ class ColoringServer:
     def _method_not_allowed() -> Tuple[int, Dict[str, Any]]:
         return 405, envelope("error", status="error", error={
             "type": "MethodNotAllowed",
-            "message": "use GET for /healthz and /stats, POST otherwise",
+            "message": "use GET for /healthz, /stats and /metrics, "
+                       "POST otherwise",
         })
 
     @staticmethod
@@ -307,7 +322,20 @@ class ColoringServer:
             published=key in handles,
         )
 
+    @staticmethod
+    def _count_request(route: str, status: int) -> None:
+        obs_metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests by route and status code",
+            labelnames=("route", "code"),
+        ).labels(route=route, code=str(status)).inc()
+
     async def _post_color(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        status, payload = await self._color_inner(body)
+        self._count_request("/color", status)
+        return status, payload
+
+    async def _color_inner(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         started = time.perf_counter()
         self.requests["total"] += 1
         try:
@@ -334,6 +362,11 @@ class ColoringServer:
             })
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self._latencies_ms.append(elapsed_ms)
+        obs_metrics.histogram(
+            "repro_request_seconds",
+            "End-to-end /color latency (admission to response)",
+            buckets=obs_metrics.LATENCY_BUCKETS,
+        ).observe(elapsed_ms / 1000.0)
         payload["timing"]["request_wall_s"] = elapsed_ms / 1000.0
         if payload["status"] == "ok":
             self.requests["ok"] += 1
@@ -365,10 +398,30 @@ class ColoringServer:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    def _refresh_gauges(self) -> None:
+        """Push point-in-time server state into the registry gauges.
+
+        Counters and histograms update at their call sites; gauges that
+        mirror live server state (queue depth, pool size, uptime) are
+        sampled here, immediately before a snapshot or exposition, so
+        scrapes always see current values.
+        """
+        obs_metrics.gauge(
+            "repro_queue_depth", "Requests admitted but not yet dispatched"
+        ).set(float(self.batcher.depth()))
+        pool = self.supervisor.stats()
+        obs_metrics.gauge(
+            "repro_pool_workers", "Worker processes/threads in the pool"
+        ).set(float(pool.get("workers") or 0))
+        obs_metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the daemon began listening"
+        ).set(self.uptime_s())
+
     def _stats_payload(self) -> Dict[str, Any]:
         from ..sim import shm
         from ..substrates import cache
 
+        self._refresh_gauges()
         window = tuple(self._latencies_ms)
         return envelope(
             "stats",
@@ -396,6 +449,7 @@ class ColoringServer:
                 ),
                 "uploads": len(self._uploads),
             },
+            metrics=obs_metrics.snapshot(),
         )
 
 

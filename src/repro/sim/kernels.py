@@ -48,6 +48,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from .compiled import CompiledNetwork
 from .congest import BandwidthModel
 
@@ -252,6 +253,23 @@ def _record_hit(kernel_name: str, warmup_s: float,
     _stats.by_kernel[kernel_name] = _stats.by_kernel.get(kernel_name, 0) + 1
     key = f"{kernel_name}[{backend}]"
     _stats.by_backend[key] = _stats.by_backend.get(key, 0) + 1
+    # Dual-write into the process metrics registry.  KernelStats stays
+    # the authoritative dict view; the registry is the unified surface
+    # the daemon exposes and the parent merges worker deltas into.
+    obs_metrics.counter(
+        "repro_kernel_dispatch_total",
+        "Vectorized-engine dispatch decisions", ("outcome",),
+    ).labels(outcome="hit").inc()
+    obs_metrics.counter(
+        "repro_kernel_hits_total",
+        "Kernel executions by kernel class and backend",
+        ("kernel", "backend"),
+    ).labels(kernel=kernel_name, backend=backend).inc()
+    if warmup_s:
+        obs_metrics.counter(
+            "repro_kernel_warmup_seconds_total",
+            "Wall-clock spent in kernel prepare()",
+        ).inc(warmup_s)
 
 
 def _record_fallback(reason: str, warmup_s: float = 0.0) -> None:
@@ -259,6 +277,19 @@ def _record_fallback(reason: str, warmup_s: float = 0.0) -> None:
     _stats.fallbacks += 1
     _stats.warmup_s += warmup_s
     _stats.by_reason[reason] = _stats.by_reason.get(reason, 0) + 1
+    obs_metrics.counter(
+        "repro_kernel_dispatch_total",
+        "Vectorized-engine dispatch decisions", ("outcome",),
+    ).labels(outcome="fallback").inc()
+    obs_metrics.counter(
+        "repro_kernel_fallbacks_total",
+        "Kernel fallbacks by reason", ("reason",),
+    ).labels(reason=reason).inc()
+    if warmup_s:
+        obs_metrics.counter(
+            "repro_kernel_warmup_seconds_total",
+            "Wall-clock spent in kernel prepare()",
+        ).inc(warmup_s)
 
 
 # ----------------------------------------------------------------------

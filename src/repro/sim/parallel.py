@@ -43,6 +43,8 @@ from typing import (
     Optional,
 )
 
+from ..obs import metrics as obs_metrics
+
 Record = Dict[str, Any]
 Measure = Callable[..., Record]
 
@@ -80,6 +82,7 @@ def resolve_workers(max_workers: Optional[int] = None) -> int:
 def _call_measure(task):
     """Top-level worker target (must be importable for pickling)."""
     measure, params, timing, collect, trace = task
+    metrics_before = obs_metrics.snapshot()
     start = time.perf_counter()
     if trace:
         # The parent has a tracer installed: collect this trial's span/
@@ -116,6 +119,16 @@ def _call_measure(task):
             kernel_stats(), pid=os.getpid(), engine=default_engine(),
             rss_kb=peak_rss_kb(),
         )
+    # Piggy-back this trial's registry *delta* (not the cumulative
+    # snapshot: deltas stay additive when a pool is reused across
+    # sweeps, and a forked worker's inherited parent state never
+    # double-counts).  The parent pops the payload off every record and
+    # merges only foreign pids -- on the serial path and in thread-mode
+    # pools the updates already landed in the parent registry directly.
+    delta = obs_metrics.snapshot_delta(metrics_before,
+                                       obs_metrics.snapshot())
+    if delta:
+        tagged["__metrics__"] = {"pid": os.getpid(), "metrics": delta}
     return tagged
 
 
@@ -179,6 +192,10 @@ def _init_worker(state, engine=None, arrays_enabled=None,
     from .kernels import reset_kernel_stats
 
     reset_kernel_stats()
+    # Same reasoning for the unified registry: a forked worker inherits
+    # the parent's cumulative metrics, which must not ride back on this
+    # worker's deltas or exposition.
+    obs_metrics.reset_metrics()
     if state is None:
         return
     try:
@@ -402,10 +419,31 @@ class WorkerPool:
     def _count_submit(self, n: int = 1) -> None:
         with self._lock:
             self.submitted += n
+            in_flight = self.submitted - self.completed
+        obs_metrics.counter(
+            "repro_pool_tasks_submitted_total",
+            "Tasks dispatched to the worker pool",
+        ).inc(n)
+        obs_metrics.gauge(
+            "repro_pool_in_flight",
+            "Tasks submitted to the pool and not yet completed",
+        ).set(in_flight)
+
+    def _count_complete(self, n: int) -> None:
+        with self._lock:
+            self.completed += n
+            in_flight = self.submitted - self.completed
+        obs_metrics.counter(
+            "repro_pool_tasks_completed_total",
+            "Tasks the worker pool finished",
+        ).inc(n)
+        obs_metrics.gauge(
+            "repro_pool_in_flight",
+            "Tasks submitted to the pool and not yet completed",
+        ).set(in_flight)
 
     def _count_done(self, _future: Any = None) -> None:
-        with self._lock:
-            self.completed += 1
+        self._count_complete(1)
 
     def submit(self, fn: Callable[..., Any], *args: Any):
         """Dispatch one call; returns a ``concurrent.futures.Future``."""
@@ -431,8 +469,7 @@ class WorkerPool:
         except (ImportError, OSError, PermissionError) as error:
             raise PoolUnavailable(str(error)) from error
         finally:
-            with self._lock:
-                self.completed += len(tasks)
+            self._count_complete(len(tasks))
 
     def stats(self) -> Dict[str, Any]:
         """Occupancy/provenance snapshot for ``/stats`` and manifests."""
@@ -532,6 +569,31 @@ def _pop_worker_traces(records: List[Record], tracer) -> List[Dict[str, Any]]:
         merged.extend(
             tracer.merge(payload["events"], worker=payload["pid"])
         )
+    return merged
+
+
+def _pop_worker_metrics(records: List[Record]) -> int:
+    """Strip the piggy-backed ``__metrics__`` deltas off the records and
+    merge the foreign-pid ones into this process's registry.
+
+    Same-pid payloads (thread-mode pools, the serial fallback) are
+    dropped unmerged: their updates already landed in this registry
+    directly, and merging the delta again would double-count.  Returns
+    the number of deltas merged (diagnostics/tests).
+    """
+    own_pid = os.getpid()
+    merged = 0
+    for record in records:
+        payload = record.pop("__metrics__", None)
+        if payload is None or payload["pid"] == own_pid:
+            continue
+        try:
+            obs_metrics.merge(payload["metrics"])
+        except obs_metrics.MetricError:
+            # A worker on a different code revision (or with clashing
+            # bucket layouts) must not poison the sweep's results.
+            continue
+        merged += 1
     return merged
 
 
@@ -700,6 +762,7 @@ def parallel_sweep(measure: Measure,
                     with tracer.span("algorithm", "parallel-sweep",
                                      trials=len(tasks), engine=resolved):
                         trace_events = _pop_worker_traces(records, tracer)
+                _pop_worker_metrics(records)
                 worker_stats = _pop_worker_stats(records)
         if records is None:
             from .kernels import kernel_stats
@@ -713,6 +776,7 @@ def parallel_sweep(measure: Measure,
             before = kernel_stats() if report else None
             with use_engine(resolved), use_shards(resolved_shards):
                 records = [_call_measure(task) for task in serial_tasks]
+            _pop_worker_metrics(records)
             if report:
                 worker_stats = [
                     _stats_delta(before, kernel_stats(), resolved)

@@ -83,6 +83,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..obs.tracer import current_tracer
 from .congest import BandwidthModel, LocalModel
 from .errors import NetworkError, RoundLimitExceeded, SchedulerError
@@ -202,9 +203,26 @@ class Scheduler:
         name = _validate_engine(engine if engine is not None
                                 else default_engine())
         tracer = current_tracer()
-        if tracer is None:
-            return self._dispatch(name, max_rounds)
-        return self._run_traced(tracer, name, max_rounds)
+        # Per-run registry metrics from the ledger delta: recorded for
+        # every run, traced or not.  Write-only observation -- nothing
+        # below reads the registry, so results cannot change.
+        ledger = self.ledger
+        before = (ledger.rounds, ledger.messages, ledger.bits,
+                  ledger.broadcasts)
+        started = time.perf_counter()
+        try:
+            if tracer is None:
+                return self._dispatch(name, max_rounds)
+            return self._run_traced(tracer, name, max_rounds)
+        finally:
+            obs_metrics.record_run(
+                name,
+                ledger.rounds - before[0],
+                ledger.messages - before[1],
+                ledger.bits - before[2],
+                ledger.broadcasts - before[3],
+                time.perf_counter() - started,
+            )
 
     def _dispatch(self, name: str, max_rounds: int) -> CostLedger:
         if name == "reference":

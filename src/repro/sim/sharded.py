@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..graphs.partition import Partition, partition_by_edges
+from ..obs import metrics as obs_metrics
 from . import arrays, shm
 from .congest import LocalModel
 from .errors import AlgorithmFailure, RoundLimitExceeded
@@ -226,6 +227,10 @@ def _record_shard_fallback(reason: str) -> None:
     _stats.runs += 1
     _stats.fallbacks += 1
     _stats.by_reason[reason] = _stats.by_reason.get(reason, 0) + 1
+    obs_metrics.counter(
+        "repro_shard_fallbacks_total",
+        "Sharded-engine fallbacks by reason", ("reason",),
+    ).labels(reason=reason).inc()
 
 
 # ----------------------------------------------------------------------
@@ -1087,6 +1092,11 @@ def run_sharded(scheduler, max_rounds: int):
     _stats.engaged += 1
     _stats.by_shards[shards] = _stats.by_shards.get(shards, 0) + 1
     _stats.by_mode[mode] = _stats.by_mode.get(mode, 0) + 1
+    obs_metrics.counter(
+        "repro_shard_runs_total",
+        "Engaged sharded-engine runs by mode and shard count",
+        ("mode", "shards"),
+    ).labels(mode=mode, shards=shards).inc()
     # Both runners make this same backend choice internally; recompute
     # it here for the stats label (physical metadata, outside the
     # byte-identity contract).
@@ -1140,6 +1150,28 @@ def run_sharded(scheduler, max_rounds: int):
             halo_total = sum(runner.halo_in) + sum(runner.halo_out)
             _stats.halo_bytes += halo_total
             _stats.barrier_wait_s += sum(runner.barrier_wait_s)
+            if halo_total:
+                obs_metrics.counter(
+                    "repro_shard_halo_bytes_total",
+                    "Boundary state exchanged between shards",
+                ).inc(halo_total)
+            barrier_total = sum(runner.barrier_wait_s)
+            if barrier_total:
+                obs_metrics.counter(
+                    "repro_shard_barrier_wait_seconds_total",
+                    "Wall-clock shards spent waiting at round barriers",
+                ).inc(barrier_total)
+            # Busiest-shard compute over the mean: 1.0 is a perfectly
+            # balanced partition.  A gauge -- it describes the most
+            # recent engaged run, not an accumulating total.
+            compute = [entry["compute_s"] for entry in per_shard]
+            mean_compute = sum(compute) / len(compute) if compute else 0.0
+            if mean_compute > 0:
+                obs_metrics.gauge(
+                    "repro_shard_skew_ratio",
+                    "Busiest shard compute time over the mean "
+                    "(last engaged run)",
+                ).set(max(compute) / mean_compute)
             _stats.last_run = {
                 "shards": partition.shards,
                 "mode": mode,

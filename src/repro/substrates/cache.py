@@ -31,6 +31,7 @@ import pickle
 import tempfile
 from typing import Any, Dict, Optional
 
+from ..obs import metrics as obs_metrics
 from ..sim.message import CACHE_ENV
 
 #: Safety valve mirroring the payload memo tables: a registry that hits
@@ -119,6 +120,13 @@ def record_lookup(name: str, hit: bool) -> None:
     if entry is None:
         entry = _counters[name] = {"hits": 0, "misses": 0}
     entry["hits" if hit else "misses"] += 1
+    # Dual-write into the unified registry; the dict above remains the
+    # authoritative view read by manifests and /stats.
+    obs_metrics.counter(
+        "repro_cache_lookups_total",
+        "Substrate-cache lookups by registry and outcome",
+        ("registry", "outcome"),
+    ).labels(registry=name, outcome="hit" if hit else "miss").inc()
 
 
 def cache_counters() -> Dict[str, Dict[str, int]]:

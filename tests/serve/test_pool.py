@@ -67,7 +67,11 @@ class TestPoolSupervisor:
         try:
             supervisor.warm()
             future = supervisor.submit_batch([_greedy_spec(48)])
-            payloads = future.result(timeout=60)
+            result = future.result(timeout=60)
+            # The supervisor ships execute_batch_metrics: payloads plus
+            # the worker's registry delta and pid.
+            assert set(result) == {"payloads", "pid", "metrics"}
+            payloads = result["payloads"]
             assert payloads[0]["status"] == "ok"
             stats = supervisor.stats()
             assert stats["restarts"] == 0
@@ -89,7 +93,8 @@ class TestPoolSupervisor:
                 # the handover.
                 assert shm.lookup(key) is not None
             future = supervisor.submit_batch([_greedy_spec(49)])
-            assert future.result(timeout=60)[0]["status"] == "ok"
+            result = future.result(timeout=60)
+            assert result["payloads"][0]["status"] == "ok"
         finally:
             supervisor.close()
         if handles:

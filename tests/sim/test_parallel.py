@@ -275,3 +275,56 @@ class TestTraceMerge:
         # into the ambient tracer, with no worker stamping.
         assert any(record["kind"] == "run" for record in tracer.events)
         assert all("worker" not in record for record in tracer.events)
+
+
+class TestWorkerMetricsMerge:
+    """Worker registry deltas ride the record channel into the parent."""
+
+    @staticmethod
+    def _sim_runs(snap) -> float:
+        entry = snap.get("repro_sim_runs_total") or {}
+        return sum(s["value"] for s in entry.get("samples", ()))
+
+    def test_pool_sweep_matches_serial_counts(self):
+        from repro.obs import metrics as obs_metrics
+
+        params = [{"n": 8}, {"n": 9}, {"n": 10}, {"n": 11}]
+        obs_metrics.reset_metrics()
+        serial = parallel_sweep(measure_two_sweep, params, max_workers=1)
+        serial_runs = self._sim_runs(obs_metrics.snapshot())
+        assert serial_runs > 0
+
+        obs_metrics.reset_metrics()
+        pooled = parallel_sweep(measure_two_sweep, params, max_workers=2)
+        pooled_runs = self._sim_runs(obs_metrics.snapshot())
+        # Same trials, same per-run instrumentation: the merged worker
+        # deltas must account for exactly the serial total -- neither
+        # lost (deltas dropped) nor doubled (same-pid re-merge).
+        assert pooled_runs == serial_runs
+        assert list(pooled) == list(serial)
+
+    def test_metrics_key_stripped_from_records(self):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_metrics()
+        records = parallel_sweep(
+            measure_two_sweep, [{"n": 8}, {"n": 9}], max_workers=2,
+        )
+        assert all("__metrics__" not in record for record in records)
+
+    def test_rounds_and_messages_merge(self):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_metrics()
+        parallel_sweep(measure_two_sweep, [{"n": 8}], max_workers=2)
+        snap = obs_metrics.snapshot()
+        rounds = sum(
+            s["value"]
+            for s in snap["repro_sim_rounds_total"]["samples"]
+        )
+        messages = sum(
+            s["value"]
+            for s in snap["repro_sim_messages_total"]["samples"]
+        )
+        assert rounds > 0
+        assert messages > 0

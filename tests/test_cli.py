@@ -241,3 +241,55 @@ class TestTrace:
         assert notes, "fallback note missing"
         assert any("unregistered" in line and "no kernel is registered"
                    in line for line in notes)
+
+
+class TestMetricsFlag:
+    def test_metrics_flush_and_top_roundtrip(self, tmp_path, capsys):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_metrics()
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "--metrics", str(path),
+            "two-sweep", "--n", "24", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {path}" in out
+        assert path.exists()
+
+        assert main(["top", str(path)]) == 0
+        top_out = capsys.readouterr().out
+        assert "repro top" in top_out
+        assert "sim       runs:" in top_out
+
+    def test_metrics_with_trace_embeds_manifest_section(self, tmp_path,
+                                                        capsys):
+        from repro.obs import load_trace_file
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset_metrics()
+        trace = tmp_path / "run.jsonl"
+        flushed = tmp_path / "metrics.jsonl"
+        assert main([
+            "--trace", str(trace), "--metrics", str(flushed),
+            "two-sweep", "--n", "24", "--seed", "7",
+        ]) == 0
+        capsys.readouterr()
+        manifest, _events = load_trace_file(str(trace))
+        assert manifest["metrics"] is not None
+        assert "repro_sim_runs_total" in manifest["metrics"]
+
+        # Satellite: `repro trace` prints the manifest's metrics view.
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry at capture:" in out
+        assert "sim       runs:" in out
+
+    def test_top_requires_exactly_one_source(self, capsys):
+        assert main(["top"]) == 2
+        assert "exactly one source" in capsys.readouterr().out
+
+    def test_top_missing_file_reports_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["top", str(missing)]) == 1
+        assert "repro top:" in capsys.readouterr().out
